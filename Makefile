@@ -1,0 +1,42 @@
+# trafficdiff build targets.
+
+GO ?= go
+
+.PHONY: all build test vet bench fuzz experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark harness: every table/figure + ablations + micro benches.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Short fuzzing pass over the binary-format decoders.
+fuzz:
+	$(GO) test -fuzz FuzzDecode -fuzztime 15s ./internal/packet
+	$(GO) test -fuzz FuzzReader -fuzztime 15s ./internal/pcap
+	$(GO) test -fuzz FuzzNGReader -fuzztime 15s ./internal/pcap
+	$(GO) test -fuzz FuzzDecodeRow -fuzztime 15s ./internal/nprint
+	$(GO) test -fuzz FuzzReadCSV -fuzztime 15s ./internal/nprint
+
+# Regenerate every paper table and figure.
+experiments:
+	$(GO) run ./cmd/traceval -train 40 -test 12 -synth 12 all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/servicerec
+	$(GO) run ./examples/replay
+	$(GO) run ./examples/coverage
+	$(GO) run ./examples/foundation
+
+clean:
+	rm -f fig2_amazon.png synthetic_*.pcap

@@ -1,0 +1,151 @@
+// Command pcap2nprint converts between pcap captures and the nprint
+// bit-level representation (CSV or Figure 2 style PNG).
+//
+// Usage:
+//
+//	pcap2nprint -in capture.pcap -out flow.csv          # pcap -> nprint CSV
+//	pcap2nprint -in capture.pcap -out flow.png          # pcap -> image
+//	pcap2nprint -in flow.csv -out replay.pcap           # nprint CSV -> pcap
+//	pcap2nprint -in flow.png -out replay.pcap           # image -> pcap
+//	pcap2nprint -in capture.pcap -out flow.csv -max 64  # first 64 packets
+//
+// The pcap -> nprint direction encodes every packet of the capture as
+// one 1088-bit row (it does not split by flow; use tracegen for
+// per-flow datasets). The reverse direction back-transforms rows into
+// replayable packets with recomputed lengths and checksums.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"trafficdiff/internal/imagerep"
+	"trafficdiff/internal/nprint"
+	"trafficdiff/internal/packet"
+	"trafficdiff/internal/pcap"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pcap2nprint: ")
+	in := flag.String("in", "", "input file (.pcap or .csv)")
+	out := flag.String("out", "", "output file (.csv, .png or .pcap)")
+	maxPkts := flag.Int("max", nprint.MaxPacketsPerFlow, "maximum packets to convert")
+	flag.Parse()
+	if *in == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*in, *out, *maxPkts); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(in, out string, maxPkts int) error {
+	switch filepath.Ext(in) {
+	case ".pcap":
+		m, err := pcapToMatrix(in, maxPkts)
+		if err != nil {
+			return err
+		}
+		switch filepath.Ext(out) {
+		case ".csv":
+			return writeFile(out, func(f *os.File) error { return nprint.WriteCSV(f, m) })
+		case ".png":
+			return writeFile(out, func(f *os.File) error {
+				return imagerep.RenderPNG(f, imagerep.FromMatrix(m))
+			})
+		default:
+			return fmt.Errorf("unsupported output %q for pcap input (want .csv or .png)", out)
+		}
+	case ".csv", ".png":
+		if filepath.Ext(out) != ".pcap" {
+			return fmt.Errorf("unsupported output %q for %s input (want .pcap)", out, filepath.Ext(in))
+		}
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		var m *nprint.Matrix
+		if filepath.Ext(in) == ".png" {
+			im, perr := imagerep.ParsePNG(f)
+			if perr != nil {
+				return perr
+			}
+			m, err = imagerep.ToMatrix(im)
+		} else {
+			m, err = nprint.ReadCSV(f)
+		}
+		if err != nil {
+			return err
+		}
+		pkts, skipped, err := nprint.ToPackets(m, nprint.DecodeOptions{
+			Repair: true, Start: time.Now().UTC(), Interval: time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		if skipped > 0 {
+			log.Printf("skipped %d undecodable rows", skipped)
+		}
+		return writeFile(out, func(f *os.File) error {
+			w, err := pcap.NewWriter(f, pcap.LinkTypeEthernet)
+			if err != nil {
+				return err
+			}
+			for _, p := range pkts {
+				if err := w.WritePacket(p.Timestamp, p.Data); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	default:
+		return fmt.Errorf("unsupported input %q (want .pcap, .csv or .png)", in)
+	}
+}
+
+func pcapToMatrix(path string, maxPkts int) (*nprint.Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := pcap.NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := r.ReadAll()
+	if err != nil {
+		log.Printf("warning: capture truncated (%v); converting %d packets", err, len(recs))
+	}
+	if maxPkts > 0 && len(recs) > maxPkts {
+		recs = recs[:maxPkts]
+	}
+	m := nprint.NewMatrix(len(recs))
+	for i, rec := range recs {
+		p, err := packet.Decode(rec.Data, rec.Timestamp)
+		if err != nil {
+			log.Printf("warning: packet %d decodes partially (%v)", i, err)
+		}
+		nprint.EncodePacket(m.Row(i), p)
+	}
+	return m, nil
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,97 @@
+// Replay: push synthetic traces through a network-function pipeline —
+// the paper's "replaying synthetic traffic to test network functions"
+// use case and its §4 open challenge.
+//
+//	go run ./examples/replay
+//
+// It generates real and synthetic Amazon flows, replays both through a
+// checksum verifier, a stateful TCP conformance checker and a flow
+// monitor, and compares the reports: checksums and protocol choice
+// survive the synthesis pipeline (ControlNet + back-transform repair),
+// while strict TCP handshake ordering — the open challenge — is only
+// partially preserved, which the conformance numbers make visible.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"trafficdiff/internal/core"
+	"trafficdiff/internal/flow"
+	"trafficdiff/internal/netem"
+	"trafficdiff/internal/netfunc"
+	"trafficdiff/internal/packet"
+	"trafficdiff/internal/repair"
+	"trafficdiff/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	const class = "amazon"
+
+	ds, err := workload.Generate(workload.Config{
+		Seed: 7, FlowsPerClass: 12, Only: []string{class}, MaxPacketsPerFlow: 32,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Hidden = 96
+	cfg.BaseSteps = 100
+	cfg.FineTuneSteps = 150
+	synth, err := core.New(cfg, []string{class})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := synth.FineTune(map[string][]*flow.Flow{class: ds.Flows}); err != nil {
+		log.Fatal(err)
+	}
+	res, err := synth.Generate(class, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	replay := func(name string, flows []*flow.Flow) {
+		var pkts []*packet.Packet
+		for _, f := range flows {
+			pkts = append(pkts, f.Packets...)
+		}
+		pipeline := []netfunc.NF{
+			netfunc.NewChecksumVerifier(),
+			netfunc.NewTCPStateChecker(),
+			netfunc.NewFlowMonitor(),
+		}
+		st := netfunc.Replay(pkts, pipeline)
+		fmt.Printf("--- %s traffic ---\n%s\n", name, netfunc.Report(st, pipeline))
+	}
+
+	replay("real", ds.Flows)
+	replay("synthetic", res.Flows)
+
+	// Stateful repair (the §4 "stricter constraints" direction): the
+	// TCP conversation structure is rewritten into a valid handshake /
+	// data / teardown sequence while the class-carrying per-packet
+	// attributes survive.
+	repaired, err := repair.Flows(res.Flows, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	replay("synthetic+stateful-repair", repaired)
+
+	// Network-condition transfer (paper §4): re-render the synthetic
+	// traffic under a congested path before replaying.
+	congested, st, err := netem.ApplyAll(res.Flows, netem.Congested)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("--- condition transfer: clean -> congested (dropped %d of %d, +%v mean delay) ---\n",
+		st.Dropped, st.In, st.AddedDelay.Round(time.Millisecond))
+	replay("synthetic+congested", congested)
+
+	fmt.Println("note: synthetic packets pass checksum verification (back-transform")
+	fmt.Println("recomputes checksums) and keep the class's transport protocol, but")
+	fmt.Println("full TCP handshake ordering is an open challenge the paper calls out —")
+	fmt.Println("the tcp-state-checker's conformance rate quantifies the gap.")
+}

@@ -1,0 +1,58 @@
+// Service recognition case study (the paper's §2.2/§3.2 workload):
+// augmenting a Random-Forest application classifier with synthetic
+// training data.
+//
+//	go run ./examples/servicerec
+//
+// The example trains on real flows from six applications, generates a
+// synthetic dataset with the diffusion pipeline and the GAN baseline,
+// and reports the cross-train/test accuracies that form the paper's
+// Table 2, showing the diffusion pipeline's fine-grained nprint
+// features transferring between real and synthetic data far better
+// than the GAN's NetFlow aggregates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trafficdiff/internal/core"
+	"trafficdiff/internal/eval"
+	"trafficdiff/internal/gan"
+	"trafficdiff/internal/rf"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := eval.DefaultTable2Config()
+	cfg.Classes = []string{"netflix", "amazon", "teams", "zoom", "facebook", "other"}
+	cfg.TrainFlowsPerClass = 16
+	cfg.TestFlowsPerClass = 6
+	cfg.SynthPerClass = 6
+	cfg.PacketsPerFlow = 10
+
+	synth := core.DefaultConfig()
+	synth.Hidden = 96
+	synth.BaseSteps = 120
+	synth.FineTuneSteps = 180
+	synth.DDIMSteps = 10
+	cfg.Synth = synth
+	cfg.GAN = gan.DefaultConfig()
+	cfg.RF = rf.DefaultConfig()
+
+	fmt.Printf("service recognition over %d applications (%d train / %d test flows per class)\n\n",
+		len(cfg.Classes), cfg.TrainFlowsPerClass, cfg.TestFlowsPerClass)
+	res, err := eval.RunTable2(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(eval.Table2Report(res))
+
+	fmt.Println("\ninterpretation (cf. paper Table 2):")
+	fmt.Printf("  - raw packet bits beat NetFlow on real data (micro %.2f vs %.2f)\n",
+		res.RealRealNprint.Micro, res.RealRealNetFlow.Micro)
+	fmt.Printf("  - our synthetic data transfers: Real/Synth micro %.2f vs GAN %.2f\n",
+		res.RealSynthOurs.Micro, res.RealSynthGAN.Micro)
+	fmt.Printf("  - and trains: Synth/Real micro %.2f vs GAN %.2f\n",
+		res.SynthRealOurs.Micro, res.SynthRealGAN.Micro)
+}

@@ -1,0 +1,3 @@
+module trafficdiff
+
+go 1.22

@@ -1,0 +1,164 @@
+package anonymize
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"trafficdiff/internal/flow"
+	"trafficdiff/internal/packet"
+	"trafficdiff/internal/workload"
+)
+
+func newA(t *testing.T, key string) *Anonymizer {
+	t.Helper()
+	a, err := New([]byte(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewRejectsEmptyKey(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("empty key accepted")
+	}
+}
+
+func TestAddrDeterministic(t *testing.T) {
+	a := newA(t, "secret")
+	ip := [4]byte{192, 168, 1, 42}
+	if a.Addr(ip) != a.Addr(ip) {
+		t.Fatal("anonymization not deterministic")
+	}
+	b := newA(t, "secret")
+	if a.Addr(ip) != b.Addr(ip) {
+		t.Fatal("same key produced different mappings")
+	}
+	c := newA(t, "other-key")
+	if a.Addr(ip) == c.Addr(ip) {
+		t.Fatal("different keys produced identical mapping (collision unlikely)")
+	}
+}
+
+func TestAddrChangesAddress(t *testing.T) {
+	a := newA(t, "k")
+	changed := 0
+	for i := 0; i < 64; i++ {
+		ip := [4]byte{10, byte(i), 0, 1}
+		if a.Addr(ip) != ip {
+			changed++
+		}
+	}
+	if changed < 60 {
+		t.Fatalf("only %d/64 addresses changed", changed)
+	}
+}
+
+// The defining property: shared prefixes are preserved exactly.
+func TestQuickPrefixPreservation(t *testing.T) {
+	a := newA(t, "prefix-key")
+	f := func(x, y [4]byte) bool {
+		want := SharedPrefixLen(x, y)
+		got := SharedPrefixLen(a.Addr(x), a.Addr(y))
+		return want == got
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInjective(t *testing.T) {
+	// Prefix preservation implies injectivity; spot-check it directly.
+	a := newA(t, "inj")
+	seen := map[[4]byte][4]byte{}
+	f := func(ip [4]byte) bool {
+		out := a.Addr(ip)
+		if prev, ok := seen[out]; ok && prev != ip {
+			return false
+		}
+		seen[out] = ip
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedPrefixLen(t *testing.T) {
+	cases := []struct {
+		a, b [4]byte
+		want int
+	}{
+		{[4]byte{10, 0, 0, 1}, [4]byte{10, 0, 0, 1}, 32},
+		{[4]byte{10, 0, 0, 0}, [4]byte{10, 0, 0, 1}, 31},
+		{[4]byte{10, 0, 0, 0}, [4]byte{11, 0, 0, 0}, 7},
+		{[4]byte{0, 0, 0, 0}, [4]byte{128, 0, 0, 0}, 0},
+	}
+	for _, c := range cases {
+		if got := SharedPrefixLen(c.a, c.b); got != c.want {
+			t.Errorf("SharedPrefixLen(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPacketRewriteKeepsValidity(t *testing.T) {
+	a := newA(t, "pkt")
+	g := workload.NewGenerator(1)
+	g.MaxPackets = 12
+	for _, class := range []string{"amazon", "teams", "other"} {
+		p, _ := workload.ProfileByName(class)
+		f := g.GenerateFlow(p)
+		anon := a.Flow(f)
+		if len(anon.Packets) != len(f.Packets) {
+			t.Fatalf("%s: packet count changed", class)
+		}
+		for i, pk := range anon.Packets {
+			re, err := packet.Decode(pk.Data, pk.Timestamp)
+			if err != nil {
+				t.Fatalf("%s packet %d undecodable after anonymization: %v", class, i, err)
+			}
+			orig := f.Packets[i]
+			if re.IPv4.SrcIP == orig.IPv4.SrcIP && re.IPv4.DstIP == orig.IPv4.DstIP {
+				t.Fatalf("%s packet %d addresses unchanged", class, i)
+			}
+			// Transport metadata survives.
+			if re.TransportProtocol() != orig.TransportProtocol() {
+				t.Fatalf("%s packet %d protocol changed", class, i)
+			}
+			if orig.TCP != nil && (re.TCP.SrcPort != orig.TCP.SrcPort || re.TCP.Seq != orig.TCP.Seq) {
+				t.Fatalf("%s packet %d TCP fields changed", class, i)
+			}
+			if !pk.Timestamp.Equal(orig.Timestamp) {
+				t.Fatalf("%s packet %d timestamp changed", class, i)
+			}
+		}
+	}
+}
+
+func TestFlowKeyConsistency(t *testing.T) {
+	// All packets of one flow must still form one flow after
+	// anonymization (the same src maps to the same output everywhere).
+	a := newA(t, "flowkey")
+	g := workload.NewGenerator(2)
+	g.MaxPackets = 16
+	p, _ := workload.ProfileByName("netflix")
+	f := g.GenerateFlow(p)
+	anon := a.Flow(f)
+	tb := flow.NewTable()
+	for _, pk := range anon.Packets {
+		tb.Add(pk)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("anonymized flow split into %d flows", tb.Len())
+	}
+}
+
+func TestNonIPPassthrough(t *testing.T) {
+	a := newA(t, "x")
+	raw := make([]byte, 20) // not IPv4
+	p, _ := packet.Decode(raw, time.Unix(0, 0))
+	if a.Packet(p) != p {
+		t.Fatal("non-IP packet should pass through unchanged")
+	}
+}

@@ -1,0 +1,279 @@
+// Package controlnet supplies the controlling component of the
+// pipeline (paper §3.1): it derives a per-class protocol template from
+// a one-shot real example, feeds it to the denoiser as a conditioning
+// image during sampling (through the models' zero-initialized control
+// projections — the ControlNet mechanism), and enforces the template's
+// hard structural constraints on quantized samples ("the generation
+// ensures all packets strictly conform to the dominant protocol
+// type").
+package controlnet
+
+import (
+	"errors"
+	"fmt"
+
+	"trafficdiff/internal/imagerep"
+	"trafficdiff/internal/nprint"
+	"trafficdiff/internal/packet"
+	"trafficdiff/internal/tensor"
+)
+
+// ColState classifies one nprint bit column across the example flow.
+type ColState uint8
+
+// Column states.
+const (
+	// ColFree columns vary across packets: generation is unconstrained.
+	ColFree ColState = iota
+	// ColVacant columns are vacant in every example packet (headers
+	// the class's protocol does not carry).
+	ColVacant
+	// ColContent columns hold a bit (0/1) in every example packet.
+	ColContent
+)
+
+// ErrEmptyExample reports a template built from a zero-row matrix.
+var ErrEmptyExample = errors.New("controlnet: example flow has no packets")
+
+// Template captures the structural constraints of one traffic class.
+type Template struct {
+	State []ColState // per bit column
+	// Fill is the majority bit per content column, used to repair
+	// cells the sampler left vacant.
+	Fill []int8
+	// Constant marks content columns whose bit value is identical in
+	// every example packet — the class-invariant structure (protocol
+	// constants, TTL, TOS, option layout) the one-shot control can
+	// enforce outright.
+	Constant []bool
+	// Proto is the example's dominant transport protocol.
+	Proto packet.IPProtocol
+}
+
+// FromExample derives a template from a one-shot example flow in
+// nprint form.
+func FromExample(m *nprint.Matrix) (*Template, error) {
+	if m.NumRows == 0 {
+		return nil, ErrEmptyExample
+	}
+	t := &Template{
+		State:    make([]ColState, nprint.BitsPerPacket),
+		Fill:     make([]int8, nprint.BitsPerPacket),
+		Constant: make([]bool, nprint.BitsPerPacket),
+	}
+	for c := 0; c < nprint.BitsPerPacket; c++ {
+		vacant, ones, zeros := 0, 0, 0
+		for r := 0; r < m.NumRows; r++ {
+			switch m.Row(r)[c] {
+			case nprint.Vacant:
+				vacant++
+			case nprint.One:
+				ones++
+			default:
+				zeros++
+			}
+		}
+		switch {
+		case vacant == m.NumRows:
+			t.State[c] = ColVacant
+			t.Fill[c] = nprint.Vacant
+		case vacant == 0:
+			t.State[c] = ColContent
+			if ones >= zeros {
+				t.Fill[c] = nprint.One
+			} else {
+				t.Fill[c] = nprint.Zero
+			}
+			t.Constant[c] = ones == m.NumRows || zeros == m.NumRows
+		default:
+			t.State[c] = ColFree
+			t.Fill[c] = nprint.Zero
+		}
+	}
+	t.Proto = dominantProto(t.State)
+	return t, nil
+}
+
+// dominantProto infers the protocol from which transport section has
+// content columns.
+func dominantProto(state []ColState) packet.IPProtocol {
+	active := func(off, bits int) bool {
+		for c := off; c < off+bits; c++ {
+			if state[c] != ColVacant {
+				return true
+			}
+		}
+		return false
+	}
+	switch {
+	case active(nprint.TCPOffset, nprint.TCPBits):
+		return packet.ProtoTCP
+	case active(nprint.UDPOffset, nprint.UDPBits):
+		return packet.ProtoUDP
+	case active(nprint.ICMPOffset, nprint.ICMPBits):
+		return packet.ProtoICMP
+	default:
+		return 0
+	}
+}
+
+// ControlImage renders the template as a full-resolution one-row
+// conditioning pattern: +1 for content columns, -1 for vacant, 0 for
+// free.
+func (t *Template) ControlImage() *imagerep.Image {
+	im := imagerep.NewImage(1, nprint.BitsPerPacket)
+	for c, s := range t.State {
+		switch s {
+		case ColContent:
+			im.Set(0, c, 1)
+		case ColVacant:
+			im.Set(0, c, -1)
+		}
+	}
+	return im
+}
+
+// ControlTensor produces the conditioning image at the model's
+// resolution: the one-row pattern replicated to h' rows and
+// mean-pooled down by (fh, fw) to [1, h, w]. fh*h rows and fw*w
+// columns must equal the nprint geometry used for training.
+func (t *Template) ControlTensor(h, w, fh, fw int) (*tensor.Tensor, error) {
+	if w*fw != nprint.BitsPerPacket {
+		return nil, fmt.Errorf("controlnet: w*fw = %d, want %d", w*fw, nprint.BitsPerPacket)
+	}
+	full := imagerep.NewImage(h*fh, nprint.BitsPerPacket)
+	one := t.ControlImage()
+	for r := 0; r < full.H; r++ {
+		for c := 0; c < full.W; c++ {
+			full.Set(r, c, one.At(0, c))
+		}
+	}
+	down, err := imagerep.Downscale(full, fh, fw)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.FromSlice(down.Pix, 1, h, w), nil
+}
+
+// Project enforces the template on a quantized nprint matrix in place:
+// vacant columns are vacated, content columns that sampled Vacant get
+// the column's fill bit. It returns the number of cells changed — the
+// "repair distance" diagnostics report.
+func (t *Template) Project(m *nprint.Matrix) int {
+	changed := 0
+	for r := 0; r < m.NumRows; r++ {
+		row := m.Row(r)
+		for c, s := range t.State {
+			switch s {
+			case ColVacant:
+				if row[c] != nprint.Vacant {
+					row[c] = nprint.Vacant
+					changed++
+				}
+			case ColContent:
+				if row[c] == nprint.Vacant {
+					row[c] = t.Fill[c]
+					changed++
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// ProjectConstants additionally pins the template's class-invariant
+// (constant) content columns to their example bit value on every
+// active (non-padding) row — the strong form of one-shot structural
+// control. It returns the number of cells changed.
+func (t *Template) ProjectConstants(m *nprint.Matrix) int {
+	changed := 0
+	for r := 0; r < m.NumRows; r++ {
+		row := m.Row(r)
+		if nprint.SectionVacant(row, 0, nprint.BitsPerPacket) {
+			continue // padding row: stays vacant
+		}
+		for c, isConst := range t.Constant {
+			if isConst && row[c] != t.Fill[c] {
+				row[c] = t.Fill[c]
+				changed++
+			}
+		}
+	}
+	return changed
+}
+
+// Compliance reports the fraction of constrained cells (vacant or
+// content columns) that already satisfy the template, in [0,1]. A
+// matrix that Project has run on is always fully compliant.
+func (t *Template) Compliance(m *nprint.Matrix) float64 {
+	if m.NumRows == 0 {
+		return 1
+	}
+	constrained, ok := 0, 0
+	for r := 0; r < m.NumRows; r++ {
+		row := m.Row(r)
+		for c, s := range t.State {
+			switch s {
+			case ColVacant:
+				constrained++
+				if row[c] == nprint.Vacant {
+					ok++
+				}
+			case ColContent:
+				constrained++
+				if row[c] != nprint.Vacant {
+					ok++
+				}
+			}
+		}
+	}
+	if constrained == 0 {
+		return 1
+	}
+	return float64(ok) / float64(constrained)
+}
+
+// ProtocolCompliance reports the fraction of rows whose populated
+// transport section matches the template's dominant protocol — the
+// Figure 2 property ("all packets adhere to the TCP protocol type").
+func (t *Template) ProtocolCompliance(m *nprint.Matrix) float64 {
+	if m.NumRows == 0 {
+		return 1
+	}
+	var off, bits int
+	switch t.Proto {
+	case packet.ProtoTCP:
+		off, bits = nprint.TCPOffset, nprint.TCPBits
+	case packet.ProtoUDP:
+		off, bits = nprint.UDPOffset, nprint.UDPBits
+	case packet.ProtoICMP:
+		off, bits = nprint.ICMPOffset, nprint.ICMPBits
+	default:
+		return 0
+	}
+	match := 0
+	for r := 0; r < m.NumRows; r++ {
+		row := m.Row(r)
+		if !nprint.SectionVacant(row, off, bits) && othersVacant(row, off) {
+			match++
+		}
+	}
+	return float64(match) / float64(m.NumRows)
+}
+
+func othersVacant(row []int8, keepOff int) bool {
+	sections := [][2]int{
+		{nprint.TCPOffset, nprint.TCPBits},
+		{nprint.UDPOffset, nprint.UDPBits},
+		{nprint.ICMPOffset, nprint.ICMPBits},
+	}
+	for _, s := range sections {
+		if s[0] == keepOff {
+			continue
+		}
+		if !nprint.SectionVacant(row, s[0], s[1]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,201 @@
+package controlnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"trafficdiff/internal/flow"
+	"trafficdiff/internal/nprint"
+	"trafficdiff/internal/packet"
+	"trafficdiff/internal/workload"
+)
+
+func tcpExample(t testing.TB) *nprint.Matrix {
+	t.Helper()
+	g := workload.NewGenerator(1)
+	g.MaxPackets = 8
+	p, _ := workload.ProfileByName("amazon")
+	return nprint.FromFlow(g.GenerateFlow(p), 8)
+}
+
+func udpExample(t testing.TB) *nprint.Matrix {
+	t.Helper()
+	g := workload.NewGenerator(2)
+	g.MaxPackets = 8
+	p, _ := workload.ProfileByName("teams")
+	return nprint.FromFlow(g.GenerateFlow(p), 8)
+}
+
+func TestFromExampleTCP(t *testing.T) {
+	tpl, err := FromExample(tcpExample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpl.Proto != packet.ProtoTCP {
+		t.Fatalf("proto = %v, want TCP", tpl.Proto)
+	}
+	// UDP and ICMP sections must be vacant columns.
+	for c := nprint.UDPOffset; c < nprint.UDPOffset+nprint.UDPBits; c++ {
+		if tpl.State[c] != ColVacant {
+			t.Fatalf("udp column %d state = %d", c, tpl.State[c])
+		}
+	}
+	// IP version bits (first 4 columns: 0100) are content.
+	for c := 0; c < 4; c++ {
+		if tpl.State[c] != ColContent {
+			t.Fatalf("version column %d state = %d", c, tpl.State[c])
+		}
+	}
+	// Version nibble fill = 0100.
+	if tpl.Fill[0] != 0 || tpl.Fill[1] != 1 || tpl.Fill[2] != 0 || tpl.Fill[3] != 0 {
+		t.Errorf("version fill = %v", tpl.Fill[:4])
+	}
+}
+
+func TestFromExampleUDP(t *testing.T) {
+	tpl, err := FromExample(udpExample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpl.Proto != packet.ProtoUDP {
+		t.Fatalf("proto = %v, want UDP", tpl.Proto)
+	}
+	for c := nprint.TCPOffset; c < nprint.TCPOffset+nprint.TCPBits; c++ {
+		if tpl.State[c] != ColVacant {
+			t.Fatalf("tcp column %d should be vacant for teams", c)
+		}
+	}
+}
+
+func TestFromExampleEmpty(t *testing.T) {
+	_, err := FromExample(nprint.NewMatrix(0))
+	if !errors.Is(err, ErrEmptyExample) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestProjectRepairsViolations(t *testing.T) {
+	tpl, _ := FromExample(tcpExample(t))
+	m := tcpExample(t)
+	// Corrupt: activate a UDP column and vacate a version bit.
+	m.Row(0)[nprint.UDPOffset] = nprint.One
+	m.Row(0)[1] = nprint.Vacant
+
+	if tpl.Compliance(m) >= 1 {
+		t.Fatal("corruption not detected")
+	}
+	changed := tpl.Project(m)
+	if changed < 2 {
+		t.Fatalf("changed = %d, want >= 2", changed)
+	}
+	if got := tpl.Compliance(m); got != 1 {
+		t.Fatalf("post-project compliance = %v", got)
+	}
+	if m.Row(0)[nprint.UDPOffset] != nprint.Vacant {
+		t.Error("udp violation not vacated")
+	}
+	if m.Row(0)[1] != nprint.One {
+		t.Error("version bit not refilled")
+	}
+}
+
+func TestProjectIdempotent(t *testing.T) {
+	tpl, _ := FromExample(tcpExample(t))
+	m := tcpExample(t)
+	m.Row(0)[nprint.UDPOffset] = nprint.One
+	tpl.Project(m)
+	if again := tpl.Project(m); again != 0 {
+		t.Fatalf("second project changed %d cells", again)
+	}
+}
+
+func TestProtocolCompliance(t *testing.T) {
+	tpl, _ := FromExample(tcpExample(t))
+	m := tcpExample(t)
+	if got := tpl.ProtocolCompliance(m); got != 1 {
+		t.Fatalf("clean flow compliance = %v", got)
+	}
+	// Turn row 0 into a UDP-ish row: vacate TCP, populate UDP.
+	row := m.Row(0)
+	for c := nprint.TCPOffset; c < nprint.TCPOffset+nprint.TCPBits; c++ {
+		row[c] = nprint.Vacant
+	}
+	for c := nprint.UDPOffset; c < nprint.UDPOffset+nprint.UDPBits; c++ {
+		row[c] = nprint.Zero
+	}
+	want := float64(m.NumRows-1) / float64(m.NumRows)
+	if got := tpl.ProtocolCompliance(m); got != want {
+		t.Fatalf("compliance = %v, want %v", got, want)
+	}
+}
+
+func TestControlImageValues(t *testing.T) {
+	tpl, _ := FromExample(tcpExample(t))
+	im := tpl.ControlImage()
+	if im.H != 1 || im.W != nprint.BitsPerPacket {
+		t.Fatalf("shape %dx%d", im.H, im.W)
+	}
+	if im.At(0, nprint.UDPOffset) != -1 {
+		t.Error("vacant column should be -1")
+	}
+	if im.At(0, 1) != 1 { // version bit 1 is content
+		t.Error("content column should be +1")
+	}
+}
+
+func TestControlTensorShape(t *testing.T) {
+	tpl, _ := FromExample(tcpExample(t))
+	ct, err := tpl.ControlTensor(8, 68, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 8, 68}
+	for i := range want {
+		if ct.Shape[i] != want[i] {
+			t.Fatalf("shape = %v", ct.Shape)
+		}
+	}
+	// Values stay in [-1, 1] after pooling.
+	for _, v := range ct.Data {
+		if v < -1 || v > 1 {
+			t.Fatalf("control value %v out of range", v)
+		}
+	}
+}
+
+func TestControlTensorRejectsBadGeometry(t *testing.T) {
+	tpl, _ := FromExample(tcpExample(t))
+	if _, err := tpl.ControlTensor(8, 60, 2, 16); err == nil {
+		t.Fatal("expected geometry error")
+	}
+}
+
+func TestComplianceEmptyMatrix(t *testing.T) {
+	tpl, _ := FromExample(tcpExample(t))
+	if tpl.Compliance(nprint.NewMatrix(0)) != 1 || tpl.ProtocolCompliance(nprint.NewMatrix(0)) != 1 {
+		t.Fatal("empty matrix should be trivially compliant")
+	}
+}
+
+func TestTemplateSurvivesRoundTripThroughPackets(t *testing.T) {
+	// Project + decode must yield packets that all carry the dominant
+	// protocol — the replayability property.
+	tpl, _ := FromExample(tcpExample(t))
+	m := tcpExample(t)
+	m.Row(2)[nprint.UDPOffset+3] = nprint.One // protocol violation
+	tpl.Project(m)
+	pkts, skipped, err := nprint.ToPackets(m, nprint.DecodeOptions{Repair: true, Start: time.Unix(0, 0)})
+	if err != nil || skipped != 0 {
+		t.Fatalf("decode: err=%v skipped=%d", err, skipped)
+	}
+	f := &flow.Flow{Packets: pkts}
+	if f.DominantProtocol() != packet.ProtoTCP {
+		t.Fatal("projected flow lost TCP dominance")
+	}
+	for i, p := range pkts {
+		if p.TCP == nil {
+			t.Fatalf("packet %d not TCP after projection", i)
+		}
+	}
+}

@@ -1,0 +1,505 @@
+// Package core implements the paper's primary contribution: the
+// text-to-traffic synthesis pipeline (§3.1). A Synthesizer
+//
+//  1. converts real labeled flows into nprint bit matrices and renders
+//     them as resolution-scaled images (red=1 / green=0 / grey=-1),
+//  2. trains a base diffusion model unconditionally ("the text-to-image
+//     base model"), then fine-tunes LoRA adapters plus encoded class
+//     ("Type-0", "Type-1", …) word embeddings for class coverage,
+//  3. derives one-shot protocol templates per class and feeds them to
+//     the denoiser as ControlNet-style conditioning during sampling,
+//  4. samples class-prompted images with classifier-free guidance,
+//     color-processes (quantizes) them back onto {-1,0,1}, projects
+//     the hard protocol constraints, and back-transforms the result
+//     through nprint into replayable packets.
+//
+// The Stable Diffusion 1.5 base model is substituted by a from-scratch
+// DDPM (see package diffusion); every other component matches the
+// paper's architecture one-to-one.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"trafficdiff/internal/controlnet"
+	"trafficdiff/internal/diffusion"
+	"trafficdiff/internal/flow"
+	"trafficdiff/internal/heuristic"
+	"trafficdiff/internal/imagerep"
+	"trafficdiff/internal/lora"
+	"trafficdiff/internal/nprint"
+	"trafficdiff/internal/packet"
+	"trafficdiff/internal/stats"
+	"trafficdiff/internal/tensor"
+)
+
+// Arch selects the denoiser architecture.
+type Arch int
+
+// Architectures.
+const (
+	// ArchMLP is the fast fully-connected denoiser (default).
+	ArchMLP Arch = iota
+	// ArchUNet is the convolutional U-Net denoiser.
+	ArchUNet
+)
+
+// Config parameterizes a Synthesizer.
+type Config struct {
+	// Rows is the full-resolution packet rows per flow image (the
+	// paper uses up to 1024; experiments here default to 32 to stay
+	// CPU-friendly). Must be divisible by DownH.
+	Rows int
+	// DownH and DownW are the resolution-scaling factors applied to
+	// rows and bit columns; the model trains at
+	// (Rows/DownH) x (1088/DownW). DownW must divide 1088; 8 keeps
+	// pixel boundaries byte-aligned.
+	DownH, DownW int
+
+	Arch Arch
+	// Hidden is the MLP width or the U-Net base channel count.
+	Hidden int
+	// UseAttention attaches mid-stage self-attention to the U-Net
+	// denoiser (ignored for the MLP).
+	UseAttention bool
+
+	Schedule  diffusion.ScheduleKind
+	TimeSteps int
+
+	// BaseSteps trains the unconditional base model; FineTuneSteps
+	// trains LoRA adapters + class embeddings with the base frozen.
+	// With UseLoRA=false the base trains conditionally for
+	// BaseSteps+FineTuneSteps instead.
+	BaseSteps     int
+	FineTuneSteps int
+	Batch         int
+	LR            float64
+	DropCond      float64
+	ClipNorm      float64
+	// EMADecay, when > 0, samples from an exponential moving average
+	// of the trained weights (standard DDPM practice).
+	EMADecay float64
+
+	UseLoRA   bool
+	LoRARank  int
+	LoRAAlpha float64
+
+	UseControlNet bool
+	// ConstantSnap pins class-invariant header bits (columns constant
+	// across the one-shot example's packets) to the template value
+	// after quantization — the strong form of one-shot control.
+	ConstantSnap  bool
+	GuidanceScale float64
+	// DDIMSteps > 0 samples with DDIM at that many steps; otherwise
+	// full DDPM ancestral sampling.
+	DDIMSteps int
+
+	Seed uint64
+}
+
+// DefaultConfig returns the settings used throughout the experiments:
+// byte-aligned resolution scaling, cosine schedule, LoRA fine-tuning
+// and ControlNet guidance enabled.
+func DefaultConfig() Config {
+	return Config{
+		Rows: 32, DownH: 2, DownW: 8,
+		Arch: ArchMLP, Hidden: 192,
+		Schedule: diffusion.ScheduleCosine, TimeSteps: 120,
+		BaseSteps: 250, FineTuneSteps: 350, Batch: 16,
+		LR: 2e-3, DropCond: 0.1, ClipNorm: 5,
+		UseLoRA: true, LoRARank: 8, LoRAAlpha: 16,
+		UseControlNet: true, ConstantSnap: true, GuidanceScale: 2, DDIMSteps: 15,
+		Seed: 1,
+	}
+}
+
+// Synthesizer is the trained text-to-traffic pipeline.
+type Synthesizer struct {
+	cfg     Config
+	classes []string
+	index   map[string]int
+
+	base    *diffusion.MLPDenoiser
+	unet    *diffusion.UNetDenoiser
+	adapted *lora.AdaptedMLP
+	sched   *diffusion.Schedule
+
+	templates map[int]*controlnet.Template
+	controls  map[int]*tensor.Tensor
+	// gapDists holds each class's empirical inter-arrival distribution
+	// (milliseconds), fitted from the fine-tuning flows; the nprint
+	// representation carries no timing, so back-transform samples
+	// realistic gaps from here instead of a fixed interval.
+	gapDists map[int]*heuristic.Empirical
+
+	genCalls uint64
+}
+
+// TrainReport summarizes FineTune.
+type TrainReport struct {
+	BaseLosses     []float64
+	FineTuneLosses []float64
+	// Images is the number of training images used.
+	Images int
+}
+
+// New validates cfg and builds an untrained Synthesizer over the given
+// class names (the "prompt vocabulary": class i is prompted as
+// "Type-i", mirroring the paper's encoded prompts).
+func New(cfg Config, classes []string) (*Synthesizer, error) {
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("core: need at least one class")
+	}
+	if cfg.Rows <= 0 || cfg.DownH <= 0 || cfg.DownW <= 0 {
+		return nil, fmt.Errorf("core: non-positive geometry in config")
+	}
+	if cfg.Rows%cfg.DownH != 0 {
+		return nil, fmt.Errorf("core: Rows %d not divisible by DownH %d", cfg.Rows, cfg.DownH)
+	}
+	if nprint.BitsPerPacket%cfg.DownW != 0 {
+		return nil, fmt.Errorf("core: DownW %d does not divide %d", cfg.DownW, nprint.BitsPerPacket)
+	}
+	if cfg.TimeSteps < 2 {
+		return nil, fmt.Errorf("core: TimeSteps must be >= 2")
+	}
+	h := cfg.Rows / cfg.DownH
+	w := nprint.BitsPerPacket / cfg.DownW
+	if cfg.Arch == ArchUNet && (h%2 != 0 || w%2 != 0) {
+		return nil, fmt.Errorf("core: UNet needs even model dims, got %dx%d", h, w)
+	}
+	if cfg.UseLoRA && cfg.Arch == ArchUNet {
+		return nil, fmt.Errorf("core: LoRA fine-tuning is implemented for the MLP denoiser")
+	}
+
+	s := &Synthesizer{
+		cfg:       cfg,
+		classes:   append([]string(nil), classes...),
+		index:     map[string]int{},
+		sched:     diffusion.NewSchedule(cfg.Schedule, cfg.TimeSteps),
+		templates: map[int]*controlnet.Template{},
+		controls:  map[int]*tensor.Tensor{},
+		gapDists:  map[int]*heuristic.Empirical{},
+	}
+	for i, c := range classes {
+		if _, dup := s.index[c]; dup {
+			return nil, fmt.Errorf("core: duplicate class %q", c)
+		}
+		s.index[c] = i
+	}
+	r := stats.NewRNG(cfg.Seed)
+	k := len(classes)
+	switch cfg.Arch {
+	case ArchMLP:
+		s.base = diffusion.NewMLPDenoiser(r, h, w, cfg.Hidden, k)
+	case ArchUNet:
+		s.unet = diffusion.NewUNetDenoiser(r, h, w, cfg.Hidden, k)
+		if cfg.UseAttention {
+			s.unet.EnableAttention(r)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown arch %d", cfg.Arch)
+	}
+	return s, nil
+}
+
+// Classes returns the prompt vocabulary.
+func (s *Synthesizer) Classes() []string { return append([]string(nil), s.classes...) }
+
+// Prompt returns the encoded prompt string for a class ("Type-3"),
+// matching the paper's encoded text prompts.
+func (s *Synthesizer) Prompt(class string) (string, error) {
+	i, ok := s.index[class]
+	if !ok {
+		return "", fmt.Errorf("core: unknown class %q", class)
+	}
+	return fmt.Sprintf("Type-%d", i), nil
+}
+
+// ModelShape returns the training-resolution image dims.
+func (s *Synthesizer) ModelShape() (h, w int) {
+	return s.cfg.Rows / s.cfg.DownH, nprint.BitsPerPacket / s.cfg.DownW
+}
+
+// EncodeFlow converts one flow to a model-resolution training image
+// [1,h,w]. Flows shorter than Rows pad with vacant rows.
+func (s *Synthesizer) EncodeFlow(f *flow.Flow) (*tensor.Tensor, error) {
+	m := nprint.FromFlow(f, s.cfg.Rows)
+	im := imagerep.FromMatrix(m)
+	im = imagerep.PadRows(im, s.cfg.Rows, -1)
+	down, err := imagerep.Downscale(im, s.cfg.DownH, s.cfg.DownW)
+	if err != nil {
+		return nil, fmt.Errorf("core: encoding flow: %w", err)
+	}
+	return tensor.FromSlice(down.Pix, 1, down.H, down.W), nil
+}
+
+// FineTune trains the pipeline on labeled flows. Every class in the
+// vocabulary must have at least one flow (its one-shot ControlNet
+// template comes from the first).
+func (s *Synthesizer) FineTune(flowsByClass map[string][]*flow.Flow) (*TrainReport, error) {
+	set := &diffusion.TrainSet{}
+	for _, class := range s.classes {
+		flows := flowsByClass[class]
+		if len(flows) == 0 {
+			return nil, fmt.Errorf("core: class %q has no training flows", class)
+		}
+		ci := s.index[class]
+		// One-shot protocol template from the first example.
+		tpl, err := controlnet.FromExample(nprint.FromFlow(flows[0], s.cfg.Rows))
+		if err != nil {
+			return nil, fmt.Errorf("core: template for %q: %w", class, err)
+		}
+		s.templates[ci] = tpl
+		h, w := s.ModelShape()
+		ctrl, err := tpl.ControlTensor(h, w, s.cfg.DownH, s.cfg.DownW)
+		if err != nil {
+			return nil, fmt.Errorf("core: control tensor for %q: %w", class, err)
+		}
+		s.controls[ci] = ctrl
+
+		var gaps []float64
+		for _, f := range flows {
+			im, err := s.EncodeFlow(f)
+			if err != nil {
+				return nil, err
+			}
+			set.Images = append(set.Images, im)
+			set.Labels = append(set.Labels, ci)
+			for i := 1; i < len(f.Packets); i++ {
+				g := f.Packets[i].Timestamp.Sub(f.Packets[i-1].Timestamp).Seconds() * 1000
+				if g >= 0 {
+					gaps = append(gaps, g)
+				}
+			}
+		}
+		if len(gaps) == 0 {
+			gaps = []float64{2}
+		}
+		s.gapDists[ci] = heuristic.NewEmpirical(gaps)
+	}
+
+	report := &TrainReport{Images: len(set.Images)}
+	var controls map[int]*tensor.Tensor
+	if s.cfg.UseControlNet {
+		controls = s.controls
+	}
+
+	if s.cfg.Arch == ArchUNet {
+		losses, err := diffusion.Train(s.unet, s.sched, set, diffusion.TrainConfig{
+			Steps: s.cfg.BaseSteps + s.cfg.FineTuneSteps, Batch: s.cfg.Batch,
+			LR: s.cfg.LR, DropCond: s.cfg.DropCond, ClipNorm: s.cfg.ClipNorm,
+			Seed: s.cfg.Seed + 1, Controls: controls, EMADecay: s.cfg.EMADecay,
+		})
+		report.BaseLosses = losses
+		return report, err
+	}
+
+	if !s.cfg.UseLoRA {
+		losses, err := diffusion.Train(s.base, s.sched, set, diffusion.TrainConfig{
+			Steps: s.cfg.BaseSteps + s.cfg.FineTuneSteps, Batch: s.cfg.Batch,
+			LR: s.cfg.LR, DropCond: s.cfg.DropCond, ClipNorm: s.cfg.ClipNorm,
+			Seed: s.cfg.Seed + 1, Controls: controls, EMADecay: s.cfg.EMADecay,
+		})
+		report.BaseLosses = losses
+		return report, err
+	}
+
+	// Phase 1: unconditional base training (the "pretrained base
+	// model" analog — it learns generic traffic-image structure with
+	// no class vocabulary).
+	if s.cfg.BaseSteps > 0 {
+		losses, err := diffusion.Train(s.base, s.sched, set, diffusion.TrainConfig{
+			Steps: s.cfg.BaseSteps, Batch: s.cfg.Batch,
+			LR: s.cfg.LR, DropCond: 1.0, // always unconditional
+			ClipNorm: s.cfg.ClipNorm, Seed: s.cfg.Seed + 1, Controls: controls,
+		})
+		report.BaseLosses = losses
+		if err != nil {
+			return report, err
+		}
+	}
+
+	// Phase 2: LoRA adapters + fresh class embeddings, base frozen.
+	r := stats.NewRNG(s.cfg.Seed + 2)
+	s.adapted = lora.NewAdaptedMLP(r, s.base, s.cfg.LoRARank, s.cfg.LoRAAlpha, len(s.classes))
+	losses, err := diffusion.Train(s.adapted, s.sched, set, diffusion.TrainConfig{
+		Steps: s.cfg.FineTuneSteps, Batch: s.cfg.Batch,
+		LR: s.cfg.LR, DropCond: s.cfg.DropCond, ClipNorm: s.cfg.ClipNorm,
+		Seed: s.cfg.Seed + 3, FreezeBase: true, ExtraParams: s.adapted.Params(),
+		Controls: controls, EMADecay: s.cfg.EMADecay,
+	})
+	report.FineTuneLosses = losses
+	return report, err
+}
+
+// model returns the denoiser used for sampling.
+func (s *Synthesizer) model() diffusion.Denoiser {
+	switch {
+	case s.adapted != nil:
+		return s.adapted
+	case s.unet != nil:
+		return s.unet
+	default:
+		return s.base
+	}
+}
+
+// Trained reports whether FineTune has run (templates exist).
+func (s *Synthesizer) Trained() bool { return len(s.templates) == len(s.classes) }
+
+// GenerateResult carries one synthesis call's outputs and diagnostics.
+type GenerateResult struct {
+	Flows []*flow.Flow
+	// Matrices are the quantized, projected nprint matrices (one per
+	// flow) — Figure 2 renders these.
+	Matrices []*nprint.Matrix
+	// Repaired counts cells changed by constraint projection.
+	Repaired int
+	// SkippedRows counts undecodable rows dropped in back-transform.
+	SkippedRows int
+	// RawCompliance is the strict per-row template protocol compliance
+	// before projection (a row counts only if its transport section is
+	// populated and the others are fully vacant).
+	RawCompliance float64
+	// RawCellCompliance is the per-cell template compliance before
+	// projection — a smoother diagnostic of how much structure the
+	// model learned versus what projection had to repair.
+	RawCellCompliance float64
+}
+
+// Generate synthesizes n flows of the given class: prompt-conditioned
+// sampling, color processing, constraint projection, back-transform.
+func (s *Synthesizer) Generate(class string, n int) (*GenerateResult, error) {
+	ci, ok := s.index[class]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown class %q", class)
+	}
+	if !s.Trained() {
+		return nil, fmt.Errorf("core: synthesizer not fine-tuned")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("core: n must be positive")
+	}
+	s.genCalls++
+	var control *tensor.Tensor
+	if s.cfg.UseControlNet {
+		control = s.controls[ci]
+	}
+	samples, err := diffusion.Sample(s.model(), s.sched, diffusion.SampleConfig{
+		Class: ci, N: n,
+		GuidanceScale: s.cfg.GuidanceScale,
+		DDIMSteps:     s.cfg.DDIMSteps,
+		Control:       control,
+		Seed:          s.cfg.Seed ^ (s.genCalls * 0x9e3779b97f4a7c15),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &GenerateResult{}
+	tpl := s.templates[ci]
+	h, w := s.ModelShape()
+	d := h * w
+	var complianceSum, cellSum float64
+	base := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		im := &imagerep.Image{H: h, W: w, Pix: samples.Data[i*d : (i+1)*d]}
+		up, err := imagerep.Upscale(im, s.cfg.DownH, s.cfg.DownW)
+		if err != nil {
+			return nil, err
+		}
+		imagerep.Quantize(up) // "color processing"
+		m, err := imagerep.ToMatrix(up)
+		if err != nil {
+			return nil, err
+		}
+		complianceSum += tpl.ProtocolCompliance(m)
+		cellSum += tpl.Compliance(m)
+		res.Repaired += tpl.Project(m)
+		if s.cfg.ConstantSnap {
+			res.Repaired += tpl.ProjectConstants(m)
+		}
+		pkts, skipped, err := nprint.ToPackets(m, nprint.DecodeOptions{
+			Repair:   true,
+			Start:    base.Add(time.Duration(i) * time.Second),
+			Interval: 2 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: back-transform: %w", err)
+		}
+		s.stampTimestamps(pkts, ci, base.Add(time.Duration(i)*time.Second))
+		res.SkippedRows += skipped
+		res.Matrices = append(res.Matrices, m)
+		res.Flows = append(res.Flows, &flow.Flow{Label: class, Packets: pkts})
+	}
+	res.RawCompliance = complianceSum / float64(n)
+	res.RawCellCompliance = cellSum / float64(n)
+	return res, nil
+}
+
+// GenerateBalanced draws perClass flows for every class — the paper's
+// recipe for a balanced synthetic dataset ("invoke the generation
+// process an equal number of times for each").
+func (s *Synthesizer) GenerateBalanced(perClass int) ([]*flow.Flow, error) {
+	counts := map[string]int{}
+	for _, c := range s.classes {
+		counts[c] = perClass
+	}
+	return s.GenerateWithDistribution(counts)
+}
+
+// GenerateWithDistribution draws the requested number of flows per
+// class ("adjust the frequency of invocation for each class to yield
+// any desired distribution").
+func (s *Synthesizer) GenerateWithDistribution(counts map[string]int) ([]*flow.Flow, error) {
+	var out []*flow.Flow
+	for _, c := range s.classes {
+		n := counts[c]
+		if n <= 0 {
+			continue
+		}
+		res, err := s.Generate(c, n)
+		if err != nil {
+			return nil, fmt.Errorf("core: generating %q: %w", c, err)
+		}
+		out = append(out, res.Flows...)
+	}
+	return out, nil
+}
+
+// Template exposes a class's protocol template (Figure 2 diagnostics).
+func (s *Synthesizer) Template(class string) (*controlnet.Template, error) {
+	ci, ok := s.index[class]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown class %q", class)
+	}
+	tpl, ok := s.templates[ci]
+	if !ok {
+		return nil, fmt.Errorf("core: class %q not fine-tuned yet", class)
+	}
+	return tpl, nil
+}
+
+// SetDDIMSteps adjusts the sampler's step budget after construction
+// (0 restores full DDPM ancestral sampling). Training is unaffected.
+func (s *Synthesizer) SetDDIMSteps(steps int) { s.cfg.DDIMSteps = steps }
+
+// stampTimestamps rewrites the packets' timestamps with gaps sampled
+// from the class's fitted inter-arrival distribution.
+func (s *Synthesizer) stampTimestamps(pkts []*packet.Packet, ci int, start time.Time) {
+	dist := s.gapDists[ci]
+	if dist == nil || len(pkts) == 0 {
+		return
+	}
+	r := stats.NewRNG(s.cfg.Seed ^ s.genCalls ^ 0x7ad3c1)
+	ts := start
+	for _, p := range pkts {
+		p.Timestamp = ts
+		gap := dist.Sample(r)
+		if gap < 0.01 {
+			gap = 0.01
+		}
+		ts = ts.Add(time.Duration(gap * float64(time.Millisecond)))
+	}
+}

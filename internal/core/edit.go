@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"trafficdiff/internal/diffusion"
+	"trafficdiff/internal/flow"
+	"trafficdiff/internal/imagerep"
+	"trafficdiff/internal/nprint"
+	"trafficdiff/internal/tensor"
+)
+
+// The paper's §4 research agenda names downstream tasks for a traffic
+// foundation model. Two are implemented on top of the trained
+// synthesizer:
+//
+//   - Deblur restores missing/corrupted header sections of a flow
+//     ("traffic deblurring");
+//   - Translate re-renders a flow under a different class prompt
+//     ("traffic-to-traffic translations", e.g. the paper's VPN
+//     Netflix + YouTube -> VPN YouTube example).
+
+// FieldMask names a bit-column span of the nprint row considered
+// missing/corrupted.
+type FieldMask struct {
+	Off, Bits int
+}
+
+// Standard masks for whole header sections.
+var (
+	MaskIPv4 = FieldMask{Off: nprint.IPv4Offset, Bits: nprint.IPv4Bits}
+	MaskTCP  = FieldMask{Off: nprint.TCPOffset, Bits: nprint.TCPBits}
+	MaskUDP  = FieldMask{Off: nprint.UDPOffset, Bits: nprint.UDPBits}
+	MaskICMP = FieldMask{Off: nprint.ICMPOffset, Bits: nprint.ICMPBits}
+)
+
+// Deblur restores the masked header regions of a flow using the
+// trained diffusion model conditioned on the flow's class: the known
+// bits anchor the reverse process, the missing region is generated,
+// and the class's protocol template is projected before
+// back-transforming to packets.
+func (s *Synthesizer) Deblur(f *flow.Flow, class string, missing []FieldMask) (*GenerateResult, error) {
+	ci, ok := s.index[class]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown class %q", class)
+	}
+	if !s.Trained() {
+		return nil, fmt.Errorf("core: synthesizer not fine-tuned")
+	}
+	if len(missing) == 0 {
+		return nil, fmt.Errorf("core: no fields masked")
+	}
+	for _, m := range missing {
+		if m.Off < 0 || m.Bits <= 0 || m.Off+m.Bits > nprint.BitsPerPacket {
+			return nil, fmt.Errorf("core: mask [%d,%d) out of row bounds", m.Off, m.Off+m.Bits)
+		}
+	}
+	known, err := s.EncodeFlow(f)
+	if err != nil {
+		return nil, err
+	}
+	mask := s.pixelMask(missing)
+
+	s.genCalls++
+	var control *tensor.Tensor
+	if s.cfg.UseControlNet {
+		control = s.controls[ci]
+	}
+	img, err := diffusion.Inpaint(s.model(), s.sched, diffusion.InpaintConfig{
+		Known: known,
+		Mask:  mask,
+		Class: ci, GuidanceScale: s.cfg.GuidanceScale,
+		Control: control,
+		Seed:    s.cfg.Seed ^ (s.genCalls * 0x9e3779b97f4a7c15),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.postprocess(img, ci, class)
+}
+
+// pixelMask maps full-resolution column masks to the model's
+// downscaled pixel grid: a pixel is "known" unless any of its covered
+// columns is masked missing.
+func (s *Synthesizer) pixelMask(missing []FieldMask) []bool {
+	h, w := s.ModelShape()
+	missingCol := make([]bool, nprint.BitsPerPacket)
+	for _, m := range missing {
+		for c := m.Off; c < m.Off+m.Bits; c++ {
+			missingCol[c] = true
+		}
+	}
+	mask := make([]bool, h*w)
+	for px := 0; px < w; px++ {
+		known := true
+		for c := px * s.cfg.DownW; c < (px+1)*s.cfg.DownW; c++ {
+			if missingCol[c] {
+				known = false
+				break
+			}
+		}
+		for row := 0; row < h; row++ {
+			mask[row*w+px] = known
+		}
+	}
+	return mask
+}
+
+// Translate re-renders a source flow under the target class's prompt
+// with the given strength in (0,1] (the fraction of the noise schedule
+// applied — higher discards more of the source's structure).
+func (s *Synthesizer) Translate(f *flow.Flow, targetClass string, strength float64) (*GenerateResult, error) {
+	ci, ok := s.index[targetClass]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown class %q", targetClass)
+	}
+	if !s.Trained() {
+		return nil, fmt.Errorf("core: synthesizer not fine-tuned")
+	}
+	src, err := s.EncodeFlow(f)
+	if err != nil {
+		return nil, err
+	}
+	s.genCalls++
+	var control *tensor.Tensor
+	if s.cfg.UseControlNet {
+		control = s.controls[ci]
+	}
+	img, err := diffusion.Translate(s.model(), s.sched, diffusion.TranslateConfig{
+		Source:      src,
+		TargetClass: ci, Strength: strength,
+		GuidanceScale: s.cfg.GuidanceScale,
+		Control:       control,
+		Seed:          s.cfg.Seed ^ (s.genCalls * 0x9e3779b97f4a7c15),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.postprocess(img, ci, targetClass)
+}
+
+// postprocess runs the shared color-process / project / back-transform
+// tail on a single sampled image [1,h,w].
+func (s *Synthesizer) postprocess(img *tensor.Tensor, ci int, label string) (*GenerateResult, error) {
+	h, w := s.ModelShape()
+	im := &imagerep.Image{H: h, W: w, Pix: img.Data}
+	up, err := imagerep.Upscale(im, s.cfg.DownH, s.cfg.DownW)
+	if err != nil {
+		return nil, err
+	}
+	imagerep.Quantize(up)
+	m, err := imagerep.ToMatrix(up)
+	if err != nil {
+		return nil, err
+	}
+	tpl := s.templates[ci]
+	res := &GenerateResult{
+		RawCompliance:     tpl.ProtocolCompliance(m),
+		RawCellCompliance: tpl.Compliance(m),
+	}
+	res.Repaired = tpl.Project(m)
+	if s.cfg.ConstantSnap {
+		res.Repaired += tpl.ProjectConstants(m)
+	}
+	pkts, skipped, err := nprint.ToPackets(m, nprint.DecodeOptions{
+		Repair: true, Start: time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC),
+		Interval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: back-transform: %w", err)
+	}
+	s.stampTimestamps(pkts, ci, time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC))
+	res.SkippedRows = skipped
+	res.Matrices = []*nprint.Matrix{m}
+	res.Flows = []*flow.Flow{{Label: label, Packets: pkts}}
+	return res, nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"trafficdiff/internal/controlnet"
+	"trafficdiff/internal/heuristic"
+	"trafficdiff/internal/lora"
+	"trafficdiff/internal/nn"
+	"trafficdiff/internal/stats"
+	"trafficdiff/internal/tensor"
+)
+
+// snapshot is the serialized synthesizer state.
+type snapshot struct {
+	Version   int
+	Config    Config
+	Classes   []string
+	Templates map[int]*controlnet.Template
+	Controls  map[int]*tensor.Tensor
+	GapValues map[int][]float64
+	HasLoRA   bool
+}
+
+// Save serializes a fine-tuned synthesizer (config, class vocabulary,
+// templates, control images and all model parameters) so generation
+// can resume in a fresh process without retraining.
+func (s *Synthesizer) Save(w io.Writer) error {
+	if !s.Trained() {
+		return fmt.Errorf("core: cannot save an untrained synthesizer")
+	}
+	snap := snapshot{
+		Version: 1, Config: s.cfg, Classes: s.classes,
+		Templates: s.templates, Controls: s.controls,
+		GapValues: map[int][]float64{},
+		HasLoRA:   s.adapted != nil,
+	}
+	for ci, d := range s.gapDists {
+		snap.GapValues[ci] = d.Values()
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("core: encoding snapshot: %w", err)
+	}
+	return nn.SaveParams(w, s.allParams())
+}
+
+// Load reconstructs a synthesizer saved with Save.
+func Load(r io.Reader) (*Synthesizer, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	if snap.Version != 1 {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d", snap.Version)
+	}
+	s, err := New(snap.Config, snap.Classes)
+	if err != nil {
+		return nil, err
+	}
+	s.templates = snap.Templates
+	s.controls = snap.Controls
+	for ci, vals := range snap.GapValues {
+		if len(vals) > 0 {
+			s.gapDists[ci] = heuristic.NewEmpirical(vals)
+		}
+	}
+	if snap.HasLoRA {
+		// Rebuild the adapter skeleton; weights come from the checkpoint.
+		rr := stats.NewRNG(snap.Config.Seed + 2)
+		s.adapted = lora.NewAdaptedMLP(rr, s.base, snap.Config.LoRARank, snap.Config.LoRAAlpha, len(snap.Classes))
+	}
+	if err := nn.LoadParams(r, s.allParams()); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// allParams returns every parameter the snapshot covers, in a stable
+// order.
+func (s *Synthesizer) allParams() []*nn.V {
+	var ps []*nn.V
+	switch {
+	case s.unet != nil:
+		ps = append(ps, s.unet.Params()...)
+	default:
+		ps = append(ps, s.base.Params()...)
+	}
+	if s.adapted != nil {
+		ps = append(ps, s.adapted.Params()...)
+	}
+	return ps
+}

@@ -1,0 +1,71 @@
+package diffusion
+
+import (
+	"math"
+
+	"trafficdiff/internal/nn"
+	"trafficdiff/internal/stats"
+)
+
+// AttnBlock is a single-head spatial self-attention block, the
+// component Stable Diffusion's U-Net applies at its lower-resolution
+// stages: each spatial position attends over all others, letting the
+// denoiser model long-range structure (e.g. column-aligned protocol
+// fields spanning the whole flow image). The output projection is
+// zero-initialized so the block starts as an identity residual.
+type AttnBlock struct {
+	C              int
+	Wq, Wk, Wv, Wo *nn.LinearLayer
+}
+
+// NewAttnBlock builds the block for c channels.
+func NewAttnBlock(r *stats.RNG, c int) *AttnBlock {
+	b := &AttnBlock{
+		C:  c,
+		Wq: nn.NewLinear(r, c, c),
+		Wk: nn.NewLinear(r, c, c),
+		Wv: nn.NewLinear(r, c, c),
+		Wo: nn.NewLinear(r, c, c),
+	}
+	b.Wo.W.X.Zero()
+	b.Wo.B.X.Zero()
+	return b
+}
+
+// Params returns the block's trainable parameters.
+func (b *AttnBlock) Params() []*nn.V {
+	var ps []*nn.V
+	for _, l := range []*nn.LinearLayer{b.Wq, b.Wk, b.Wv, b.Wo} {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Apply runs residual self-attention over x [N,C,H,W].
+func (b *AttnBlock) Apply(tp *nn.Tape, x *nn.V) *nn.V {
+	n, c := x.X.Shape[0], x.X.Shape[1]
+	h, w := x.X.Shape[2], x.X.Shape[3]
+	hw := h * w
+	flat := tp.Reshape(x, n, c*hw)
+	scale := float32(1 / math.Sqrt(float64(c)))
+
+	var rows *nn.V
+	for i := 0; i < n; i++ {
+		// [1, C*HW] -> [C, HW] -> tokens [HW, C].
+		sample := tp.Reshape(tp.SliceRows(flat, i, i+1), c, hw)
+		tokens := tp.Transpose2D(sample)
+		q := b.Wq.Apply(tp, tokens)
+		k := b.Wk.Apply(tp, tokens)
+		v := b.Wv.Apply(tp, tokens)
+		scores := tp.Scale(tp.MatMul(q, tp.Transpose2D(k)), scale)
+		att := tp.MatMul(tp.SoftmaxRows(scores), v)
+		out := b.Wo.Apply(tp, att) // [HW, C]
+		row := tp.Reshape(tp.Transpose2D(out), 1, c*hw)
+		if rows == nil {
+			rows = row
+		} else {
+			rows = tp.Concat0(rows, row)
+		}
+	}
+	return tp.Add(x, tp.Reshape(rows, n, c, h, w))
+}

@@ -1,0 +1,196 @@
+package diffusion
+
+import (
+	"fmt"
+	"math"
+
+	"trafficdiff/internal/nn"
+	"trafficdiff/internal/stats"
+	"trafficdiff/internal/tensor"
+)
+
+// The paper's §4 research agenda sketches downstream tasks a traffic
+// foundation model should support. Two of them map directly onto
+// standard diffusion editing machinery and are implemented here:
+//
+//   - "traffic deblurring: restoration of missing header fields or
+//     corrupted parts within network traffic" -> Inpaint (RePaint-style
+//     masked reverse diffusion);
+//   - "traffic-to-traffic translations" -> Translate (SDEdit-style
+//     partial noising followed by denoising under a different class
+//     prompt).
+
+// InpaintConfig controls masked restoration.
+type InpaintConfig struct {
+	// Known is the observed image [1,H,W]; values at masked-out
+	// positions are ignored.
+	Known *tensor.Tensor
+	// Mask marks which pixels are known (true = observed, keep).
+	// Length must be H*W.
+	Mask []bool
+	// Class conditions the restoration.
+	Class         int
+	GuidanceScale float64
+	Control       *tensor.Tensor
+	Seed          uint64
+}
+
+// Inpaint restores the unknown region of a partially observed image by
+// reverse diffusion: at every step the known region of x_t is replaced
+// with a forward-noised version of the observation, so the generated
+// content stays consistent with it (Lugmayr et al.'s RePaint scheme,
+// single pass).
+func Inpaint(model Denoiser, sched *Schedule, cfg InpaintConfig) (*tensor.Tensor, error) {
+	h, w := model.Shape()
+	d := h * w
+	if cfg.Known == nil || cfg.Known.Len() != d {
+		return nil, fmt.Errorf("diffusion: Known must be [1,%d,%d]", h, w)
+	}
+	if len(cfg.Mask) != d {
+		return nil, fmt.Errorf("diffusion: mask length %d, want %d", len(cfg.Mask), d)
+	}
+	if cfg.Class < 0 || cfg.Class >= model.NullClass() {
+		return nil, fmt.Errorf("diffusion: class %d out of range", cfg.Class)
+	}
+	r := stats.NewRNG(cfg.Seed)
+
+	var control *tensor.Tensor
+	if cfg.Control != nil {
+		control = cfg.Control.Reshape(1, 1, h, w)
+	}
+	predict := func(x *tensor.Tensor, t int) *tensor.Tensor {
+		return predictGuided(model, x, t, cfg.Class, cfg.GuidanceScale, control)
+	}
+
+	x := tensor.New(1, 1, h, w).Randn(r, 1)
+	for t := sched.T - 1; t >= 0; t-- {
+		// Standard reverse step on the whole image.
+		stepDDPMInPlace(x, sched, t, r, predict)
+		// Overwrite the known region with q(x_{t-1} | x_0^known).
+		abPrev := 1.0
+		if t > 0 {
+			abPrev = sched.AlphaBar[t-1]
+		}
+		sa := math.Sqrt(abPrev)
+		sn := math.Sqrt(1 - abPrev)
+		for i := 0; i < d; i++ {
+			if cfg.Mask[i] {
+				noise := 0.0
+				if t > 0 {
+					noise = r.NormFloat64()
+				}
+				x.Data[i] = float32(sa*float64(cfg.Known.Data[i]) + sn*noise)
+			}
+		}
+	}
+	return x.Reshape(1, h, w), nil
+}
+
+// TranslateConfig controls traffic-to-traffic translation.
+type TranslateConfig struct {
+	// Source is the input image [1,H,W].
+	Source *tensor.Tensor
+	// TargetClass is the prompt to translate toward.
+	TargetClass int
+	// Strength in (0,1]: the fraction of the noise schedule applied to
+	// the source before denoising under the target prompt. Low values
+	// preserve more of the source's structure; 1.0 is a fresh sample.
+	Strength      float64
+	GuidanceScale float64
+	Control       *tensor.Tensor
+	Seed          uint64
+}
+
+// Translate re-renders a source flow image under a different class
+// prompt by noising it partway up the schedule and denoising back down
+// conditioned on the target class (Meng et al.'s SDEdit applied to
+// traffic — the paper's VPN-Netflix/YouTube translation example).
+func Translate(model Denoiser, sched *Schedule, cfg TranslateConfig) (*tensor.Tensor, error) {
+	h, w := model.Shape()
+	d := h * w
+	if cfg.Source == nil || cfg.Source.Len() != d {
+		return nil, fmt.Errorf("diffusion: Source must be [1,%d,%d]", h, w)
+	}
+	if cfg.TargetClass < 0 || cfg.TargetClass >= model.NullClass() {
+		return nil, fmt.Errorf("diffusion: class %d out of range", cfg.TargetClass)
+	}
+	if cfg.Strength <= 0 || cfg.Strength > 1 {
+		return nil, fmt.Errorf("diffusion: strength %v out of (0,1]", cfg.Strength)
+	}
+	r := stats.NewRNG(cfg.Seed)
+	t0 := int(cfg.Strength*float64(sched.T)) - 1
+	if t0 < 0 {
+		t0 = 0
+	}
+
+	var control *tensor.Tensor
+	if cfg.Control != nil {
+		control = cfg.Control.Reshape(1, 1, h, w)
+	}
+	predict := func(x *tensor.Tensor, t int) *tensor.Tensor {
+		return predictGuided(model, x, t, cfg.TargetClass, cfg.GuidanceScale, control)
+	}
+
+	// Forward-noise the source to step t0, then denoise.
+	x := tensor.New(1, 1, h, w)
+	sa := math.Sqrt(sched.AlphaBar[t0])
+	sn := math.Sqrt(1 - sched.AlphaBar[t0])
+	for i := 0; i < d; i++ {
+		x.Data[i] = float32(sa*float64(cfg.Source.Data[i]) + sn*r.NormFloat64())
+	}
+	for t := t0; t >= 0; t-- {
+		stepDDPMInPlace(x, sched, t, r, predict)
+	}
+	return x.Reshape(1, h, w), nil
+}
+
+// predictGuided runs one classifier-free-guided ε prediction for a
+// single-sample batch.
+func predictGuided(model Denoiser, x *tensor.Tensor, t, class int, guidance float64, control *tensor.Tensor) *tensor.Tensor {
+	tp := nn.NewTape()
+	epsC := model.Forward(tp, nn.NewV(x.Clone()), []int{t}, []int{class}, control)
+	var eps *tensor.Tensor
+	if guidance != 1 {
+		epsU := model.Forward(tp, nn.NewV(x.Clone()), []int{t}, []int{model.NullClass()}, control)
+		eps = tensor.New(x.Shape...)
+		wg := float32(guidance)
+		for i := range eps.Data {
+			eps.Data[i] = epsU.X.Data[i] + wg*(epsC.X.Data[i]-epsU.X.Data[i])
+		}
+	} else {
+		eps = epsC.X
+	}
+	tp.Reset()
+	return eps
+}
+
+// stepDDPMInPlace applies one reverse DDPM step (with x0 clipping) to
+// x at timestep t.
+func stepDDPMInPlace(x *tensor.Tensor, sched *Schedule, t int, r *stats.RNG, predict func(*tensor.Tensor, int) *tensor.Tensor) {
+	eps := predict(x, t)
+	ab := sched.AlphaBar[t]
+	abPrev := 1.0
+	if t > 0 {
+		abPrev = sched.AlphaBar[t-1]
+	}
+	beta := sched.Beta[t]
+	sqrtAB := math.Sqrt(ab)
+	sqrt1AB := math.Sqrt(1 - ab)
+	coefX0 := math.Sqrt(abPrev) * beta / (1 - ab)
+	coefXt := math.Sqrt(sched.Alpha[t]) * (1 - abPrev) / (1 - ab)
+	sigma := math.Sqrt(sched.PosteriorVar[t])
+	for i := range x.Data {
+		x0 := (float64(x.Data[i]) - sqrt1AB*float64(eps.Data[i])) / sqrtAB
+		if x0 > 1.5 {
+			x0 = 1.5
+		}
+		if x0 < -1.5 {
+			x0 = -1.5
+		}
+		mean := coefX0*x0 + coefXt*float64(x.Data[i])
+		if t > 0 {
+			mean += sigma * r.NormFloat64()
+		}
+		x.Data[i] = float32(mean)
+	}
+}

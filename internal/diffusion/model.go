@@ -1,0 +1,288 @@
+package diffusion
+
+import (
+	"trafficdiff/internal/nn"
+	"trafficdiff/internal/stats"
+	"trafficdiff/internal/tensor"
+)
+
+// Denoiser predicts the noise ε added to a batch of images.
+//
+// xt is [N,1,H,W]; steps and class give each sample's timestep and
+// class id (pass the model's NullClass for unconditional samples —
+// classifier-free guidance trains both paths). control, when non-nil,
+// is a [N,1,H,W] conditioning image injected through a zero-initialized
+// projection (the ControlNet hook).
+type Denoiser interface {
+	Forward(tp *nn.Tape, xt *nn.V, steps []int, class []int, control *tensor.Tensor) *nn.V
+	// Params returns the trainable base parameters.
+	Params() []*nn.V
+	// NullClass is the class id meaning "no prompt".
+	NullClass() int
+	// Shape returns the image height and width the model expects.
+	Shape() (h, w int)
+}
+
+// timeEmbedDim is the sinusoidal timestep feature width.
+const timeEmbedDim = 64
+
+// MLPDenoiser is a compact fully-connected ε-predictor: fast enough to
+// train in seconds on CPU, used by tests and the default pipeline.
+type MLPDenoiser struct {
+	H, W   int
+	Hidden int
+	K      int // real classes; table has K+1 rows (null last)
+
+	classEmb *nn.EmbeddingLayer
+	timeProj *nn.LinearLayer
+	xProj    *nn.LinearLayer
+	ctrlProj *nn.LinearLayer // zero-init: ControlNet hook
+	norm1    *nn.NormLayer
+	hid      *nn.LinearLayer
+	norm2    *nn.NormLayer
+	out      *nn.LinearLayer
+	// gate maps the timestep features to a per-sample scalar that
+	// scales a direct x_t -> output skip. ε-prediction has the analytic
+	// form ε = x_t/√(1−ᾱ_t) − (√ᾱ_t/√(1−ᾱ_t))·x̂₀; without this skip a
+	// narrow MLP would have to squeeze all of x_t through its hidden
+	// bottleneck just to reproduce the first term.
+	gate *nn.LinearLayer
+}
+
+// NewMLPDenoiser builds a denoiser for h x w single-channel images
+// with k conditioning classes.
+func NewMLPDenoiser(r *stats.RNG, h, w, hidden, k int) *MLPDenoiser {
+	d := h * w
+	m := &MLPDenoiser{
+		H: h, W: w, Hidden: hidden, K: k,
+		classEmb: nn.NewEmbedding(r, k+1, hidden),
+		timeProj: nn.NewLinear(r, timeEmbedDim, hidden),
+		xProj:    nn.NewLinear(r, d, hidden),
+		ctrlProj: nn.NewLinear(r, d, hidden),
+		norm1:    nn.NewNorm(hidden),
+		hid:      nn.NewLinear(r, hidden, hidden),
+		norm2:    nn.NewNorm(hidden),
+		out:      nn.NewLinear(r, hidden, d),
+		gate:     nn.NewLinear(r, timeEmbedDim, 1),
+	}
+	// ControlNet-style zero init: the control path starts as a no-op.
+	m.ctrlProj.W.X.Zero()
+	m.ctrlProj.B.X.Zero()
+	// Zero-init the output layer: the model starts by predicting 0
+	// noise, which stabilizes early training.
+	m.out.W.X.Zero()
+	m.out.B.X.Zero()
+	return m
+}
+
+// NullClass implements Denoiser.
+func (m *MLPDenoiser) NullClass() int { return m.K }
+
+// Shape implements Denoiser.
+func (m *MLPDenoiser) Shape() (int, int) { return m.H, m.W }
+
+// Params implements Denoiser.
+func (m *MLPDenoiser) Params() []*nn.V {
+	var ps []*nn.V
+	ps = append(ps, m.classEmb.Params()...)
+	ps = append(ps, m.timeProj.Params()...)
+	ps = append(ps, m.xProj.Params()...)
+	ps = append(ps, m.ctrlProj.Params()...)
+	ps = append(ps, m.norm1.Params()...)
+	ps = append(ps, m.hid.Params()...)
+	ps = append(ps, m.norm2.Params()...)
+	ps = append(ps, m.out.Params()...)
+	ps = append(ps, m.gate.Params()...)
+	return ps
+}
+
+// Forward implements Denoiser.
+func (m *MLPDenoiser) Forward(tp *nn.Tape, xt *nn.V, steps []int, class []int, control *tensor.Tensor) *nn.V {
+	n := xt.X.Shape[0]
+	d := m.H * m.W
+	x2 := tp.Reshape(xt, n, d)
+
+	tfeat := nn.NewV(nn.SinusoidalEmbedding(steps, timeEmbedDim))
+	h := m.xProj.Apply(tp, x2)
+	temb := m.timeProj.Apply(tp, tfeat)
+	h = tp.Add(h, temb)
+	cemb := m.classEmb.Apply(tp, class)
+	h = tp.Add(h, cemb)
+	if control != nil {
+		ctrl := nn.NewV(control.Reshape(n, d).Clone())
+		h = tp.Add(h, m.ctrlProj.Apply(tp, ctrl))
+	}
+	h = tp.SiLU(m.norm1.Apply(tp, h))
+	h2 := tp.SiLU(m.norm2.Apply(tp, m.hid.Apply(tp, h)))
+	h = tp.Add(h, h2) // residual
+	eps := m.out.Apply(tp, h)
+	// Time-gated input skip (see the gate field's comment).
+	skip := tp.MulScalarBroadcast(x2, m.gate.Apply(tp, tfeat))
+	eps = tp.Add(eps, skip)
+	return tp.Reshape(eps, n, 1, m.H, m.W)
+}
+
+// UNetDenoiser is a small convolutional U-Net ε-predictor: a stem
+// conv, one stride-2 down stage, a middle block, and a mirrored up
+// stage with additive skip connections. Timestep and class embeddings
+// are injected as per-channel biases (FiLM-style) at every stage —
+// the same conditioning mechanism Stable Diffusion's U-Net uses,
+// minus attention.
+type UNetDenoiser struct {
+	H, W int
+	C    int // base channels
+	K    int
+
+	classEmb  *nn.EmbeddingLayer
+	timeProj  *nn.LinearLayer
+	embToC    *nn.LinearLayer // emb -> C
+	embToC2   *nn.LinearLayer // emb -> 2C
+	stem      *nn.ConvLayer   // 1 -> C
+	res1      *nn.ConvLayer   // C -> C
+	down      *nn.ConvLayer   // C -> 2C stride 2
+	mid       *nn.ConvLayer   // 2C -> 2C
+	upConv    *nn.ConvLayer   // 2C -> C (after upsample)
+	res2      *nn.ConvLayer   // C -> C
+	head      *nn.ConvLayer   // C -> 1
+	ctrlStem  *nn.ConvLayer   // control branch: 1 -> C
+	ctrlZero  *nn.ConvLayer   // zero conv: C -> C
+	gate      *nn.LinearLayer // time features -> x_t skip gain
+	attn      *AttnBlock      // optional mid-stage self-attention
+	embHidden int
+}
+
+// NewUNetDenoiser builds the U-Net for h x w images (h and w must be
+// even) with base channel count c and k classes.
+func NewUNetDenoiser(r *stats.RNG, h, w, c, k int) *UNetDenoiser {
+	if h%2 != 0 || w%2 != 0 {
+		panic("diffusion: UNet needs even spatial dims")
+	}
+	const embHidden = 64
+	conv := func(in, out, stride int) *nn.ConvLayer {
+		return nn.NewConv(r, tensor.ConvSpec{InC: in, OutC: out, KH: 3, KW: 3, Stride: stride, Pad: 1})
+	}
+	u := &UNetDenoiser{
+		H: h, W: w, C: c, K: k,
+		classEmb:  nn.NewEmbedding(r, k+1, embHidden),
+		timeProj:  nn.NewLinear(r, timeEmbedDim, embHidden),
+		embToC:    nn.NewLinear(r, embHidden, c),
+		embToC2:   nn.NewLinear(r, embHidden, 2*c),
+		stem:      conv(1, c, 1),
+		res1:      conv(c, c, 1),
+		down:      conv(c, 2*c, 2),
+		mid:       conv(2*c, 2*c, 1),
+		upConv:    conv(2*c, c, 1),
+		res2:      conv(c, c, 1),
+		head:      conv(c, 1, 1),
+		ctrlStem:  conv(1, c, 1),
+		ctrlZero:  conv(c, c, 1),
+		gate:      nn.NewLinear(r, timeEmbedDim, 1),
+		embHidden: embHidden,
+	}
+	// Zero-init head (predict zero noise initially) and the control
+	// branch's zero convolution (ControlNet's key trick).
+	u.head.W.X.Zero()
+	u.head.B.X.Zero()
+	u.ctrlZero.W.X.Zero()
+	u.ctrlZero.B.X.Zero()
+	return u
+}
+
+// NullClass implements Denoiser.
+func (u *UNetDenoiser) NullClass() int { return u.K }
+
+// Shape implements Denoiser.
+func (u *UNetDenoiser) Shape() (int, int) { return u.H, u.W }
+
+// EnableAttention attaches a self-attention block to the mid stage
+// (the Stable Diffusion U-Net configuration). Call before training.
+func (u *UNetDenoiser) EnableAttention(r *stats.RNG) {
+	u.attn = NewAttnBlock(r, 2*u.C)
+}
+
+// Params implements Denoiser.
+func (u *UNetDenoiser) Params() []*nn.V {
+	var ps []*nn.V
+	for _, l := range []interface{ Params() []*nn.V }{
+		u.classEmb, u.timeProj, u.embToC, u.embToC2,
+		u.stem, u.res1, u.down, u.mid, u.upConv, u.res2, u.head,
+		u.ctrlStem, u.ctrlZero, u.gate,
+	} {
+		ps = append(ps, l.Params()...)
+	}
+	if u.attn != nil {
+		ps = append(ps, u.attn.Params()...)
+	}
+	return ps
+}
+
+// Forward implements Denoiser.
+func (u *UNetDenoiser) Forward(tp *nn.Tape, xt *nn.V, steps []int, class []int, control *tensor.Tensor) *nn.V {
+	// Conditioning embedding shared by all stages.
+	tfeat := nn.NewV(nn.SinusoidalEmbedding(steps, timeEmbedDim))
+	temb := u.timeProj.Apply(tp, tfeat)
+	cemb := u.classEmb.Apply(tp, class)
+	emb := tp.SiLU(tp.Add(temb, cemb)) // [N, embHidden]
+	embC := u.embToC.Apply(tp, emb)    // [N, C]
+	embC2 := u.embToC2.Apply(tp, emb)  // [N, 2C]
+
+	h := tp.SiLU(u.stem.Apply(tp, xt))  // [N,C,H,W]
+	h = tp.AddChannelBroadcast(h, embC) // inject conditioning
+	if control != nil {
+		c := nn.NewV(control.Clone())
+		cf := tp.SiLU(u.ctrlStem.Apply(tp, c))
+		h = tp.Add(h, u.ctrlZero.Apply(tp, cf)) // zero conv: starts as no-op
+	}
+	h = tp.Add(h, tp.SiLU(u.res1.Apply(tp, h))) // residual block
+	skip := h
+
+	d := tp.SiLU(u.down.Apply(tp, h)) // [N,2C,H/2,W/2]
+	d = tp.AddChannelBroadcast(d, embC2)
+	d = tp.Add(d, tp.SiLU(u.mid.Apply(tp, d)))
+	if u.attn != nil {
+		d = u.attn.Apply(tp, d)
+	}
+
+	up := tp.UpsampleNearest2x(d)          // [N,2C,H,W]
+	up2 := tp.SiLU(u.upConv.Apply(tp, up)) // [N,C,H,W]
+	merged := tp.Add(up2, skip)            // additive skip connection
+	merged = tp.Add(merged, tp.SiLU(u.res2.Apply(tp, merged)))
+	eps := u.head.Apply(tp, merged) // [N,1,H,W]
+	// Time-gated input skip: the analytic x_t term of ε-prediction.
+	eps = tp.Add(eps, tp.MulChannelBroadcast(xt, u.gate.Apply(tp, tfeat)))
+	return eps
+}
+
+// TimeEmbedDim exposes the sinusoidal feature width so wrappers (e.g.
+// LoRA-adapted denoisers) can rebuild the conditioning path.
+func TimeEmbedDim() int { return timeEmbedDim }
+
+// Layer accessors let adapter wrappers (package lora) reuse the frozen
+// base layers while substituting their own deltas.
+
+// XProjLayer returns the input projection layer.
+func (m *MLPDenoiser) XProjLayer() *nn.LinearLayer { return m.xProj }
+
+// TimeProjLayer returns the timestep projection layer.
+func (m *MLPDenoiser) TimeProjLayer() *nn.LinearLayer { return m.timeProj }
+
+// CtrlProjLayer returns the control (ControlNet hook) projection.
+func (m *MLPDenoiser) CtrlProjLayer() *nn.LinearLayer { return m.ctrlProj }
+
+// Norm1Layer returns the first normalization layer.
+func (m *MLPDenoiser) Norm1Layer() *nn.NormLayer { return m.norm1 }
+
+// Norm2Layer returns the second normalization layer.
+func (m *MLPDenoiser) Norm2Layer() *nn.NormLayer { return m.norm2 }
+
+// HidLayer returns the hidden layer.
+func (m *MLPDenoiser) HidLayer() *nn.LinearLayer { return m.hid }
+
+// OutLayer returns the output projection layer.
+func (m *MLPDenoiser) OutLayer() *nn.LinearLayer { return m.out }
+
+// ClassEmbLayer returns the base class-embedding table.
+func (m *MLPDenoiser) ClassEmbLayer() *nn.EmbeddingLayer { return m.classEmb }
+
+// GateLayer returns the time-gated input-skip layer.
+func (m *MLPDenoiser) GateLayer() *nn.LinearLayer { return m.gate }

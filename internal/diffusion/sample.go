@@ -1,0 +1,174 @@
+package diffusion
+
+import (
+	"fmt"
+	"math"
+
+	"trafficdiff/internal/nn"
+	"trafficdiff/internal/stats"
+	"trafficdiff/internal/tensor"
+)
+
+// SampleConfig controls reverse-process sampling.
+type SampleConfig struct {
+	// Class conditions generation ("the prompt"). Must be < NullClass.
+	Class int
+	// N is the number of images to draw in one batch.
+	N int
+	// GuidanceScale w applies classifier-free guidance:
+	// ε = ε_uncond + w·(ε_cond − ε_uncond). w=1 is pure conditional;
+	// w=0 unconditional; w>1 sharpens class adherence.
+	GuidanceScale float64
+	// DDIMSteps, when > 0, uses the deterministic DDIM sampler with
+	// that many evenly spaced steps instead of full ancestral DDPM
+	// sampling (the paper's "generative speed" lever).
+	DDIMSteps int
+	// Control, when non-nil, is the ControlNet conditioning image
+	// [1,H,W] replicated across the batch.
+	Control *tensor.Tensor
+	Seed    uint64
+	// ExtraForward, when non-nil, replaces the plain model forward —
+	// the lora package uses it to route through adapters.
+	ExtraForward ForwardFunc
+}
+
+// ForwardFunc matches Denoiser.Forward and lets callers wrap the model
+// (LoRA, ablations) without re-implementing the samplers.
+type ForwardFunc func(tp *nn.Tape, xt *nn.V, steps []int, class []int, control *tensor.Tensor) *nn.V
+
+// Sample draws cfg.N images [N,1,H,W] from the model under sched.
+func Sample(model Denoiser, sched *Schedule, cfg SampleConfig) (*tensor.Tensor, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("diffusion: sample N must be positive")
+	}
+	if cfg.Class < 0 || cfg.Class >= model.NullClass() {
+		return nil, fmt.Errorf("diffusion: class %d out of range [0,%d)", cfg.Class, model.NullClass())
+	}
+	h, w := model.Shape()
+	r := stats.NewRNG(cfg.Seed)
+	n, d := cfg.N, h*w
+
+	forward := cfg.ExtraForward
+	if forward == nil {
+		forward = model.Forward
+	}
+
+	var control *tensor.Tensor
+	if cfg.Control != nil {
+		control = tensor.New(n, 1, h, w)
+		for i := 0; i < n; i++ {
+			copy(control.Data[i*d:(i+1)*d], cfg.Control.Data)
+		}
+	}
+
+	// ε prediction with classifier-free guidance.
+	predict := func(x *tensor.Tensor, t int) *tensor.Tensor {
+		steps := make([]int, n)
+		cond := make([]int, n)
+		for i := range steps {
+			steps[i] = t
+			cond[i] = cfg.Class
+		}
+		tp := nn.NewTape()
+		epsC := forward(tp, nn.NewV(x.Clone()), steps, cond, control)
+		var eps *tensor.Tensor
+		if cfg.GuidanceScale != 1 {
+			uncond := make([]int, n)
+			for i := range uncond {
+				uncond[i] = model.NullClass()
+			}
+			epsU := forward(tp, nn.NewV(x.Clone()), steps, uncond, control)
+			eps = tensor.New(n, 1, h, w)
+			wg := float32(cfg.GuidanceScale)
+			for i := range eps.Data {
+				eps.Data[i] = epsU.X.Data[i] + wg*(epsC.X.Data[i]-epsU.X.Data[i])
+			}
+		} else {
+			eps = epsC.X
+		}
+		tp.Reset()
+		return eps
+	}
+
+	// x_T ~ N(0, I).
+	x := tensor.New(n, 1, h, w).Randn(r, 1)
+
+	if cfg.DDIMSteps > 0 && cfg.DDIMSteps < sched.T {
+		return sampleDDIM(x, sched, cfg.DDIMSteps, predict), nil
+	}
+	return sampleDDPM(x, sched, r, predict), nil
+}
+
+// sampleDDPM runs full ancestral sampling: T model evaluations. The
+// predicted x₀ is clipped to the data range before computing the
+// posterior mean ("clip_denoised"), which keeps an imperfect denoiser
+// from diverging over many steps.
+func sampleDDPM(x *tensor.Tensor, sched *Schedule, r *stats.RNG, predict func(*tensor.Tensor, int) *tensor.Tensor) *tensor.Tensor {
+	for t := sched.T - 1; t >= 0; t-- {
+		stepDDPMInPlace(x, sched, t, r, predict)
+	}
+	return x
+}
+
+// sampleDDIM runs deterministic DDIM over an evenly spaced subsequence
+// of steps — the standard inference-speed optimization for diffusion
+// models (paper §4 "generative speed").
+func sampleDDIM(x *tensor.Tensor, sched *Schedule, steps int, predict func(*tensor.Tensor, int) *tensor.Tensor) *tensor.Tensor {
+	seq := ddimSequence(sched.T, steps)
+	for i := len(seq) - 1; i >= 0; i-- {
+		t := seq[i]
+		eps := predict(x, t)
+		ab := sched.AlphaBar[t]
+		abPrev := 1.0
+		if i > 0 {
+			abPrev = sched.AlphaBar[seq[i-1]]
+		}
+		sqrtAB := math.Sqrt(ab)
+		sqrt1AB := math.Sqrt(1 - ab)
+		sqrtABp := math.Sqrt(abPrev)
+		sqrt1ABp := math.Sqrt(1 - abPrev)
+		for j := range x.Data {
+			x0 := (float64(x.Data[j]) - sqrt1AB*float64(eps.Data[j])) / sqrtAB
+			// Clip x0 to the data range to stabilize few-step sampling.
+			if x0 > 1.5 {
+				x0 = 1.5
+			}
+			if x0 < -1.5 {
+				x0 = -1.5
+			}
+			x.Data[j] = float32(sqrtABp*x0 + sqrt1ABp*float64(eps.Data[j]))
+		}
+	}
+	return x
+}
+
+// ddimSequence returns an increasing subsequence of [0, T) with the
+// requested length, always including step T-1.
+func ddimSequence(T, steps int) []int {
+	if steps >= T {
+		seq := make([]int, T)
+		for i := range seq {
+			seq[i] = i
+		}
+		return seq
+	}
+	seq := make([]int, steps)
+	for i := 0; i < steps; i++ {
+		seq[i] = i * T / steps
+	}
+	seq[steps-1] = T - 1
+	return seq
+}
+
+// ForwardNoise applies the closed-form forward process q(x_t | x_0) to
+// an image, returning √ᾱ_t·x₀ + √(1−ᾱ_t)·ε for fresh noise ε. Exposed
+// for tests and diagnostics.
+func ForwardNoise(sched *Schedule, x0 *tensor.Tensor, t int, r *stats.RNG) *tensor.Tensor {
+	out := tensor.New(x0.Shape...)
+	sa := math.Sqrt(sched.AlphaBar[t])
+	sn := math.Sqrt(1 - sched.AlphaBar[t])
+	for i, v := range x0.Data {
+		out.Data[i] = float32(sa*float64(v) + sn*r.NormFloat64())
+	}
+	return out
+}

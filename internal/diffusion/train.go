@@ -1,0 +1,146 @@
+package diffusion
+
+import (
+	"fmt"
+	"math"
+
+	"trafficdiff/internal/nn"
+	"trafficdiff/internal/stats"
+	"trafficdiff/internal/tensor"
+)
+
+// TrainConfig controls DDPM training.
+type TrainConfig struct {
+	Steps int     // optimizer steps
+	Batch int     // minibatch size
+	LR    float64 // Adam learning rate
+	// DropCond is the probability a sample's class label is replaced
+	// by the null class during training (classifier-free guidance).
+	DropCond float64
+	ClipNorm float64
+	Seed     uint64
+	// ExtraParams are trained alongside the model's own parameters
+	// (LoRA adapters pass theirs here; pass the model's Params()
+	// replaced by nothing to freeze the base — see TrainParams).
+	ExtraParams []*nn.V
+	// FreezeBase trains only ExtraParams (LoRA fine-tuning mode).
+	FreezeBase bool
+	// Controls, when non-nil, supplies the per-class control image fed
+	// to the denoiser during training (ControlNet conditioning).
+	Controls map[int]*tensor.Tensor
+	// EMADecay, when > 0, maintains an exponential moving average of
+	// the trained parameters and installs it when training finishes —
+	// the standard DDPM sampling-quality practice (typical 0.995).
+	EMADecay float64
+}
+
+// TrainSet is the training data: images [1,H,W] each with a class id.
+type TrainSet struct {
+	Images []*tensor.Tensor
+	Labels []int
+}
+
+// Validate checks the set's consistency against a model shape.
+func (ts *TrainSet) Validate(h, w, k int) error {
+	if len(ts.Images) == 0 {
+		return fmt.Errorf("diffusion: empty training set")
+	}
+	if len(ts.Images) != len(ts.Labels) {
+		return fmt.Errorf("diffusion: %d images, %d labels", len(ts.Images), len(ts.Labels))
+	}
+	for i, im := range ts.Images {
+		if len(im.Shape) != 3 || im.Shape[0] != 1 || im.Shape[1] != h || im.Shape[2] != w {
+			return fmt.Errorf("diffusion: image %d shape %v, want [1 %d %d]", i, im.Shape, h, w)
+		}
+		if ts.Labels[i] < 0 || ts.Labels[i] >= k {
+			return fmt.Errorf("diffusion: image %d label %d out of range [0,%d)", i, ts.Labels[i], k)
+		}
+	}
+	return nil
+}
+
+// Train runs DDPM training of model on set under sched and returns the
+// per-step loss curve. Training minimizes E‖ε − ε_θ(√ᾱ x₀ + √(1−ᾱ) ε, t, c)‖².
+func Train(model Denoiser, sched *Schedule, set *TrainSet, cfg TrainConfig) ([]float64, error) {
+	h, w := model.Shape()
+	kReal := model.NullClass()
+	if err := set.Validate(h, w, kReal); err != nil {
+		return nil, err
+	}
+	if cfg.Batch <= 0 || cfg.Steps <= 0 {
+		return nil, fmt.Errorf("diffusion: non-positive Steps/Batch")
+	}
+	r := stats.NewRNG(cfg.Seed)
+
+	params := cfg.ExtraParams
+	if !cfg.FreezeBase {
+		params = append(append([]*nn.V(nil), model.Params()...), cfg.ExtraParams...)
+	}
+	if len(params) == 0 {
+		return nil, fmt.Errorf("diffusion: nothing to train (base frozen, no extra params)")
+	}
+	opt := nn.NewAdam(cfg.LR, params)
+	opt.ClipNorm = cfg.ClipNorm
+	var ema *nn.EMA
+	if cfg.EMADecay > 0 {
+		if cfg.EMADecay >= 1 {
+			return nil, fmt.Errorf("diffusion: EMADecay must be in (0,1)")
+		}
+		ema = nn.NewEMA(cfg.EMADecay, params)
+	}
+
+	losses := make([]float64, 0, cfg.Steps)
+	n := cfg.Batch
+	d := h * w
+	for step := 0; step < cfg.Steps; step++ {
+		xt := tensor.New(n, 1, h, w)
+		noise := tensor.New(n, 1, h, w)
+		steps := make([]int, n)
+		class := make([]int, n)
+		var control *tensor.Tensor
+		if cfg.Controls != nil {
+			control = tensor.New(n, 1, h, w)
+		}
+		for i := 0; i < n; i++ {
+			idx := r.Intn(len(set.Images))
+			x0 := set.Images[idx]
+			t := r.Intn(sched.T)
+			steps[i] = t
+			class[i] = set.Labels[idx]
+			if cfg.DropCond > 0 && r.Bool(cfg.DropCond) {
+				class[i] = model.NullClass()
+			}
+			sa := float32(math.Sqrt(sched.AlphaBar[t]))
+			sn := float32(math.Sqrt(1 - sched.AlphaBar[t]))
+			for j := 0; j < d; j++ {
+				e := float32(r.NormFloat64())
+				noise.Data[i*d+j] = e
+				xt.Data[i*d+j] = sa*x0.Data[j] + sn*e
+			}
+			if control != nil {
+				if ctrl, ok := cfg.Controls[set.Labels[idx]]; ok {
+					copy(control.Data[i*d:(i+1)*d], ctrl.Data)
+				}
+			}
+		}
+
+		tp := nn.NewTape()
+		pred := model.Forward(tp, nn.NewV(xt), steps, class, control)
+		loss := tp.MSE(pred, noise)
+		lv := float64(loss.X.Data[0])
+		if math.IsNaN(lv) || math.IsInf(lv, 0) {
+			return losses, fmt.Errorf("diffusion: non-finite loss at step %d", step)
+		}
+		losses = append(losses, lv)
+		tp.Backward(loss)
+		opt.Step()
+		if ema != nil {
+			ema.Update()
+		}
+	}
+	if ema != nil {
+		// Install the averaged weights for sampling.
+		ema.Swap()
+	}
+	return losses, nil
+}

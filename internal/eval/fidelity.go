@@ -1,0 +1,187 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"trafficdiff/internal/core"
+	"trafficdiff/internal/flow"
+	"trafficdiff/internal/heuristic"
+	"trafficdiff/internal/hmm"
+	"trafficdiff/internal/netfunc"
+	"trafficdiff/internal/stats"
+	"trafficdiff/internal/workload"
+)
+
+// FidelityConfig parameterizes the cross-generator fidelity study: it
+// compares every generator family the paper discusses (§2.1) —
+// heuristics, HMM, and our diffusion pipeline — against held-out real
+// traffic on distributional and structural metrics. (The GAN baseline
+// is excluded here because it emits aggregate records, not packets;
+// its fidelity is measured by Table 2.)
+type FidelityConfig struct {
+	Class      string
+	TrainFlows int
+	TestFlows  int
+	GenFlows   int
+	Synth      core.Config
+	HMM        hmm.Config
+	Seed       uint64
+}
+
+// DefaultFidelityConfig returns CPU-friendly settings on the paper's
+// Figure 2 class.
+func DefaultFidelityConfig() FidelityConfig {
+	return FidelityConfig{
+		Class: "amazon", TrainFlows: 16, TestFlows: 16, GenFlows: 12,
+		Synth: core.DefaultConfig(), HMM: hmm.DefaultConfig(), Seed: 29,
+	}
+}
+
+// FidelityRow scores one generator against held-out real traffic.
+type FidelityRow struct {
+	Name string
+	// SizeKS and GapKS are two-sample Kolmogorov-Smirnov statistics
+	// for packet sizes and inter-arrival gaps (lower = closer).
+	SizeKS, GapKS float64
+	// HeaderCoverage is the fraction of the 1088 nprint features the
+	// generator emits at all.
+	HeaderCoverage float64
+	// TCPConformance is the stateful-checker conformance rate (1 =
+	// fully replayable handshake ordering). NaN-free: generators
+	// without TCP packets report 1.
+	TCPConformance float64
+}
+
+// FidelityResult is the study output, one row per generator plus the
+// real-vs-real control.
+type FidelityResult struct {
+	Class string
+	Rows  []FidelityRow
+}
+
+// RunFidelity executes the study.
+func RunFidelity(cfg FidelityConfig) (*FidelityResult, error) {
+	if cfg.TrainFlows <= 0 || cfg.TestFlows <= 0 || cfg.GenFlows <= 0 {
+		return nil, fmt.Errorf("eval: non-positive fidelity sizes")
+	}
+	ds, err := workload.Generate(workload.Config{
+		Seed: cfg.Seed, FlowsPerClass: cfg.TrainFlows + cfg.TestFlows,
+		Only: []string{cfg.Class}, MaxPacketsPerFlow: cfg.Synth.Rows,
+	})
+	if err != nil {
+		return nil, err
+	}
+	frac := float64(cfg.TrainFlows) / float64(cfg.TrainFlows+cfg.TestFlows)
+	train, test := ds.Split(frac, cfg.Seed+1)
+
+	res := &FidelityResult{Class: cfg.Class}
+	testSizes, testGaps := sizeGapSamples(test.Flows)
+
+	score := func(name string, flows []*flow.Flow) {
+		sizes, gaps := sizeGapSamples(flows)
+		res.Rows = append(res.Rows, FidelityRow{
+			Name:           name,
+			SizeKS:         stats.KSStatistic(testSizes, sizes),
+			GapKS:          stats.KSStatistic(testGaps, gaps),
+			HeaderCoverage: 1,
+			TCPConformance: tcpConformance(flows),
+		})
+	}
+
+	// Control: train-vs-test real traffic sets the noise floor.
+	score("real (control)", train.Flows)
+
+	// Heuristic baseline.
+	hfit, err := heuristic.Fit(train.Flows)
+	if err != nil {
+		return nil, err
+	}
+	score("heuristic", hfit.Generate(cfg.GenFlows, cfg.Seed+2))
+
+	// HMM baseline: emits only (size, gap) pairs — no headers at all.
+	var seqs [][]hmm.Observation
+	for _, f := range train.Flows {
+		seqs = append(seqs, hmm.FromFlow(f))
+	}
+	hcfg := cfg.HMM
+	hcfg.Seed = cfg.Seed + 3
+	model, _, err := hmm.Train(seqs, hcfg)
+	if err != nil {
+		return nil, err
+	}
+	var hmmSizes, hmmGaps []float64
+	r := stats.NewRNG(cfg.Seed + 4)
+	for i := 0; i < cfg.GenFlows; i++ {
+		for _, o := range model.Sample(24, r) {
+			hmmSizes = append(hmmSizes, o.SizeBytes)
+			hmmGaps = append(hmmGaps, o.GapMs)
+		}
+	}
+	res.Rows = append(res.Rows, FidelityRow{
+		Name:           "hmm",
+		SizeKS:         stats.KSStatistic(testSizes, hmmSizes),
+		GapKS:          stats.KSStatistic(testGaps, hmmGaps),
+		HeaderCoverage: 0, // sizes and gaps only: zero header features
+		TCPConformance: 1, // vacuously: no packets to violate
+	})
+
+	// Our diffusion pipeline.
+	synth, err := core.New(cfg.Synth, []string{cfg.Class})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := synth.FineTune(map[string][]*flow.Flow{cfg.Class: train.Flows}); err != nil {
+		return nil, err
+	}
+	gen, err := synth.Generate(cfg.Class, cfg.GenFlows)
+	if err != nil {
+		return nil, err
+	}
+	score("diffusion (ours)", gen.Flows)
+	return res, nil
+}
+
+// sizeGapSamples flattens flows into size and gap samples.
+func sizeGapSamples(flows []*flow.Flow) (sizes, gaps []float64) {
+	for _, f := range flows {
+		for _, o := range hmm.FromFlow(f) {
+			sizes = append(sizes, o.SizeBytes)
+			if o.GapMs > 0 {
+				gaps = append(gaps, o.GapMs)
+			}
+		}
+	}
+	return sizes, gaps
+}
+
+// tcpConformance returns the stateful checker's conformance rate.
+func tcpConformance(flows []*flow.Flow) float64 {
+	c := netfunc.NewTCPStateChecker()
+	total := 0
+	for _, f := range flows {
+		for _, p := range f.Packets {
+			if p.TCP != nil {
+				total++
+			}
+			c.Process(p)
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(total-c.Violations()) / float64(total)
+}
+
+// FidelityReport renders the study.
+func FidelityReport(r *FidelityResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fidelity vs held-out real %s traffic (lower KS = closer)\n", r.Class)
+	fmt.Fprintf(&b, "%-18s %8s %8s %10s %12s\n", "Generator", "size-KS", "gap-KS", "hdr-cover", "tcp-conform")
+	fmt.Fprintln(&b, strings.Repeat("-", 62))
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-18s %8.3f %8.3f %10.3f %12.3f\n",
+			row.Name, row.SizeKS, row.GapKS, row.HeaderCoverage, row.TCPConformance)
+	}
+	return b.String()
+}

@@ -1,0 +1,227 @@
+package eval
+
+import (
+	"bytes"
+	"fmt"
+
+	"trafficdiff/internal/core"
+	"trafficdiff/internal/flow"
+	"trafficdiff/internal/gan"
+	"trafficdiff/internal/imagerep"
+	"trafficdiff/internal/netflow"
+	"trafficdiff/internal/nprint"
+	"trafficdiff/internal/stats"
+	"trafficdiff/internal/workload"
+)
+
+// Fig1Config parameterizes the class-coverage study (Figure 1).
+type Fig1Config struct {
+	// Classes under study: all 11 for Figure 1(a), netflix+youtube for
+	// Figure 1(b).
+	Classes []string
+	// Scale sizes the imbalanced real dataset from Table 1 counts.
+	Scale float64
+	// SynthTotal is the number of synthetic flows drawn from each
+	// generator (ours spreads them evenly; the GAN draws freely).
+	SynthTotal int
+	Synth      core.Config
+	GAN        gan.Config
+	Seed       uint64
+}
+
+// DefaultFig1Config returns the 11-class configuration.
+func DefaultFig1Config() Fig1Config {
+	return Fig1Config{
+		Classes: workload.ClassNames(), Scale: 0.02, SynthTotal: 110,
+		Synth: core.DefaultConfig(), GAN: gan.DefaultConfig(), Seed: 21,
+	}
+}
+
+// Fig1Result holds per-class proportions for the three sources.
+type Fig1Result struct {
+	Classes []string
+	// Proportions in [0,1], aligned with Classes.
+	Real, GAN, Ours []float64
+	// Imbalance ratios (max/min proportion) — the scalar the figure
+	// visualizes: the GAN amplifies real imbalance, ours flattens it.
+	ImbalanceReal, ImbalanceGAN, ImbalanceOurs float64
+}
+
+// RunFig1 reproduces Figure 1: the class distribution of real data,
+// GAN-generated data, and our balanced diffusion generation.
+func RunFig1(cfg Fig1Config) (*Fig1Result, error) {
+	if len(cfg.Classes) < 2 {
+		return nil, fmt.Errorf("eval: fig1 needs >= 2 classes")
+	}
+	if cfg.SynthTotal < len(cfg.Classes) {
+		return nil, fmt.Errorf("eval: SynthTotal %d < classes %d", cfg.SynthTotal, len(cfg.Classes))
+	}
+	ds, err := workload.Generate(workload.Config{
+		Seed: cfg.Seed, Scale: cfg.Scale, Only: cfg.Classes,
+		MaxPacketsPerFlow: cfg.Synth.Rows,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig1Result{Classes: cfg.Classes}
+	realCounts := ds.CountVector()
+	res.Real = stats.Normalize(realCounts)
+	res.ImbalanceReal = stats.ImbalanceRatio(realCounts)
+
+	micro := MicroSpace(cfg.Classes)
+
+	// GAN: label generated as a feature — measure the label histogram.
+	// The GAN models the full record (identifier fields included).
+	var feats [][]float64
+	var labels []int
+	for _, f := range ds.Flows {
+		feats = append(feats, netflow.FromFlow(f).FullVector())
+		id, err := micro.LabelOf(f)
+		if err != nil {
+			return nil, err
+		}
+		labels = append(labels, id)
+	}
+	gcfg := cfg.GAN
+	gcfg.Seed = cfg.Seed + 1
+	model, err := gan.Train(feats, labels, micro.K(), gcfg)
+	if err != nil {
+		return nil, err
+	}
+	_, genLabels := model.Generate(cfg.SynthTotal, cfg.Seed+2)
+	ganCounts := make([]float64, micro.K())
+	for _, l := range genLabels {
+		ganCounts[l]++
+	}
+	res.GAN = stats.Normalize(ganCounts)
+	res.ImbalanceGAN = stats.ImbalanceRatio(ganCounts)
+
+	// Ours: invoke generation equally per class.
+	synth, err := core.New(cfg.Synth, cfg.Classes)
+	if err != nil {
+		return nil, err
+	}
+	byClass := map[string][]*flow.Flow{}
+	for _, f := range ds.Flows {
+		byClass[f.Label] = append(byClass[f.Label], f)
+	}
+	if _, err := synth.FineTune(byClass); err != nil {
+		return nil, err
+	}
+	perClass := cfg.SynthTotal / len(cfg.Classes)
+	ours, err := synth.GenerateBalanced(perClass)
+	if err != nil {
+		return nil, err
+	}
+	oursCounts := make([]float64, micro.K())
+	for _, f := range ours {
+		id, err := micro.LabelOf(f)
+		if err != nil {
+			return nil, err
+		}
+		oursCounts[id]++
+	}
+	res.Ours = stats.Normalize(oursCounts)
+	res.ImbalanceOurs = stats.ImbalanceRatio(oursCounts)
+	return res, nil
+}
+
+// Fig2Config parameterizes the Figure 2 reproduction (image rendering
+// of a synthetic flow + protocol-compliance audit).
+type Fig2Config struct {
+	// Class is the application rendered (the paper shows Amazon).
+	Class string
+	// TrainFlows is the per-class fine-tuning size.
+	TrainFlows int
+	Synth      core.Config
+	Seed       uint64
+}
+
+// DefaultFig2Config matches the paper's Amazon example.
+func DefaultFig2Config() Fig2Config {
+	return Fig2Config{Class: "amazon", TrainFlows: 16, Synth: core.DefaultConfig(), Seed: 33}
+}
+
+// Fig2Result carries the rendered image and the compliance audit.
+type Fig2Result struct {
+	Class string
+	// PNG is the color-processed synthetic flow image (rows = packets,
+	// 1088 bit columns; red=1, green=0, grey=-1).
+	PNG []byte
+	// Rows is the packet count of the rendered flow.
+	Rows int
+	// RawProtocolCompliance is measured before constraint projection;
+	// PostProtocolCompliance after (always 1 when ControlNet is on).
+	RawProtocolCompliance  float64
+	PostProtocolCompliance float64
+	// SectionActive reports, per header section, the fraction of rows
+	// with any populated bits — the Figure 2 visual: TCP and IPv4 full,
+	// UDP and ICMP vacant (for Amazon).
+	SectionActive map[string]float64
+}
+
+// RunFig2 trains on one class and renders a synthetic flow.
+func RunFig2(cfg Fig2Config) (*Fig2Result, error) {
+	if _, ok := workload.ProfileByName(cfg.Class); !ok {
+		return nil, fmt.Errorf("eval: unknown class %q", cfg.Class)
+	}
+	ds, err := workload.Generate(workload.Config{
+		Seed: cfg.Seed, FlowsPerClass: cfg.TrainFlows, Only: []string{cfg.Class},
+		MaxPacketsPerFlow: cfg.Synth.Rows,
+	})
+	if err != nil {
+		return nil, err
+	}
+	synth, err := core.New(cfg.Synth, []string{cfg.Class})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := synth.FineTune(map[string][]*flow.Flow{cfg.Class: ds.Flows}); err != nil {
+		return nil, err
+	}
+	res, err := synth.Generate(cfg.Class, 1)
+	if err != nil {
+		return nil, err
+	}
+	m := res.Matrices[0]
+	tpl, err := synth.Template(cfg.Class)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig2Result{
+		Class:                  cfg.Class,
+		Rows:                   m.NumRows,
+		RawProtocolCompliance:  res.RawCompliance,
+		PostProtocolCompliance: tpl.ProtocolCompliance(m),
+		SectionActive:          sectionActivity(m),
+	}
+	var buf bytes.Buffer
+	if err := imagerep.RenderPNG(&buf, imagerep.FromMatrix(m)); err != nil {
+		return nil, err
+	}
+	out.PNG = buf.Bytes()
+	return out, nil
+}
+
+// sectionActivity computes the per-section populated-row fractions.
+func sectionActivity(m *nprint.Matrix) map[string]float64 {
+	sections := map[string][2]int{
+		"ipv4": {nprint.IPv4Offset, nprint.IPv4Bits},
+		"tcp":  {nprint.TCPOffset, nprint.TCPBits},
+		"udp":  {nprint.UDPOffset, nprint.UDPBits},
+		"icmp": {nprint.ICMPOffset, nprint.ICMPBits},
+	}
+	out := map[string]float64{}
+	for name, span := range sections {
+		active := 0
+		for r := 0; r < m.NumRows; r++ {
+			if !nprint.SectionVacant(m.Row(r), span[0], span[1]) {
+				active++
+			}
+		}
+		if m.NumRows > 0 {
+			out[name] = float64(active) / float64(m.NumRows)
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSpeedSweep(t *testing.T) {
+	cfg := DefaultSpeedConfig()
+	cfg.TrainFlows = 4
+	cfg.GenFlows = 2
+	cfg.DDIMSteps = []int{0, 5}
+	cfg.Synth = tinySynth()
+	cfg.GAN = tinyGAN()
+	res, err := RunSpeed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 { // ddpm, ddim-5, gan
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	ddpm, ddim, gan := res.Rows[0], res.Rows[1], res.Rows[2]
+	if ddpm.FlowsPerS <= 0 || ddim.FlowsPerS <= 0 {
+		t.Fatalf("non-positive throughput: %+v %+v", ddpm, ddim)
+	}
+	// Fewer sampler steps must be faster.
+	if ddim.FlowsPerS <= ddpm.FlowsPerS {
+		t.Errorf("ddim-5 (%v flows/s) not faster than full ddpm (%v flows/s)",
+			ddim.FlowsPerS, ddpm.FlowsPerS)
+	}
+	// The one-shot GAN dwarfs both (records, not packets).
+	if gan.RecordsPer <= ddim.FlowsPerS {
+		t.Errorf("gan records/s (%v) should dwarf diffusion flows/s (%v)",
+			gan.RecordsPer, ddim.FlowsPerS)
+	}
+	rep := SpeedReport(res)
+	for _, want := range []string{"ddpm (full)", "ddim-5", "gan"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("speed report missing %q", want)
+		}
+	}
+}
+
+func TestRunSpeedValidation(t *testing.T) {
+	cfg := DefaultSpeedConfig()
+	cfg.GenFlows = 0
+	if _, err := RunSpeed(cfg); err == nil {
+		t.Fatal("zero GenFlows should fail")
+	}
+}
+
+func TestRunFidelity(t *testing.T) {
+	cfg := DefaultFidelityConfig()
+	cfg.TrainFlows = 8
+	cfg.TestFlows = 8
+	cfg.GenFlows = 4
+	cfg.Synth = tinySynth()
+	cfg.HMM.Iterations = 5
+	res, err := RunFidelity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 { // real control, heuristic, hmm, ours
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byName := map[string]FidelityRow{}
+	for _, r := range res.Rows {
+		if r.SizeKS < 0 || r.SizeKS > 1 || r.GapKS < 0 || r.GapKS > 1 {
+			t.Fatalf("%s KS out of range: %+v", r.Name, r)
+		}
+		byName[r.Name] = r
+	}
+	// The real control sets the floor: no generator should beat it by
+	// a wide margin (that would mean leakage), and the HMM covers no
+	// header features.
+	if byName["hmm"].HeaderCoverage != 0 {
+		t.Error("hmm should cover zero header features")
+	}
+	if byName["real (control)"].TCPConformance != 1 {
+		t.Errorf("real control conformance = %v", byName["real (control)"].TCPConformance)
+	}
+	// The heuristic baseline's statelessness shows up as low TCP
+	// conformance relative to real.
+	if byName["heuristic"].TCPConformance >= byName["real (control)"].TCPConformance {
+		t.Error("heuristic should be less conformant than real traffic")
+	}
+	rep := FidelityReport(res)
+	if !strings.Contains(rep, "diffusion (ours)") {
+		t.Error("fidelity report missing our row")
+	}
+}
+
+func TestRunFidelityValidation(t *testing.T) {
+	cfg := DefaultFidelityConfig()
+	cfg.GenFlows = 0
+	if _, err := RunFidelity(cfg); err == nil {
+		t.Fatal("zero GenFlows should fail")
+	}
+}

@@ -1,0 +1,184 @@
+// Package flow groups packets into bidirectional 5-tuple flows, the
+// unit of data the synthesis pipeline trains on and generates (one
+// flow = one nprint image).
+package flow
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"trafficdiff/internal/packet"
+)
+
+// Endpoint is one side of a flow.
+type Endpoint struct {
+	IP   [4]byte
+	Port uint16
+}
+
+// String formats the endpoint as ip:port.
+func (e Endpoint) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d:%d", e.IP[0], e.IP[1], e.IP[2], e.IP[3], e.Port)
+}
+
+func (e Endpoint) less(o Endpoint) bool {
+	for i := range e.IP {
+		if e.IP[i] != o.IP[i] {
+			return e.IP[i] < o.IP[i]
+		}
+	}
+	return e.Port < o.Port
+}
+
+// Key is a direction-normalized 5-tuple: the lexicographically smaller
+// endpoint is always A, so packets of both directions of a
+// conversation map to the same Key (cf. gopacket's symmetric
+// Flow.FastHash).
+type Key struct {
+	A, B  Endpoint
+	Proto packet.IPProtocol
+}
+
+// String formats the key for logs and map dumps.
+func (k Key) String() string {
+	return fmt.Sprintf("%s %s<->%s", k.Proto, k.A, k.B)
+}
+
+// KeyOf extracts the normalized flow key from a decoded packet. ok is
+// false for packets without an IPv4 layer. ICMP flows key on the
+// addresses alone (ports zero).
+func KeyOf(p *packet.Packet) (k Key, ok bool) {
+	if p.IPv4 == nil {
+		return Key{}, false
+	}
+	src := Endpoint{IP: p.IPv4.SrcIP}
+	dst := Endpoint{IP: p.IPv4.DstIP}
+	switch {
+	case p.TCP != nil:
+		src.Port, dst.Port = p.TCP.SrcPort, p.TCP.DstPort
+	case p.UDP != nil:
+		src.Port, dst.Port = p.UDP.SrcPort, p.UDP.DstPort
+	}
+	k = Key{A: src, B: dst, Proto: p.IPv4.Protocol}
+	if k.B.less(k.A) {
+		k.A, k.B = k.B, k.A
+	}
+	return k, true
+}
+
+// Flow is an ordered collection of packets sharing a Key.
+type Flow struct {
+	Key     Key
+	Packets []*packet.Packet
+	// Label is the application class, when known (set by the workload
+	// generator or a classifier).
+	Label string
+}
+
+// Append adds a packet, keeping arrival order.
+func (f *Flow) Append(p *packet.Packet) { f.Packets = append(f.Packets, p) }
+
+// Start returns the first packet's timestamp, or the zero time for an
+// empty flow.
+func (f *Flow) Start() time.Time {
+	if len(f.Packets) == 0 {
+		return time.Time{}
+	}
+	return f.Packets[0].Timestamp
+}
+
+// Duration returns last-first packet time.
+func (f *Flow) Duration() time.Duration {
+	if len(f.Packets) < 2 {
+		return 0
+	}
+	return f.Packets[len(f.Packets)-1].Timestamp.Sub(f.Packets[0].Timestamp)
+}
+
+// Bytes returns the total captured bytes across packets.
+func (f *Flow) Bytes() int {
+	total := 0
+	for _, p := range f.Packets {
+		total += p.Length()
+	}
+	return total
+}
+
+// DominantProtocol returns the transport protocol carried by the
+// majority of the flow's packets. The paper's controllability analysis
+// (Figure 2) checks that synthetic flows preserve this per class.
+func (f *Flow) DominantProtocol() packet.IPProtocol {
+	counts := map[packet.IPProtocol]int{}
+	for _, p := range f.Packets {
+		counts[p.TransportProtocol()]++
+	}
+	var best packet.IPProtocol
+	bestN := -1
+	for proto, n := range counts {
+		if n > bestN || (n == bestN && proto < best) {
+			best, bestN = proto, n
+		}
+	}
+	return best
+}
+
+// Table assembles packets into flows by key.
+type Table struct {
+	flows map[Key]*Flow
+	order []Key // insertion order for deterministic iteration
+	// Dropped counts packets that had no IPv4 layer and were ignored.
+	Dropped int
+}
+
+// NewTable returns an empty flow table.
+func NewTable() *Table {
+	return &Table{flows: make(map[Key]*Flow)}
+}
+
+// Add routes one packet into its flow, creating the flow if needed.
+// It reports whether the packet was accepted.
+func (t *Table) Add(p *packet.Packet) bool {
+	k, ok := KeyOf(p)
+	if !ok {
+		t.Dropped++
+		return false
+	}
+	f, ok := t.flows[k]
+	if !ok {
+		f = &Flow{Key: k}
+		t.flows[k] = f
+		t.order = append(t.order, k)
+	}
+	f.Append(p)
+	return true
+}
+
+// Len returns the number of distinct flows.
+func (t *Table) Len() int { return len(t.flows) }
+
+// Get returns the flow for key, or nil.
+func (t *Table) Get(k Key) *Flow { return t.flows[k] }
+
+// Flows returns all flows in first-seen order.
+func (t *Table) Flows() []*Flow {
+	out := make([]*Flow, 0, len(t.order))
+	for _, k := range t.order {
+		out = append(out, t.flows[k])
+	}
+	return out
+}
+
+// FlowsSortedByStart returns flows ordered by first-packet timestamp
+// (ties broken by key string for determinism).
+func (t *Table) FlowsSortedByStart() []*Flow {
+	out := t.Flows()
+	sort.SliceStable(out, func(i, j int) bool {
+		ti, tj := out[i].Start(), out[j].Start()
+		if !ti.Equal(tj) {
+			return ti.Before(tj)
+		}
+		return out[i].Key.String() < out[j].Key.String()
+	})
+	return out
+}

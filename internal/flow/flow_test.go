@@ -1,0 +1,166 @@
+package flow
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"trafficdiff/internal/packet"
+)
+
+var t0 = time.Date(2023, 11, 28, 10, 0, 0, 0, time.UTC)
+
+func tcpPacket(t *testing.T, srcIP, dstIP [4]byte, srcPort, dstPort uint16, ts time.Time) *packet.Packet {
+	t.Helper()
+	var b packet.Builder
+	ip := packet.IPv4{TTL: 64, SrcIP: srcIP, DstIP: dstIP}
+	return b.BuildTCP(ts, ip, packet.TCP{SrcPort: srcPort, DstPort: dstPort, Flags: packet.FlagACK}, nil)
+}
+
+func udpPacket(t *testing.T, srcIP, dstIP [4]byte, srcPort, dstPort uint16, ts time.Time) *packet.Packet {
+	t.Helper()
+	var b packet.Builder
+	ip := packet.IPv4{TTL: 64, SrcIP: srcIP, DstIP: dstIP}
+	return b.BuildUDP(ts, ip, packet.UDP{SrcPort: srcPort, DstPort: dstPort}, nil)
+}
+
+func TestKeyDirectionSymmetry(t *testing.T) {
+	a := [4]byte{10, 0, 0, 1}
+	b := [4]byte{10, 0, 0, 2}
+	p1 := tcpPacket(t, a, b, 1000, 443, t0)
+	p2 := tcpPacket(t, b, a, 443, 1000, t0)
+	k1, ok1 := KeyOf(p1)
+	k2, ok2 := KeyOf(p2)
+	if !ok1 || !ok2 {
+		t.Fatal("KeyOf failed")
+	}
+	if k1 != k2 {
+		t.Fatalf("directions map to different keys: %v vs %v", k1, k2)
+	}
+}
+
+func TestQuickKeySymmetry(t *testing.T) {
+	f := func(a, b [4]byte, pa, pb uint16) bool {
+		p1 := tcpPacket(t, a, b, pa, pb, t0)
+		p2 := tcpPacket(t, b, a, pb, pa, t0)
+		k1, _ := KeyOf(p1)
+		k2, _ := KeyOf(p2)
+		return k1 == k2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDifferentPortsDifferentFlows(t *testing.T) {
+	a := [4]byte{10, 0, 0, 1}
+	b := [4]byte{10, 0, 0, 2}
+	tb := NewTable()
+	tb.Add(tcpPacket(t, a, b, 1000, 443, t0))
+	tb.Add(tcpPacket(t, a, b, 1001, 443, t0))
+	if tb.Len() != 2 {
+		t.Fatalf("flows = %d, want 2", tb.Len())
+	}
+}
+
+func TestTCPAndUDPSame5TupleAreDistinct(t *testing.T) {
+	a := [4]byte{1, 1, 1, 1}
+	b := [4]byte{2, 2, 2, 2}
+	tb := NewTable()
+	tb.Add(tcpPacket(t, a, b, 53, 53, t0))
+	tb.Add(udpPacket(t, a, b, 53, 53, t0))
+	if tb.Len() != 2 {
+		t.Fatalf("TCP and UDP collapsed into %d flow(s)", tb.Len())
+	}
+}
+
+func TestNonIPDropped(t *testing.T) {
+	frame := make([]byte, 20) // ethertype 0 => not IPv4
+	p, _ := packet.Decode(frame, t0)
+	tb := NewTable()
+	if tb.Add(p) {
+		t.Error("non-IP packet accepted")
+	}
+	if tb.Dropped != 1 {
+		t.Errorf("Dropped = %d", tb.Dropped)
+	}
+}
+
+func TestFlowMetrics(t *testing.T) {
+	a := [4]byte{10, 0, 0, 1}
+	b := [4]byte{10, 0, 0, 2}
+	tb := NewTable()
+	tb.Add(tcpPacket(t, a, b, 1000, 443, t0))
+	tb.Add(tcpPacket(t, b, a, 443, 1000, t0.Add(time.Second)))
+	tb.Add(tcpPacket(t, a, b, 1000, 443, t0.Add(3*time.Second)))
+	flows := tb.Flows()
+	if len(flows) != 1 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	f := flows[0]
+	if len(f.Packets) != 3 {
+		t.Fatalf("packets = %d", len(f.Packets))
+	}
+	if f.Duration() != 3*time.Second {
+		t.Errorf("duration = %v", f.Duration())
+	}
+	if !f.Start().Equal(t0) {
+		t.Errorf("start = %v", f.Start())
+	}
+	if f.Bytes() <= 0 {
+		t.Errorf("bytes = %d", f.Bytes())
+	}
+}
+
+func TestDominantProtocol(t *testing.T) {
+	a := [4]byte{10, 0, 0, 1}
+	b := [4]byte{10, 0, 0, 2}
+	f := &Flow{}
+	f.Append(tcpPacket(t, a, b, 1, 2, t0))
+	f.Append(tcpPacket(t, a, b, 1, 2, t0))
+	f.Append(udpPacket(t, a, b, 1, 2, t0))
+	if got := f.DominantProtocol(); got != packet.ProtoTCP {
+		t.Errorf("dominant = %v, want TCP", got)
+	}
+}
+
+func TestEmptyFlowZeroValues(t *testing.T) {
+	f := &Flow{}
+	if !f.Start().IsZero() || f.Duration() != 0 || f.Bytes() != 0 {
+		t.Error("empty flow has non-zero metrics")
+	}
+}
+
+func TestFlowsSortedByStart(t *testing.T) {
+	a := [4]byte{10, 0, 0, 1}
+	b := [4]byte{10, 0, 0, 2}
+	tb := NewTable()
+	tb.Add(tcpPacket(t, a, b, 2000, 443, t0.Add(time.Minute)))
+	tb.Add(tcpPacket(t, a, b, 1000, 443, t0))
+	sorted := tb.FlowsSortedByStart()
+	if len(sorted) != 2 || !sorted[0].Start().Equal(t0) {
+		t.Fatal("not sorted by start")
+	}
+}
+
+func TestGetAndInsertionOrder(t *testing.T) {
+	a := [4]byte{10, 0, 0, 1}
+	b := [4]byte{10, 0, 0, 2}
+	tb := NewTable()
+	p := tcpPacket(t, a, b, 7, 8, t0)
+	tb.Add(p)
+	k, _ := KeyOf(p)
+	if tb.Get(k) == nil {
+		t.Fatal("Get returned nil for known key")
+	}
+	if tb.Get(Key{}) != nil {
+		t.Fatal("Get returned flow for unknown key")
+	}
+}
+
+func TestEndpointString(t *testing.T) {
+	e := Endpoint{IP: [4]byte{192, 168, 0, 1}, Port: 8080}
+	if e.String() != "192.168.0.1:8080" {
+		t.Errorf("endpoint = %q", e.String())
+	}
+}

@@ -1,0 +1,181 @@
+package gan
+
+import (
+	"math"
+	"testing"
+
+	"trafficdiff/internal/stats"
+)
+
+// twoClusterData builds rows from two well-separated Gaussian clusters
+// with matching labels.
+func twoClusterData(n int, seed uint64) ([][]float64, []int) {
+	r := stats.NewRNG(seed)
+	features := make([][]float64, n)
+	labels := make([]int, n)
+	for i := range features {
+		cls := i % 2
+		center := -5.0
+		if cls == 1 {
+			center = 5.0
+		}
+		features[i] = []float64{center + r.NormFloat64(), center*2 + r.NormFloat64()}
+		labels[i] = cls
+	}
+	return features, labels
+}
+
+func TestTrainValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := Train(nil, nil, 2, cfg); err == nil {
+		t.Error("empty set should fail")
+	}
+	if _, err := Train([][]float64{{1}}, []int{0, 1}, 2, cfg); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Train([][]float64{{1}, {1, 2}}, []int{0, 0}, 2, cfg); err == nil {
+		t.Error("ragged rows should fail")
+	}
+	if _, err := Train([][]float64{{1}}, []int{5}, 2, cfg); err == nil {
+		t.Error("out-of-range label should fail")
+	}
+	bad := cfg
+	bad.Steps = 0
+	if _, err := Train([][]float64{{1}}, []int{0}, 2, bad); err == nil {
+		t.Error("zero steps should fail")
+	}
+}
+
+func TestTrainingLossesFinite(t *testing.T) {
+	features, labels := twoClusterData(64, 1)
+	cfg := DefaultConfig()
+	cfg.Steps = 100
+	m, err := Train(features, labels, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.DLosses) != 100 || len(m.GLosses) != 100 {
+		t.Fatalf("loss curves %d/%d", len(m.DLosses), len(m.GLosses))
+	}
+	for i := range m.DLosses {
+		if math.IsNaN(m.DLosses[i]) || math.IsNaN(m.GLosses[i]) {
+			t.Fatalf("NaN loss at step %d", i)
+		}
+	}
+}
+
+func TestGenerateShapeAndLabels(t *testing.T) {
+	features, labels := twoClusterData(64, 2)
+	cfg := DefaultConfig()
+	cfg.Steps = 50
+	m, err := Train(features, labels, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, gl := m.Generate(100, 7)
+	if len(gf) != 100 || len(gl) != 100 {
+		t.Fatalf("generated %d/%d", len(gf), len(gl))
+	}
+	for i := range gf {
+		if len(gf[i]) != 2 {
+			t.Fatalf("row %d width %d", i, len(gf[i]))
+		}
+		if gl[i] < 0 || gl[i] >= 2 {
+			t.Fatalf("label %d out of range", gl[i])
+		}
+		for _, v := range gf[i] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("non-finite generated feature")
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	features, labels := twoClusterData(32, 3)
+	cfg := DefaultConfig()
+	cfg.Steps = 30
+	m, _ := Train(features, labels, 2, cfg)
+	a, la := m.Generate(10, 42)
+	b, lb := m.Generate(10, 42)
+	for i := range a {
+		if la[i] != lb[i] {
+			t.Fatal("labels differ across same-seed generations")
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("features differ across same-seed generations")
+			}
+		}
+	}
+}
+
+func TestGANLearnsCoarseDistribution(t *testing.T) {
+	// After training on well-separated clusters the generated feature
+	// distribution must spread toward the real support: its mean
+	// absolute value should be far from 0 relative to the raw
+	// normalized init, and within the real data's range.
+	features, labels := twoClusterData(256, 4)
+	cfg := DefaultConfig()
+	cfg.Steps = 600
+	cfg.Seed = 5
+	m, err := Train(features, labels, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, _ := m.Generate(400, 1)
+	var minV, maxV float64 = math.Inf(1), math.Inf(-1)
+	for _, row := range gf {
+		for _, v := range row {
+			minV = math.Min(minV, v)
+			maxV = math.Max(maxV, v)
+		}
+	}
+	// Real support is roughly [-13, 13]; generated values must land in
+	// a generously padded version of it and actually spread out.
+	if minV < -40 || maxV > 40 {
+		t.Fatalf("generated range [%v, %v] escaped real support", minV, maxV)
+	}
+	if maxV-minV < 2 {
+		t.Fatalf("generator collapsed to a point: range [%v, %v]", minV, maxV)
+	}
+}
+
+func TestClassDistributionShift(t *testing.T) {
+	// Train on 90/10 imbalanced labels: with the label generated as
+	// just another feature there is no mechanism tying the class head
+	// to the real label distribution, so the generated distribution
+	// drifts from the real one — the "distribution shift" the paper
+	// reports in §2.3. We assert a substantial total-variation gap.
+	r := stats.NewRNG(6)
+	var features [][]float64
+	var labels []int
+	for i := 0; i < 300; i++ {
+		cls := 0
+		if i%10 == 0 {
+			cls = 1
+		}
+		center := -3.0
+		if cls == 1 {
+			center = 3.0
+		}
+		features = append(features, []float64{center + r.NormFloat64()})
+		labels = append(labels, cls)
+	}
+	cfg := DefaultConfig()
+	cfg.Steps = 400
+	m, err := Train(features, labels, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gl := m.Generate(500, 3)
+	counts := [2]float64{}
+	for _, l := range gl {
+		counts[l]++
+	}
+	genP := counts[0] / 500
+	tv := math.Abs(genP - 0.9) // real P(class 0) = 0.9
+	if tv < 0.1 {
+		t.Fatalf("GAN label distribution unexpectedly matched real data: P0=%v", genP)
+	}
+}

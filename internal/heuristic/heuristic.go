@@ -1,0 +1,215 @@
+// Package heuristic implements the heuristics-based traffic generator
+// family the paper discusses (§2.1: Harpoon, Swing, Botta et al.):
+// distribution parameters are extracted from example traffic and new
+// flows are spawned by sampling those empirical distributions.
+//
+// Faithful to that approach's character, the generator reproduces
+// aggregate statistics (flow lengths, packet sizes, inter-arrivals,
+// protocol and port mix) but carries no learned inter-packet
+// dependencies: every packet is sampled independently, so stateful
+// structure (handshakes, sequence progression) only "vaguely
+// resembles" real traces — the limitation that motivates the paper's
+// generative approach.
+package heuristic
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"trafficdiff/internal/flow"
+	"trafficdiff/internal/packet"
+	"trafficdiff/internal/stats"
+)
+
+// Empirical is a sampleable empirical distribution (inverse-CDF over
+// observed values).
+type Empirical struct {
+	sorted []float64
+}
+
+// NewEmpirical builds a distribution from observations.
+func NewEmpirical(values []float64) *Empirical {
+	e := &Empirical{sorted: append([]float64(nil), values...)}
+	sort.Float64s(e.sorted)
+	return e
+}
+
+// Sample draws by inverse-CDF with interpolation.
+func (e *Empirical) Sample(r *stats.RNG) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	return stats.Quantile(e.sorted, r.Float64())
+}
+
+// Len returns the number of fitted observations.
+func (e *Empirical) Len() int { return len(e.sorted) }
+
+// Profile holds the distribution parameters extracted from example
+// traffic.
+type Profile struct {
+	FlowLen      *Empirical
+	PacketSize   *Empirical
+	InterArrival *Empirical // milliseconds
+	// ProtoWeights orders TCP/UDP/ICMP prevalence.
+	ProtoWeights map[packet.IPProtocol]float64
+	// ServerPorts is the observed server-port histogram.
+	ServerPorts map[uint16]float64
+	// TTLs observed.
+	TTLs *Empirical
+}
+
+// Fit extracts a Profile from example flows.
+func Fit(flows []*flow.Flow) (*Profile, error) {
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("heuristic: no example flows")
+	}
+	p := &Profile{
+		ProtoWeights: map[packet.IPProtocol]float64{},
+		ServerPorts:  map[uint16]float64{},
+	}
+	var lens, sizes, gaps, ttls []float64
+	for _, f := range flows {
+		if len(f.Packets) == 0 {
+			continue
+		}
+		lens = append(lens, float64(len(f.Packets)))
+		p.ProtoWeights[f.DominantProtocol()]++
+		// Server port = lower of the two flow ports, the usual
+		// well-known-side convention.
+		port := f.Key.A.Port
+		if f.Key.B.Port != 0 && (port == 0 || f.Key.B.Port < port) {
+			port = f.Key.B.Port
+		}
+		p.ServerPorts[port]++
+		var prev time.Time
+		for i, pk := range f.Packets {
+			sizes = append(sizes, float64(pk.Length()))
+			if pk.IPv4 != nil {
+				ttls = append(ttls, float64(pk.IPv4.TTL))
+			}
+			if i > 0 {
+				gaps = append(gaps, pk.Timestamp.Sub(prev).Seconds()*1000)
+			}
+			prev = pk.Timestamp
+		}
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("heuristic: example flows carry no packets")
+	}
+	if len(gaps) == 0 {
+		gaps = []float64{1}
+	}
+	p.FlowLen = NewEmpirical(lens)
+	p.PacketSize = NewEmpirical(sizes)
+	p.InterArrival = NewEmpirical(gaps)
+	p.TTLs = NewEmpirical(ttls)
+	return p, nil
+}
+
+// Generate spawns n synthetic flows by independent sampling from the
+// fitted distributions.
+func (p *Profile) Generate(n int, seed uint64) []*flow.Flow {
+	r := stats.NewRNG(seed)
+	protoCat := protoCategorical(p.ProtoWeights)
+	ports, portCat := portCategorical(p.ServerPorts)
+	var b packet.Builder
+	base := time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC)
+
+	out := make([]*flow.Flow, 0, n)
+	for i := 0; i < n; i++ {
+		f := &flow.Flow{}
+		length := int(p.FlowLen.Sample(r))
+		if length < 1 {
+			length = 1
+		}
+		proto := protoCat(r)
+		sPort := ports[portCat.SampleIndex(r)]
+		cPort := uint16(32768 + r.Intn(28000))
+		client := [4]byte{10, byte(r.Intn(256)), byte(r.Intn(256)), byte(1 + r.Intn(254))}
+		server := [4]byte{93, byte(r.Intn(256)), byte(r.Intn(256)), byte(1 + r.Intn(254))}
+		ts := base.Add(time.Duration(i) * time.Second)
+		for j := 0; j < length; j++ {
+			size := int(p.PacketSize.Sample(r))
+			payload := size - 54 // rough header overhead
+			if payload < 0 {
+				payload = 0
+			}
+			ttl := uint8(p.TTLs.Sample(r))
+			down := r.Bool(0.6)
+			src, dst := client, server
+			sp, dp := cPort, sPort
+			if down {
+				src, dst, sp, dp = server, client, sPort, cPort
+			}
+			ip := packet.IPv4{TTL: ttl, ID: uint16(r.Intn(65536)), SrcIP: src, DstIP: dst}
+			switch proto {
+			case packet.ProtoTCP:
+				// No state machine: flags are sampled, not tracked —
+				// the approach's characteristic weakness.
+				flags := packet.FlagACK
+				if r.Bool(0.05) {
+					flags |= packet.FlagSYN
+				}
+				if r.Bool(0.3) {
+					flags |= packet.FlagPSH
+				}
+				f.Append(b.BuildTCP(ts, ip, packet.TCP{
+					SrcPort: sp, DstPort: dp,
+					Seq: uint32(r.Uint64()), Ack: uint32(r.Uint64()),
+					Flags: flags, Window: uint16(r.Intn(65536)),
+				}, make([]byte, payload)))
+			case packet.ProtoUDP:
+				f.Append(b.BuildUDP(ts, ip, packet.UDP{SrcPort: sp, DstPort: dp}, make([]byte, payload)))
+			default:
+				var ic packet.ICMPv4
+				ic.Type = packet.ICMPEchoRequest
+				ic.SetEcho(uint16(i), uint16(j))
+				f.Append(b.BuildICMP(ts, ip, ic, make([]byte, payload)))
+			}
+			ts = ts.Add(time.Duration(p.InterArrival.Sample(r) * float64(time.Millisecond)))
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func protoCategorical(w map[packet.IPProtocol]float64) func(r *stats.RNG) packet.IPProtocol {
+	protos := []packet.IPProtocol{packet.ProtoTCP, packet.ProtoUDP, packet.ProtoICMP}
+	weights := make([]float64, len(protos))
+	any := false
+	for i, p := range protos {
+		weights[i] = w[p]
+		if weights[i] > 0 {
+			any = true
+		}
+	}
+	if !any {
+		weights[0] = 1
+	}
+	cat := stats.NewCategorical(weights)
+	return func(r *stats.RNG) packet.IPProtocol { return protos[cat.SampleIndex(r)] }
+}
+
+func portCategorical(hist map[uint16]float64) ([]uint16, *stats.Categorical) {
+	ports := make([]uint16, 0, len(hist))
+	for p := range hist {
+		ports = append(ports, p)
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+	if len(ports) == 0 {
+		ports = []uint16{443}
+	}
+	weights := make([]float64, len(ports))
+	for i, p := range ports {
+		weights[i] = hist[p]
+		if weights[i] <= 0 {
+			weights[i] = 1
+		}
+	}
+	return ports, stats.NewCategorical(weights)
+}
+
+// Values exposes the sorted observations (for serialization).
+func (e *Empirical) Values() []float64 { return append([]float64(nil), e.sorted...) }

@@ -1,0 +1,156 @@
+package heuristic
+
+import (
+	"math"
+	"testing"
+
+	"trafficdiff/internal/flow"
+	"trafficdiff/internal/netfunc"
+	"trafficdiff/internal/packet"
+	"trafficdiff/internal/stats"
+	"trafficdiff/internal/workload"
+)
+
+func exampleFlows(t testing.TB, class string, n int) []*flow.Flow {
+	t.Helper()
+	g := workload.NewGenerator(4)
+	g.MaxPackets = 30
+	p, ok := workload.ProfileByName(class)
+	if !ok {
+		t.Fatalf("unknown class %q", class)
+	}
+	flows := make([]*flow.Flow, n)
+	for i := range flows {
+		flows[i] = g.GenerateFlow(p)
+	}
+	return flows
+}
+
+func TestEmpiricalSampling(t *testing.T) {
+	e := NewEmpirical([]float64{1, 2, 3, 4, 100})
+	r := stats.NewRNG(1)
+	var mn, mx float64 = math.Inf(1), math.Inf(-1)
+	for i := 0; i < 1000; i++ {
+		v := e.Sample(r)
+		mn = math.Min(mn, v)
+		mx = math.Max(mx, v)
+	}
+	if mn < 1 || mx > 100 {
+		t.Fatalf("samples [%v, %v] escaped the observed range", mn, mx)
+	}
+	if (&Empirical{}).Sample(r) != 0 {
+		t.Fatal("empty empirical should sample 0")
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil); err == nil {
+		t.Error("no flows should fail")
+	}
+	if _, err := Fit([]*flow.Flow{{}}); err == nil {
+		t.Error("packet-less flows should fail")
+	}
+}
+
+func TestFitCapturesProtocolMix(t *testing.T) {
+	p, err := Fit(exampleFlows(t, "teams", 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ProtoWeights[packet.ProtoUDP] == 0 {
+		t.Fatal("teams fit lost UDP dominance")
+	}
+	if p.ProtoWeights[packet.ProtoTCP] != 0 {
+		t.Fatal("teams fit invented TCP flows")
+	}
+}
+
+func TestGenerateMatchesAggregateStats(t *testing.T) {
+	examples := exampleFlows(t, "netflix", 20)
+	p, err := Fit(examples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := p.Generate(20, 7)
+	if len(gen) != 20 {
+		t.Fatalf("generated %d flows", len(gen))
+	}
+	meanLen := func(fs []*flow.Flow) float64 {
+		total := 0
+		for _, f := range fs {
+			total += len(f.Packets)
+		}
+		return float64(total) / float64(len(fs))
+	}
+	realMean, genMean := meanLen(examples), meanLen(gen)
+	if math.Abs(realMean-genMean) > realMean*0.5 {
+		t.Fatalf("flow length means diverge: real %v gen %v", realMean, genMean)
+	}
+	// Protocol preserved.
+	for _, f := range gen {
+		if f.DominantProtocol() != packet.ProtoTCP {
+			t.Fatal("netflix heuristic flow not TCP")
+		}
+	}
+}
+
+func TestGeneratedPacketsDecodable(t *testing.T) {
+	p, err := Fit(exampleFlows(t, "other", 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range p.Generate(10, 3) {
+		for _, pk := range f.Packets {
+			re, err := packet.Decode(pk.Data, pk.Timestamp)
+			if err != nil {
+				t.Fatalf("heuristic packet undecodable: %v", err)
+			}
+			if re.IPv4 == nil {
+				t.Fatal("missing IPv4")
+			}
+		}
+	}
+}
+
+func TestStatefulnessGapVersusRealTraffic(t *testing.T) {
+	// The approach's documented weakness: flag sampling without state
+	// produces TCP conformance violations that real traffic does not.
+	examples := exampleFlows(t, "amazon", 15)
+	p, err := Fit(examples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := p.Generate(15, 9)
+
+	violations := func(fs []*flow.Flow) int {
+		c := netfunc.NewTCPStateChecker()
+		for _, f := range fs {
+			for _, pk := range f.Packets {
+				c.Process(pk)
+			}
+		}
+		return c.Violations()
+	}
+	if v := violations(examples); v != 0 {
+		t.Fatalf("real traffic has %d violations", v)
+	}
+	if v := violations(gen); v == 0 {
+		t.Fatal("heuristic traffic unexpectedly stateful — the baseline should show the gap")
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	p, _ := Fit(exampleFlows(t, "zoom", 10))
+	a := p.Generate(3, 42)
+	b := p.Generate(3, 42)
+	for i := range a {
+		if len(a[i].Packets) != len(b[i].Packets) {
+			t.Fatal("same-seed generation differs")
+		}
+		for j := range a[i].Packets {
+			if string(a[i].Packets[j].Data) != string(b[i].Packets[j].Data) {
+				t.Fatal("same-seed packet bytes differ")
+			}
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package hmm
+
+import (
+	"time"
+
+	"trafficdiff/internal/flow"
+)
+
+// FromFlow converts a flow into the HMM's observation sequence: packet
+// sizes and inter-arrival gaps, the only two features this class of
+// generator models (the paper's granularity criticism).
+func FromFlow(f *flow.Flow) []Observation {
+	out := make([]Observation, 0, len(f.Packets))
+	var prev time.Time
+	for i, p := range f.Packets {
+		gap := 0.0
+		if i > 0 {
+			gap = p.Timestamp.Sub(prev).Seconds() * 1000
+			if gap < 0 {
+				gap = 0
+			}
+		}
+		prev = p.Timestamp
+		out = append(out, Observation{SizeBytes: float64(p.Length()), GapMs: gap})
+	}
+	return out
+}

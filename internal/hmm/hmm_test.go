@@ -1,0 +1,178 @@
+package hmm
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"trafficdiff/internal/flow"
+	"trafficdiff/internal/stats"
+	"trafficdiff/internal/workload"
+)
+
+// twoModeSeqs builds sequences alternating between two clearly
+// separated (size, gap) regimes — a 2-state HMM's home turf.
+func twoModeSeqs(n, length int, seed uint64) [][]Observation {
+	r := stats.NewRNG(seed)
+	seqs := make([][]Observation, n)
+	for s := range seqs {
+		seq := make([]Observation, length)
+		state := 0
+		for t := range seq {
+			if r.Float64() < 0.1 {
+				state = 1 - state
+			}
+			if state == 0 {
+				seq[t] = Observation{SizeBytes: 1400 + 20*r.NormFloat64(), GapMs: 2 + 0.2*r.NormFloat64()}
+			} else {
+				seq[t] = Observation{SizeBytes: 80 + 10*r.NormFloat64(), GapMs: 30 + 2*r.NormFloat64()}
+			}
+		}
+		seqs[s] = seq
+	}
+	return seqs
+}
+
+func TestTrainImprovesLikelihood(t *testing.T) {
+	seqs := twoModeSeqs(10, 60, 1)
+	cfg := Config{States: 2, Iterations: 15, Seed: 2}
+	_, curve, err := Train(seqs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 15 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	if curve[len(curve)-1] <= curve[0] {
+		t.Fatalf("log-likelihood did not improve: %v -> %v", curve[0], curve[len(curve)-1])
+	}
+	// EM is monotone (up to numerical noise).
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1]-1e-6 {
+			t.Fatalf("EM decreased likelihood at iter %d: %v -> %v", i, curve[i-1], curve[i])
+		}
+	}
+}
+
+func TestLearnedStatesSeparateModes(t *testing.T) {
+	seqs := twoModeSeqs(12, 80, 3)
+	m, _, err := Train(seqs, Config{States: 2, Iterations: 25, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One state should sit near 1400-byte packets, the other near 80.
+	hi, lo := math.Max(m.Mean[0][0], m.Mean[0][1]), math.Min(m.Mean[0][0], m.Mean[0][1])
+	if hi < 1000 || lo > 400 {
+		t.Fatalf("state means %v did not separate the modes", m.Mean[0])
+	}
+}
+
+func TestSampleMatchesTrainingDistribution(t *testing.T) {
+	seqs := twoModeSeqs(12, 80, 5)
+	m, _, err := Train(seqs, Config{States: 2, Iterations: 25, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRNG(7)
+	sample := m.Sample(2000, r)
+	var mean float64
+	for _, o := range sample {
+		mean += o.SizeBytes
+	}
+	mean /= float64(len(sample))
+	// True blend mean is roughly halfway between modes, weighted by
+	// occupancy (~50/50 switching): between 400 and 1100.
+	if mean < 300 || mean > 1250 {
+		t.Fatalf("sample size mean %v far from training blend", mean)
+	}
+	for _, o := range sample {
+		if o.SizeBytes < 0 || o.GapMs < 0 {
+			t.Fatal("negative observation sampled")
+		}
+	}
+}
+
+func TestLogLikelihoodRanksModels(t *testing.T) {
+	seqs := twoModeSeqs(10, 60, 8)
+	good, _, err := Train(seqs, Config{States: 2, Iterations: 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An untrained model with far-off means scores worse.
+	bad := New(2, seqs, stats.NewRNG(10))
+	for i := range bad.Mean[0] {
+		bad.Mean[0][i] = 1e6
+	}
+	test := twoModeSeqs(1, 60, 11)[0]
+	if good.LogLikelihood(test) <= bad.LogLikelihood(test) {
+		t.Fatal("trained model does not outscore mismatched model")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, _, err := Train(nil, DefaultConfig()); err == nil {
+		t.Error("empty training set should fail")
+	}
+	if _, _, err := Train([][]Observation{{}}, DefaultConfig()); err == nil {
+		t.Error("all-empty sequences should fail")
+	}
+	seqs := twoModeSeqs(2, 10, 1)
+	if _, _, err := Train(seqs, Config{States: 0, Iterations: 5}); err == nil {
+		t.Error("zero states should fail")
+	}
+	if _, _, err := Train(seqs, Config{States: 2, Iterations: 0}); err == nil {
+		t.Error("zero iterations should fail")
+	}
+}
+
+// FromFlow extracts HMM observations from a real flow — exercised here
+// against the workload generator to prove the integration works.
+func TestObservationsFromWorkloadFlow(t *testing.T) {
+	g := workload.NewGenerator(1)
+	g.MaxPackets = 40
+	p, _ := workload.ProfileByName("netflix")
+	f := g.GenerateFlow(p)
+	obs := FromFlow(f)
+	if len(obs) != len(f.Packets) {
+		t.Fatalf("observations %d, packets %d", len(obs), len(f.Packets))
+	}
+	if obs[0].GapMs != 0 {
+		t.Errorf("first gap = %v, want 0", obs[0].GapMs)
+	}
+	for i, o := range obs {
+		if o.SizeBytes <= 0 {
+			t.Fatalf("observation %d size %v", i, o.SizeBytes)
+		}
+		if o.GapMs < 0 {
+			t.Fatalf("observation %d negative gap", i)
+		}
+	}
+	// Train a small model end to end on real flows.
+	var seqs [][]Observation
+	for i := 0; i < 6; i++ {
+		seqs = append(seqs, FromFlow(g.GenerateFlow(p)))
+	}
+	if _, _, err := Train(seqs, Config{States: 3, Iterations: 8, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromFlowEmpty(t *testing.T) {
+	if obs := FromFlow(&flow.Flow{}); len(obs) != 0 {
+		t.Fatal("empty flow should yield no observations")
+	}
+}
+
+func TestSampleDeterministicPerSeed(t *testing.T) {
+	seqs := twoModeSeqs(5, 30, 12)
+	m, _, _ := Train(seqs, Config{States: 2, Iterations: 10, Seed: 13})
+	a := m.Sample(50, stats.NewRNG(99))
+	b := m.Sample(50, stats.NewRNG(99))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed samples differ")
+		}
+	}
+}
+
+var _ = time.Millisecond // keep time imported for FromFlow tests

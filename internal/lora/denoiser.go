@@ -1,0 +1,83 @@
+package lora
+
+import (
+	"trafficdiff/internal/diffusion"
+	"trafficdiff/internal/nn"
+	"trafficdiff/internal/stats"
+	"trafficdiff/internal/tensor"
+)
+
+// AdaptedMLP wraps a diffusion.MLPDenoiser with LoRA adapters on its
+// projection layers plus a fresh class-embedding table, reproducing
+// the paper's "add-on model fine-tuned for extended coverage": the
+// base denoiser stays frozen while the adapters and the new word
+// embeddings learn the traffic classes.
+type AdaptedMLP struct {
+	Base *diffusion.MLPDenoiser
+
+	XProj *Adapter
+	Hid   *Adapter
+	Out   *Adapter
+	// ClassEmb replaces the base class table so new classes can be
+	// introduced without touching base weights.
+	ClassEmb *nn.EmbeddingLayer
+}
+
+// NewAdaptedMLP attaches rank-r adapters to base. k is the number of
+// classes the fine-tuned model must cover (its table gets k+1 rows).
+func NewAdaptedMLP(r *stats.RNG, base *diffusion.MLPDenoiser, rank int, alpha float64, k int) *AdaptedMLP {
+	d := base.H * base.W
+	return &AdaptedMLP{
+		Base:     base,
+		XProj:    NewAdapter(r, d, base.Hidden, rank, alpha),
+		Hid:      NewAdapter(r, base.Hidden, base.Hidden, rank, alpha),
+		Out:      NewAdapter(r, base.Hidden, d, rank, alpha),
+		ClassEmb: nn.NewEmbedding(r, k+1, base.Hidden),
+	}
+}
+
+// Params returns only the adapter and embedding parameters — the
+// trainable set during fine-tuning (pass as TrainConfig.ExtraParams
+// with FreezeBase).
+func (a *AdaptedMLP) Params() []*nn.V {
+	var ps []*nn.V
+	ps = append(ps, a.XProj.Params()...)
+	ps = append(ps, a.Hid.Params()...)
+	ps = append(ps, a.Out.Params()...)
+	ps = append(ps, a.ClassEmb.Params()...)
+	return ps
+}
+
+// NullClass implements diffusion.Denoiser.
+func (a *AdaptedMLP) NullClass() int { return a.ClassEmb.Table.X.Shape[0] - 1 }
+
+// Shape implements diffusion.Denoiser.
+func (a *AdaptedMLP) Shape() (int, int) { return a.Base.Shape() }
+
+// Forward implements diffusion.Denoiser: the base MLP's architecture
+// with adapter deltas on each projection and the new class table.
+func (a *AdaptedMLP) Forward(tp *nn.Tape, xt *nn.V, steps []int, class []int, control *tensor.Tensor) *nn.V {
+	n := xt.X.Shape[0]
+	h, w := a.Base.Shape()
+	d := h * w
+	x2 := tp.Reshape(xt, n, d)
+
+	hv := a.XProj.Apply(tp, a.Base.XProjLayer(), x2)
+	temb := tp.Linear(nn.NewV(nn.SinusoidalEmbedding(steps, diffusion.TimeEmbedDim())),
+		a.Base.TimeProjLayer().W, a.Base.TimeProjLayer().B)
+	hv = tp.Add(hv, temb)
+	hv = tp.Add(hv, a.ClassEmb.Apply(tp, class))
+	if control != nil {
+		ctrl := nn.NewV(control.Reshape(n, d).Clone())
+		hv = tp.Add(hv, a.Base.CtrlProjLayer().Apply(tp, ctrl))
+	}
+	hv = tp.SiLU(a.Base.Norm1Layer().Apply(tp, hv))
+	h2 := tp.SiLU(a.Base.Norm2Layer().Apply(tp, a.Hid.Apply(tp, a.Base.HidLayer(), hv)))
+	hv = tp.Add(hv, h2)
+	eps := a.Out.Apply(tp, a.Base.OutLayer(), hv)
+	// Mirror the base model's time-gated input skip (frozen gate).
+	gateL := a.Base.GateLayer()
+	tfeat := nn.NewV(nn.SinusoidalEmbedding(steps, diffusion.TimeEmbedDim()))
+	eps = tp.Add(eps, tp.MulScalarBroadcast(x2, gateL.Apply(tp, tfeat)))
+	return tp.Reshape(eps, n, 1, h, w)
+}

@@ -1,0 +1,169 @@
+// Package netem applies network-condition transformations to flows —
+// the paper's §4 "network condition transfers: transferring across
+// varying network conditions such as latency, throughput, and loss
+// rate". Conditions rewrite a flow's timing and packet survival while
+// leaving header contents untouched, so a trace synthesized under one
+// condition can be re-rendered under another (e.g. generating
+// "congested Netflix" from clean Netflix).
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"trafficdiff/internal/flow"
+	"trafficdiff/internal/packet"
+	"trafficdiff/internal/stats"
+)
+
+// Condition describes the emulated path.
+type Condition struct {
+	// Latency adds a constant one-way delay to every packet.
+	Latency time.Duration
+	// Jitter adds zero-mean Gaussian noise with this standard
+	// deviation to each packet's delay (delays never reorder packets
+	// below; see Reorder).
+	Jitter time.Duration
+	// LossRate drops each packet independently with this probability
+	// in [0,1).
+	LossRate float64
+	// ThroughputBps caps the flow's bytes/second; packets are delayed
+	// so the cumulative byte curve never exceeds it (token-bucket
+	// pacing with unbounded queue). Zero means unlimited.
+	ThroughputBps float64
+	// Reorder allows jitter to reorder packets; when false, timestamps
+	// are forced monotone after jitter (FIFO path).
+	Reorder bool
+	// Duplicate duplicates each packet with this probability in [0,1).
+	Duplicate float64
+
+	Seed uint64
+}
+
+// Validate checks the condition's parameter ranges.
+func (c Condition) Validate() error {
+	if c.LossRate < 0 || c.LossRate >= 1 {
+		return fmt.Errorf("netem: loss rate %v out of [0,1)", c.LossRate)
+	}
+	if c.Duplicate < 0 || c.Duplicate >= 1 {
+		return fmt.Errorf("netem: duplicate rate %v out of [0,1)", c.Duplicate)
+	}
+	if c.Latency < 0 || c.Jitter < 0 {
+		return fmt.Errorf("netem: negative latency/jitter")
+	}
+	if c.ThroughputBps < 0 {
+		return fmt.Errorf("netem: negative throughput cap")
+	}
+	return nil
+}
+
+// Stats summarizes what a condition did to a flow.
+type Stats struct {
+	In, Out    int
+	Dropped    int
+	Duplicated int
+	// AddedDelay is the mean extra delay across surviving packets.
+	AddedDelay time.Duration
+}
+
+// Apply returns a new flow with the condition applied. The input flow
+// is not modified; packet payload bytes are shared (headers are
+// immutable in this pipeline).
+func Apply(f *flow.Flow, c Condition) (*flow.Flow, Stats, error) {
+	var st Stats
+	if err := c.Validate(); err != nil {
+		return nil, st, err
+	}
+	r := stats.NewRNG(c.Seed)
+	out := &flow.Flow{Key: f.Key, Label: f.Label}
+	st.In = len(f.Packets)
+
+	var (
+		budgetStart time.Time
+		sentBytes   float64
+		lastTS      time.Time
+		totalDelay  time.Duration
+	)
+	if len(f.Packets) > 0 {
+		budgetStart = f.Packets[0].Timestamp
+	}
+	emit := func(p *packet.Packet, ts time.Time) {
+		// Throughput pacing: delay until the byte budget allows.
+		if c.ThroughputBps > 0 {
+			earliest := budgetStart.Add(time.Duration(sentBytes / c.ThroughputBps * float64(time.Second)))
+			if ts.Before(earliest) {
+				ts = earliest
+			}
+			sentBytes += float64(p.Length())
+		}
+		if !c.Reorder && ts.Before(lastTS) {
+			ts = lastTS
+		}
+		lastTS = ts
+		cp := *p
+		cp.Timestamp = ts
+		out.Append(&cp)
+	}
+
+	for _, p := range f.Packets {
+		if c.LossRate > 0 && r.Bool(c.LossRate) {
+			st.Dropped++
+			continue
+		}
+		delay := c.Latency
+		if c.Jitter > 0 {
+			j := time.Duration(r.NormFloat64() * float64(c.Jitter))
+			if delay+j < 0 {
+				j = -delay
+			}
+			delay += j
+		}
+		totalDelay += delay
+		emit(p, p.Timestamp.Add(delay))
+		if c.Duplicate > 0 && r.Bool(c.Duplicate) {
+			st.Duplicated++
+			emit(p, p.Timestamp.Add(delay+time.Microsecond))
+		}
+	}
+	st.Out = len(out.Packets)
+	if n := st.In - st.Dropped; n > 0 {
+		st.AddedDelay = totalDelay / time.Duration(n)
+	}
+	return out, st, nil
+}
+
+// ApplyAll maps Apply over a batch, deriving per-flow seeds.
+func ApplyAll(flows []*flow.Flow, c Condition) ([]*flow.Flow, Stats, error) {
+	var agg Stats
+	out := make([]*flow.Flow, 0, len(flows))
+	for i, f := range flows {
+		ci := c
+		ci.Seed = c.Seed + uint64(i)*0x9e3779b97f4a7c15
+		nf, st, err := Apply(f, ci)
+		if err != nil {
+			return nil, agg, err
+		}
+		agg.In += st.In
+		agg.Out += st.Out
+		agg.Dropped += st.Dropped
+		agg.Duplicated += st.Duplicated
+		agg.AddedDelay += st.AddedDelay
+		out = append(out, nf)
+	}
+	if len(flows) > 0 {
+		agg.AddedDelay /= time.Duration(len(flows))
+	}
+	return out, agg, nil
+}
+
+// Presets for common path conditions.
+var (
+	// Clean is a no-op condition.
+	Clean = Condition{}
+	// Broadband is a typical cable path: 20ms latency, mild jitter.
+	Broadband = Condition{Latency: 20 * time.Millisecond, Jitter: 2 * time.Millisecond}
+	// Cellular is a loaded LTE path: higher latency, jitter and loss.
+	Cellular = Condition{Latency: 60 * time.Millisecond, Jitter: 15 * time.Millisecond, LossRate: 0.01}
+	// Congested adds heavy loss and a throughput cap.
+	Congested = Condition{Latency: 80 * time.Millisecond, Jitter: 30 * time.Millisecond, LossRate: 0.05, ThroughputBps: 250_000}
+)

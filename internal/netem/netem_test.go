@@ -1,0 +1,196 @@
+package netem
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"trafficdiff/internal/flow"
+	"trafficdiff/internal/workload"
+)
+
+func sampleFlow(t testing.TB, n int) *flow.Flow {
+	t.Helper()
+	g := workload.NewGenerator(1)
+	g.MaxPackets = n
+	p, _ := workload.ProfileByName("netflix")
+	return g.GenerateFlow(p)
+}
+
+func TestCleanIsIdentityish(t *testing.T) {
+	f := sampleFlow(t, 20)
+	out, st, err := Apply(f, Clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.In != st.Out || st.Dropped != 0 || st.Duplicated != 0 {
+		t.Fatalf("clean stats %+v", st)
+	}
+	for i := range f.Packets {
+		if !out.Packets[i].Timestamp.Equal(f.Packets[i].Timestamp) {
+			t.Fatal("clean condition changed timestamps")
+		}
+		if &out.Packets[i].Data[0] != &f.Packets[i].Data[0] {
+			t.Fatal("payload bytes should be shared")
+		}
+	}
+}
+
+func TestInputFlowUnmodified(t *testing.T) {
+	f := sampleFlow(t, 10)
+	orig := make([]time.Time, len(f.Packets))
+	for i, p := range f.Packets {
+		orig[i] = p.Timestamp
+	}
+	_, _, err := Apply(f, Condition{Latency: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range f.Packets {
+		if !p.Timestamp.Equal(orig[i]) {
+			t.Fatal("Apply mutated the input flow")
+		}
+	}
+}
+
+func TestLatencyShiftsAllPackets(t *testing.T) {
+	f := sampleFlow(t, 10)
+	out, st, err := Apply(f, Condition{Latency: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.Packets {
+		want := f.Packets[i].Timestamp.Add(50 * time.Millisecond)
+		if !out.Packets[i].Timestamp.Equal(want) {
+			t.Fatalf("packet %d ts = %v, want %v", i, out.Packets[i].Timestamp, want)
+		}
+	}
+	if st.AddedDelay != 50*time.Millisecond {
+		t.Errorf("added delay = %v", st.AddedDelay)
+	}
+}
+
+func TestLossRateDropsApproximately(t *testing.T) {
+	f := sampleFlow(t, 0) // full profile length
+	// Build a long flow by concatenating several.
+	for i := 0; i < 5; i++ {
+		extra := sampleFlow(t, 0)
+		f.Packets = append(f.Packets, extra.Packets...)
+	}
+	n := len(f.Packets)
+	if n < 100 {
+		t.Skip("flow too short")
+	}
+	_, st, err := Apply(f, Condition{LossRate: 0.3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(st.Dropped) / float64(n)
+	if frac < 0.15 || frac > 0.45 {
+		t.Fatalf("loss fraction %v far from 0.3 (n=%d)", frac, n)
+	}
+}
+
+func TestJitterMonotoneWithoutReorder(t *testing.T) {
+	f := sampleFlow(t, 30)
+	out, _, err := Apply(f, Condition{Jitter: 100 * time.Millisecond, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(out.Packets); i++ {
+		if out.Packets[i].Timestamp.Before(out.Packets[i-1].Timestamp) {
+			t.Fatal("non-reorder condition produced reordering")
+		}
+	}
+}
+
+func TestThroughputCapPacesBytes(t *testing.T) {
+	f := sampleFlow(t, 30)
+	const bps = 100_000.0
+	out, _, err := Apply(f, Condition{ThroughputBps: bps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := out.Packets[0].Timestamp
+	cum := 0
+	for i, p := range out.Packets {
+		if i == 0 {
+			cum += p.Length()
+			continue
+		}
+		elapsed := p.Timestamp.Sub(start).Seconds()
+		// Cumulative bytes before this packet must fit the cap.
+		if float64(cum) > bps*elapsed+1 {
+			t.Fatalf("packet %d violates pacing: %d bytes in %.4fs", i, cum, elapsed)
+		}
+		cum += p.Length()
+	}
+	// The paced flow must be slower than the original.
+	if out.Duration() <= f.Duration() {
+		t.Error("throughput cap did not extend the flow")
+	}
+}
+
+func TestDuplicate(t *testing.T) {
+	f := sampleFlow(t, 40)
+	out, st, err := Apply(f, Condition{Duplicate: 0.5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Duplicated == 0 {
+		t.Fatal("no duplicates at 50% rate")
+	}
+	if len(out.Packets) != st.In+st.Duplicated {
+		t.Fatalf("out=%d in=%d dup=%d", len(out.Packets), st.In, st.Duplicated)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	f := sampleFlow(t, 5)
+	bad := []Condition{
+		{LossRate: -0.1},
+		{LossRate: 1},
+		{Duplicate: 1},
+		{Latency: -time.Second},
+		{ThroughputBps: -1},
+	}
+	for i, c := range bad {
+		if _, _, err := Apply(f, c); err == nil {
+			t.Errorf("condition %d should fail validation", i)
+		}
+	}
+}
+
+func TestApplyAllAggregates(t *testing.T) {
+	flows := []*flow.Flow{sampleFlow(t, 10), sampleFlow(t, 10)}
+	out, st, err := ApplyAll(flows, Condition{Latency: time.Millisecond, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || st.In != 20 {
+		t.Fatalf("out=%d in=%d", len(out), st.In)
+	}
+}
+
+func TestQuickLossNeverNegativeOutput(t *testing.T) {
+	fl := sampleFlow(t, 12)
+	fn := func(seed uint64, lossPct uint8) bool {
+		c := Condition{LossRate: float64(lossPct%90) / 100, Seed: seed}
+		out, st, err := Apply(fl, c)
+		if err != nil {
+			return false
+		}
+		return st.Out == len(out.Packets) && st.Out+st.Dropped == st.In
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPresetsValidate(t *testing.T) {
+	for _, c := range []Condition{Clean, Broadband, Cellular, Congested} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("preset invalid: %v", err)
+		}
+	}
+}

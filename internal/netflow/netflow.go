@@ -1,0 +1,132 @@
+// Package netflow extracts NetFlow-like aggregate records from flows —
+// the ten derived fields NetShare models (paper §2.3): source and
+// destination IP addresses and ports, protocol, start time, duration,
+// packet count, byte count, and label.
+//
+// Records double as the baseline feature representation for the
+// service-recognition case study. Per the paper's footnote 1,
+// overfitting-prone fields (IP addresses, port numbers, flow start
+// times) are removed during feature extraction, so FeatureVector
+// exposes only the remaining aggregates plus derived rates.
+package netflow
+
+import (
+	"time"
+
+	"trafficdiff/internal/flow"
+	"trafficdiff/internal/packet"
+)
+
+// Record is one NetFlow-like flow summary.
+type Record struct {
+	SrcIP    [4]byte
+	DstIP    [4]byte
+	SrcPort  uint16
+	DstPort  uint16
+	Protocol packet.IPProtocol
+	Start    time.Time
+	Duration time.Duration
+	Packets  int
+	Bytes    int
+	Label    string
+}
+
+// FromFlow summarizes a flow into a Record.
+func FromFlow(f *flow.Flow) Record {
+	rec := Record{
+		SrcIP:    f.Key.A.IP,
+		DstIP:    f.Key.B.IP,
+		SrcPort:  f.Key.A.Port,
+		DstPort:  f.Key.B.Port,
+		Protocol: f.Key.Proto,
+		Start:    f.Start(),
+		Duration: f.Duration(),
+		Packets:  len(f.Packets),
+		Bytes:    f.Bytes(),
+		Label:    f.Label,
+	}
+	return rec
+}
+
+// NumFeatures is the length of FeatureVector's output.
+const NumFeatures = 8
+
+// FeatureNames labels the FeatureVector dimensions.
+var FeatureNames = [NumFeatures]string{
+	"proto_tcp",
+	"proto_udp",
+	"proto_icmp",
+	"duration_s",
+	"packets",
+	"bytes",
+	"bytes_per_packet",
+	"packets_per_s",
+}
+
+// FeatureVector converts a record into the numeric features used for
+// classification, excluding the overfitting-prone identifier fields.
+func (r Record) FeatureVector() []float64 {
+	v := make([]float64, NumFeatures)
+	switch r.Protocol {
+	case packet.ProtoTCP:
+		v[0] = 1
+	case packet.ProtoUDP:
+		v[1] = 1
+	case packet.ProtoICMP:
+		v[2] = 1
+	}
+	dur := r.Duration.Seconds()
+	v[3] = dur
+	v[4] = float64(r.Packets)
+	v[5] = float64(r.Bytes)
+	if r.Packets > 0 {
+		v[6] = float64(r.Bytes) / float64(r.Packets)
+	}
+	if dur > 0 {
+		v[7] = float64(r.Packets) / dur
+	}
+	return v
+}
+
+// FromFlows summarizes a batch.
+func FromFlows(flows []*flow.Flow) []Record {
+	out := make([]Record, len(flows))
+	for i, f := range flows {
+		out[i] = FromFlow(f)
+	}
+	return out
+}
+
+// NumFullFields is the length of FullVector's output: the complete
+// NetFlow record a NetShare-style generator must model, including the
+// high-entropy identifier fields (IP octets, ports, start time) that
+// are later excluded from classification features (paper footnote 1).
+const NumFullFields = 19
+
+// FullVector renders the complete record as the generative baseline's
+// training target: 4+4 IP octets (scaled to [0,1]), source and
+// destination ports (scaled), the flow start offset in seconds within
+// the capture hour, and then the NumFeatures classification features.
+func (r Record) FullVector() []float64 {
+	v := make([]float64, 0, NumFullFields)
+	for _, o := range r.SrcIP {
+		v = append(v, float64(o)/255)
+	}
+	for _, o := range r.DstIP {
+		v = append(v, float64(o)/255)
+	}
+	v = append(v, float64(r.SrcPort)/65535, float64(r.DstPort)/65535)
+	v = append(v, float64(r.Start.Unix()%3600))
+	return append(v, r.FeatureVector()...)
+}
+
+// ClassifierFeaturesFromFull slices the classification features out of
+// a (possibly generated) full record vector, discarding the
+// overfitting-prone identifier fields exactly as the evaluation
+// pipeline does for real records.
+func ClassifierFeaturesFromFull(full []float64) []float64 {
+	const idFields = NumFullFields - NumFeatures
+	out := make([]float64, NumFeatures)
+	copy(out, full[idFields:])
+	return out
+}

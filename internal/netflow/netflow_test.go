@@ -1,0 +1,202 @@
+package netflow
+
+import (
+	"testing"
+	"time"
+
+	"trafficdiff/internal/flow"
+	"trafficdiff/internal/packet"
+)
+
+var t0 = time.Date(2023, 11, 28, 10, 0, 0, 0, time.UTC)
+
+func buildFlow(t *testing.T, n int, proto packet.IPProtocol) *flow.Flow {
+	t.Helper()
+	var b packet.Builder
+	ip := packet.IPv4{TTL: 64, SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 0, 0, 9}}
+	tbl := flow.NewTable()
+	for i := 0; i < n; i++ {
+		ts := t0.Add(time.Duration(i) * time.Second)
+		var p *packet.Packet
+		switch proto {
+		case packet.ProtoTCP:
+			p = b.BuildTCP(ts, ip, packet.TCP{SrcPort: 40000, DstPort: 443, Flags: packet.FlagACK}, make([]byte, 100))
+		case packet.ProtoUDP:
+			p = b.BuildUDP(ts, ip, packet.UDP{SrcPort: 40000, DstPort: 443}, make([]byte, 100))
+		default:
+			var ic packet.ICMPv4
+			ic.Type = packet.ICMPEchoRequest
+			p = b.BuildICMP(ts, ip, ic, nil)
+		}
+		tbl.Add(p)
+	}
+	f := tbl.Flows()[0]
+	f.Label = "netflix"
+	return f
+}
+
+func TestFromFlowBasics(t *testing.T) {
+	f := buildFlow(t, 4, packet.ProtoTCP)
+	r := FromFlow(f)
+	if r.Packets != 4 {
+		t.Errorf("packets = %d", r.Packets)
+	}
+	if r.Duration != 3*time.Second {
+		t.Errorf("duration = %v", r.Duration)
+	}
+	if r.Protocol != packet.ProtoTCP {
+		t.Errorf("protocol = %v", r.Protocol)
+	}
+	if r.Label != "netflix" {
+		t.Errorf("label = %q", r.Label)
+	}
+	if !r.Start.Equal(t0) {
+		t.Errorf("start = %v", r.Start)
+	}
+	if r.Bytes <= 400 {
+		t.Errorf("bytes = %d, want >400 (payload + headers)", r.Bytes)
+	}
+}
+
+func TestFeatureVectorProtocolOneHot(t *testing.T) {
+	for _, tc := range []struct {
+		proto packet.IPProtocol
+		idx   int
+	}{
+		{packet.ProtoTCP, 0},
+		{packet.ProtoUDP, 1},
+		{packet.ProtoICMP, 2},
+	} {
+		f := buildFlow(t, 2, tc.proto)
+		v := FromFlow(f).FeatureVector()
+		if len(v) != NumFeatures {
+			t.Fatalf("len = %d", len(v))
+		}
+		for i := 0; i < 3; i++ {
+			want := 0.0
+			if i == tc.idx {
+				want = 1.0
+			}
+			if v[i] != want {
+				t.Errorf("%v one-hot[%d] = %v, want %v", tc.proto, i, v[i], want)
+			}
+		}
+	}
+}
+
+func TestFeatureVectorDerived(t *testing.T) {
+	f := buildFlow(t, 4, packet.ProtoTCP)
+	r := FromFlow(f)
+	v := r.FeatureVector()
+	if v[3] != 3 {
+		t.Errorf("duration feature = %v", v[3])
+	}
+	if v[4] != 4 {
+		t.Errorf("packets feature = %v", v[4])
+	}
+	wantBPP := float64(r.Bytes) / 4
+	if v[6] != wantBPP {
+		t.Errorf("bytes/packet = %v, want %v", v[6], wantBPP)
+	}
+	if v[7] != 4.0/3.0 {
+		t.Errorf("packets/s = %v", v[7])
+	}
+}
+
+func TestFeatureVectorSinglePacketNoDivZero(t *testing.T) {
+	f := buildFlow(t, 1, packet.ProtoUDP)
+	v := FromFlow(f).FeatureVector()
+	if v[7] != 0 {
+		t.Errorf("rate for zero-duration flow = %v, want 0", v[7])
+	}
+}
+
+func TestFromFlows(t *testing.T) {
+	flows := []*flow.Flow{buildFlow(t, 2, packet.ProtoTCP), buildFlow(t, 3, packet.ProtoUDP)}
+	recs := FromFlows(flows)
+	if len(recs) != 2 || recs[0].Packets != 2 || recs[1].Packets != 3 {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestFeatureNamesMatchLength(t *testing.T) {
+	if len(FeatureNames) != NumFeatures {
+		t.Fatal("FeatureNames length mismatch")
+	}
+}
+
+func TestFullVectorLayout(t *testing.T) {
+	f := buildFlow(t, 3, packet.ProtoTCP)
+	r := FromFlow(f)
+	full := r.FullVector()
+	if len(full) != NumFullFields {
+		t.Fatalf("full vector len %d, want %d", len(full), NumFullFields)
+	}
+	// IP octets scaled to [0,1].
+	for i := 0; i < 8; i++ {
+		if full[i] < 0 || full[i] > 1 {
+			t.Fatalf("octet %d = %v out of [0,1]", i, full[i])
+		}
+	}
+	// Ports scaled.
+	if full[8] < 0 || full[8] > 1 || full[9] < 0 || full[9] > 1 {
+		t.Fatalf("port fields out of range: %v %v", full[8], full[9])
+	}
+	// The tail must equal FeatureVector.
+	want := r.FeatureVector()
+	got := full[NumFullFields-NumFeatures:]
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("feature tail diverges at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestClassifierFeaturesFromFullRoundTrip(t *testing.T) {
+	f := buildFlow(t, 4, packet.ProtoUDP)
+	r := FromFlow(f)
+	full := r.FullVector()
+	sliced := ClassifierFeaturesFromFull(full)
+	want := r.FeatureVector()
+	if len(sliced) != len(want) {
+		t.Fatalf("len %d vs %d", len(sliced), len(want))
+	}
+	for i := range want {
+		if sliced[i] != want[i] {
+			t.Fatalf("feature %d: %v vs %v", i, sliced[i], want[i])
+		}
+	}
+}
+
+func TestFullVectorExposesIdentifiersFeatureVectorHides(t *testing.T) {
+	// Two flows differing only in addresses must have identical
+	// classification features but different full vectors.
+	var b packet.Builder
+	mk := func(ip [4]byte) *flow.Flow {
+		tbl := flow.NewTable()
+		hdr := packet.IPv4{TTL: 64, SrcIP: ip, DstIP: [4]byte{8, 8, 8, 8}}
+		for i := 0; i < 3; i++ {
+			ts := t0.Add(time.Duration(i) * time.Second)
+			tbl.Add(b.BuildTCP(ts, hdr, packet.TCP{SrcPort: 40000, DstPort: 443, Flags: packet.FlagACK}, make([]byte, 80)))
+		}
+		return tbl.Flows()[0]
+	}
+	ra := FromFlow(mk([4]byte{10, 0, 0, 1}))
+	rb := FromFlow(mk([4]byte{172, 16, 5, 9}))
+	fa, fb := ra.FeatureVector(), rb.FeatureVector()
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("classification features leak addresses at %d", i)
+		}
+	}
+	fullA, fullB := ra.FullVector(), rb.FullVector()
+	same := true
+	for i := 0; i < 8; i++ {
+		if fullA[i] != fullB[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("full vectors should differ in the address octets")
+	}
+}

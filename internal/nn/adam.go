@@ -1,0 +1,116 @@
+package nn
+
+import "math"
+
+// Adam implements the Adam optimizer with optional gradient clipping
+// by global norm.
+type Adam struct {
+	LR           float64
+	Beta1, Beta2 float64
+	Eps          float64
+	// ClipNorm clips the global gradient norm when > 0.
+	ClipNorm float64
+
+	params []*V
+	m, v   [][]float32
+	step   int
+}
+
+// NewAdam creates an optimizer over params with standard defaults
+// (beta1=0.9, beta2=0.999, eps=1e-8).
+func NewAdam(lr float64, params []*V) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params}
+	for _, p := range params {
+		a.m = append(a.m, make([]float32, len(p.X.Data)))
+		a.v = append(a.v, make([]float32, len(p.X.Data)))
+	}
+	return a
+}
+
+// Params returns the parameter set being optimized.
+func (a *Adam) Params() []*V { return a.params }
+
+// GradNorm returns the current global gradient L2 norm.
+func (a *Adam) GradNorm() float64 {
+	var sq float64
+	for _, p := range a.params {
+		for _, g := range p.G.Data {
+			sq += float64(g) * float64(g)
+		}
+	}
+	return math.Sqrt(sq)
+}
+
+// Step applies one update from the accumulated gradients and zeroes
+// them.
+func (a *Adam) Step() {
+	a.step++
+	scale := 1.0
+	if a.ClipNorm > 0 {
+		if norm := a.GradNorm(); norm > a.ClipNorm {
+			scale = a.ClipNorm / (norm + 1e-12)
+		}
+	}
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for i, p := range a.params {
+		m, v := a.m[i], a.v[i]
+		for j, g64 := range p.G.Data {
+			g := float64(g64) * scale
+			m[j] = float32(a.Beta1*float64(m[j]) + (1-a.Beta1)*g)
+			v[j] = float32(a.Beta2*float64(v[j]) + (1-a.Beta2)*g*g)
+			mh := float64(m[j]) / bc1
+			vh := float64(v[j]) / bc2
+			p.X.Data[j] -= float32(a.LR * mh / (math.Sqrt(vh) + a.Eps))
+		}
+		p.ZeroGrad()
+	}
+}
+
+// ZeroGrads clears all parameter gradients without stepping.
+func (a *Adam) ZeroGrads() {
+	for _, p := range a.params {
+		p.ZeroGrad()
+	}
+}
+
+// EMA maintains an exponential moving average of a parameter set —
+// the standard DDPM practice of sampling from averaged weights, which
+// smooths late-training oscillation.
+type EMA struct {
+	Decay  float64
+	params []*V
+	shadow [][]float32
+}
+
+// NewEMA snapshots params as the initial average.
+func NewEMA(decay float64, params []*V) *EMA {
+	e := &EMA{Decay: decay, params: params}
+	for _, p := range params {
+		e.shadow = append(e.shadow, append([]float32(nil), p.X.Data...))
+	}
+	return e
+}
+
+// Update folds the current parameter values into the average.
+func (e *EMA) Update() {
+	d := float32(e.Decay)
+	for i, p := range e.params {
+		s := e.shadow[i]
+		for j, v := range p.X.Data {
+			s[j] = d*s[j] + (1-d)*v
+		}
+	}
+}
+
+// Swap exchanges the live parameters with the averaged ones. Calling
+// it twice restores the originals, so inference can run on the average
+// and training resume afterwards.
+func (e *EMA) Swap() {
+	for i, p := range e.params {
+		s := e.shadow[i]
+		for j := range s {
+			s[j], p.X.Data[j] = p.X.Data[j], s[j]
+		}
+	}
+}

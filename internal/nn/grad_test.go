@@ -1,0 +1,257 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"trafficdiff/internal/stats"
+	"trafficdiff/internal/tensor"
+)
+
+// checkGrad verifies analytic gradients of forward's scalar output
+// with respect to every parameter in params via central differences.
+func checkGrad(t *testing.T, params []*V, forward func(tp *Tape) *V) {
+	t.Helper()
+	tp := NewTape()
+	loss := forward(tp)
+	tp.Backward(loss)
+	analytic := make([][]float32, len(params))
+	for i, p := range params {
+		analytic[i] = append([]float32(nil), p.G.Data...)
+		p.ZeroGrad()
+	}
+
+	const eps = 1e-2
+	for pi, p := range params {
+		for j := range p.X.Data {
+			orig := p.X.Data[j]
+			p.X.Data[j] = orig + eps
+			tp2 := NewTape()
+			up := float64(forward(tp2).X.Data[0])
+			tp2.Reset()
+			p.X.Data[j] = orig - eps
+			tp3 := NewTape()
+			down := float64(forward(tp3).X.Data[0])
+			tp3.Reset()
+			p.X.Data[j] = orig
+			num := (up - down) / (2 * eps)
+			got := float64(analytic[pi][j])
+			tol := 2e-2 * math.Max(1, math.Abs(num))
+			if math.Abs(num-got) > tol {
+				t.Fatalf("param %d elem %d: numeric %v vs analytic %v", pi, j, num, got)
+			}
+		}
+	}
+}
+
+func TestGradAddSubMulScale(t *testing.T) {
+	r := stats.NewRNG(1)
+	a := NewV(tensor.New(2, 3).Randn(r, 1))
+	b := NewV(tensor.New(2, 3).Randn(r, 1))
+	checkGrad(t, []*V{a, b}, func(tp *Tape) *V {
+		s := tp.Add(a, b)
+		d := tp.Sub(s, b)
+		m := tp.Mul(d, a)
+		sc := tp.Scale(m, 1.7)
+		return tp.Mean(tp.AddConst(sc, 0.3))
+	})
+}
+
+func TestGradMatMul(t *testing.T) {
+	r := stats.NewRNG(2)
+	a := NewV(tensor.New(3, 4).Randn(r, 1))
+	b := NewV(tensor.New(4, 2).Randn(r, 1))
+	checkGrad(t, []*V{a, b}, func(tp *Tape) *V {
+		return tp.Mean(tp.MatMul(a, b))
+	})
+}
+
+func TestGradLinear(t *testing.T) {
+	r := stats.NewRNG(3)
+	x := NewV(tensor.New(2, 5).Randn(r, 1))
+	w := NewV(tensor.New(3, 5).Randn(r, 1))
+	b := NewV(tensor.New(3).Randn(r, 1))
+	target := tensor.New(2, 3).Randn(r, 1)
+	checkGrad(t, []*V{x, w, b}, func(tp *Tape) *V {
+		return tp.MSE(tp.Linear(x, w, b), target)
+	})
+}
+
+func TestGradActivations(t *testing.T) {
+	r := stats.NewRNG(4)
+	for name, act := range map[string]func(tp *Tape, v *V) *V{
+		"silu":    func(tp *Tape, v *V) *V { return tp.SiLU(v) },
+		"tanh":    func(tp *Tape, v *V) *V { return tp.Tanh(v) },
+		"sigmoid": func(tp *Tape, v *V) *V { return tp.Sigmoid(v) },
+		"lrelu":   func(tp *Tape, v *V) *V { return tp.LeakyReLU(v, 0.2) },
+	} {
+		x := NewV(tensor.New(2, 4).Randn(r, 1))
+		// Shift away from the ReLU kink to keep numeric gradients clean.
+		for i := range x.X.Data {
+			if v := x.X.Data[i]; v > -0.05 && v < 0.05 {
+				x.X.Data[i] = 0.3
+			}
+		}
+		t.Run(name, func(t *testing.T) {
+			checkGrad(t, []*V{x}, func(tp *Tape) *V { return tp.Mean(act(tp, x)) })
+		})
+	}
+}
+
+func TestGradLayerNorm(t *testing.T) {
+	r := stats.NewRNG(5)
+	x := NewV(tensor.New(3, 6).Randn(r, 1))
+	gamma := NewV(tensor.New(6).Randn(r, 0.5))
+	for i := range gamma.X.Data {
+		gamma.X.Data[i] += 1
+	}
+	beta := NewV(tensor.New(6).Randn(r, 0.5))
+	target := tensor.New(3, 6).Randn(r, 1)
+	checkGrad(t, []*V{x, gamma, beta}, func(tp *Tape) *V {
+		return tp.MSE(tp.LayerNorm(x, gamma, beta), target)
+	})
+}
+
+func TestGradConv2D(t *testing.T) {
+	r := stats.NewRNG(6)
+	spec := tensor.ConvSpec{InC: 2, OutC: 3, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	x := NewV(tensor.New(2, 2, 4, 4).Randn(r, 0.5))
+	w := NewV(tensor.New(3, 18).Randn(r, 0.5))
+	b := NewV(tensor.New(3).Randn(r, 0.5))
+	checkGrad(t, []*V{x, w, b}, func(tp *Tape) *V {
+		return tp.Mean(tp.Conv2D(x, w, b, spec))
+	})
+}
+
+func TestGradStridedConv(t *testing.T) {
+	r := stats.NewRNG(7)
+	spec := tensor.ConvSpec{InC: 1, OutC: 2, KH: 3, KW: 3, Stride: 2, Pad: 1}
+	x := NewV(tensor.New(1, 1, 6, 6).Randn(r, 0.5))
+	w := NewV(tensor.New(2, 9).Randn(r, 0.5))
+	b := NewV(tensor.New(2).Randn(r, 0.5))
+	target := tensor.New(1, 2, 3, 3).Randn(r, 1)
+	checkGrad(t, []*V{x, w, b}, func(tp *Tape) *V {
+		return tp.MSE(tp.Conv2D(x, w, b, spec), target)
+	})
+}
+
+func TestGradUpsample(t *testing.T) {
+	r := stats.NewRNG(8)
+	x := NewV(tensor.New(1, 2, 2, 3).Randn(r, 1))
+	target := tensor.New(1, 2, 4, 6).Randn(r, 1)
+	checkGrad(t, []*V{x}, func(tp *Tape) *V {
+		return tp.MSE(tp.UpsampleNearest2x(x), target)
+	})
+}
+
+func TestGradGather(t *testing.T) {
+	r := stats.NewRNG(9)
+	table := NewV(tensor.New(5, 4).Randn(r, 1))
+	target := tensor.New(3, 4).Randn(r, 1)
+	checkGrad(t, []*V{table}, func(tp *Tape) *V {
+		return tp.MSE(tp.Gather(table, []int{1, 4, 1}), target)
+	})
+}
+
+func TestGradBroadcasts(t *testing.T) {
+	r := stats.NewRNG(10)
+	a2 := NewV(tensor.New(3, 4).Randn(r, 1))
+	brow := NewV(tensor.New(4).Randn(r, 1))
+	checkGrad(t, []*V{a2, brow}, func(tp *Tape) *V {
+		return tp.Mean(tp.AddRowBroadcast(a2, brow))
+	})
+
+	a4 := NewV(tensor.New(2, 3, 2, 2).Randn(r, 1))
+	bch := NewV(tensor.New(2, 3).Randn(r, 1))
+	target := tensor.New(2, 3, 2, 2).Randn(r, 1)
+	checkGrad(t, []*V{a4, bch}, func(tp *Tape) *V {
+		return tp.MSE(tp.AddChannelBroadcast(a4, bch), target)
+	})
+}
+
+func TestGradConcat0(t *testing.T) {
+	r := stats.NewRNG(11)
+	a := NewV(tensor.New(2, 3).Randn(r, 1))
+	b := NewV(tensor.New(1, 3).Randn(r, 1))
+	target := tensor.New(3, 3).Randn(r, 1)
+	checkGrad(t, []*V{a, b}, func(tp *Tape) *V {
+		return tp.MSE(tp.Concat0(a, b), target)
+	})
+}
+
+func TestGradBCEWithLogits(t *testing.T) {
+	r := stats.NewRNG(12)
+	logits := NewV(tensor.New(4, 1).Randn(r, 1))
+	target := tensor.New(4, 1)
+	target.Data[0], target.Data[2] = 1, 1
+	checkGrad(t, []*V{logits}, func(tp *Tape) *V {
+		return tp.BCEWithLogits(logits, target)
+	})
+}
+
+func TestGradReshapeFlows(t *testing.T) {
+	r := stats.NewRNG(13)
+	x := NewV(tensor.New(2, 6).Randn(r, 1))
+	target := tensor.New(3, 4).Randn(r, 1)
+	checkGrad(t, []*V{x}, func(tp *Tape) *V {
+		return tp.MSE(tp.Reshape(x, 3, 4), target)
+	})
+}
+
+func TestGradTranspose2D(t *testing.T) {
+	r := stats.NewRNG(14)
+	x := NewV(tensor.New(3, 4).Randn(r, 1))
+	target := tensor.New(4, 3).Randn(r, 1)
+	checkGrad(t, []*V{x}, func(tp *Tape) *V {
+		return tp.MSE(tp.Transpose2D(x), target)
+	})
+}
+
+func TestGradSoftmaxRows(t *testing.T) {
+	r := stats.NewRNG(15)
+	x := NewV(tensor.New(3, 5).Randn(r, 1))
+	target := tensor.New(3, 5).Randn(r, 0.3)
+	checkGrad(t, []*V{x}, func(tp *Tape) *V {
+		return tp.MSE(tp.SoftmaxRows(x), target)
+	})
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	r := stats.NewRNG(16)
+	x := NewV(tensor.New(4, 7).Randn(r, 3))
+	tp := NewTape()
+	y := tp.SoftmaxRows(x)
+	tp.Reset()
+	for i := 0; i < 4; i++ {
+		var sum float32
+		for j := 0; j < 7; j++ {
+			sum += y.X.Data[i*7+j]
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestGradAttentionComposition(t *testing.T) {
+	// softmax(Q·Kᵀ/√d)·V composed from tape ops must be differentiable
+	// end to end.
+	r := stats.NewRNG(17)
+	q := NewV(tensor.New(4, 3).Randn(r, 0.5))
+	k := NewV(tensor.New(4, 3).Randn(r, 0.5))
+	v := NewV(tensor.New(4, 3).Randn(r, 0.5))
+	target := tensor.New(4, 3).Randn(r, 0.5)
+	checkGrad(t, []*V{q, k, v}, func(tp *Tape) *V {
+		scores := tp.Scale(tp.MatMul(q, tp.Transpose2D(k)), float32(1/math.Sqrt(3)))
+		return tp.MSE(tp.MatMul(tp.SoftmaxRows(scores), v), target)
+	})
+}
+
+func TestGradSliceRows(t *testing.T) {
+	r := stats.NewRNG(18)
+	x := NewV(tensor.New(5, 3).Randn(r, 1))
+	target := tensor.New(2, 3).Randn(r, 1)
+	checkGrad(t, []*V{x}, func(tp *Tape) *V {
+		return tp.MSE(tp.SliceRows(x, 1, 3), target)
+	})
+}

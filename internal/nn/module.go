@@ -1,0 +1,101 @@
+package nn
+
+import (
+	"math"
+
+	"trafficdiff/internal/stats"
+	"trafficdiff/internal/tensor"
+)
+
+// LinearLayer bundles a Linear op's weight and bias parameters.
+type LinearLayer struct {
+	W, B *V
+}
+
+// NewLinear allocates a layer with Kaiming-uniform-style init.
+func NewLinear(r *stats.RNG, in, out int) *LinearLayer {
+	l := &LinearLayer{W: Param(out, in), B: Param(out)}
+	std := math.Sqrt(2.0 / float64(in))
+	l.W.X.Randn(r, std)
+	return l
+}
+
+// Apply runs the layer on x [N,in].
+func (l *LinearLayer) Apply(t *Tape, x *V) *V { return t.Linear(x, l.W, l.B) }
+
+// Params returns the layer's trainable parameters.
+func (l *LinearLayer) Params() []*V { return []*V{l.W, l.B} }
+
+// ConvLayer bundles a Conv2D op's parameters and spec.
+type ConvLayer struct {
+	W, B *V
+	Spec tensor.ConvSpec
+}
+
+// NewConv allocates a conv layer with fan-in scaled init.
+func NewConv(r *stats.RNG, spec tensor.ConvSpec) *ConvLayer {
+	fanIn := spec.InC * spec.KH * spec.KW
+	l := &ConvLayer{W: Param(spec.OutC, fanIn), B: Param(spec.OutC), Spec: spec}
+	l.W.X.Randn(r, math.Sqrt(2.0/float64(fanIn)))
+	return l
+}
+
+// Apply runs the layer on x [N,C,H,W].
+func (l *ConvLayer) Apply(t *Tape, x *V) *V { return t.Conv2D(x, l.W, l.B, l.Spec) }
+
+// Params returns the layer's trainable parameters.
+func (l *ConvLayer) Params() []*V { return []*V{l.W, l.B} }
+
+// NormLayer bundles LayerNorm's gamma and beta.
+type NormLayer struct {
+	Gamma, Beta *V
+}
+
+// NewNorm allocates a norm layer (gamma=1, beta=0).
+func NewNorm(d int) *NormLayer {
+	n := &NormLayer{Gamma: Param(d), Beta: Param(d)}
+	n.Gamma.X.Fill(1)
+	return n
+}
+
+// Apply normalizes x [N,D].
+func (n *NormLayer) Apply(t *Tape, x *V) *V { return t.LayerNorm(x, n.Gamma, n.Beta) }
+
+// Params returns gamma and beta.
+func (n *NormLayer) Params() []*V { return []*V{n.Gamma, n.Beta} }
+
+// EmbeddingLayer is a learned lookup table [K,D].
+type EmbeddingLayer struct {
+	Table *V
+}
+
+// NewEmbedding allocates a K x D table with N(0, 0.02) init (the
+// scale Stable Diffusion uses for token embeddings).
+func NewEmbedding(r *stats.RNG, k, d int) *EmbeddingLayer {
+	e := &EmbeddingLayer{Table: Param(k, d)}
+	e.Table.X.Randn(r, 0.02)
+	return e
+}
+
+// Apply looks up rows by index.
+func (e *EmbeddingLayer) Apply(t *Tape, idx []int) *V { return t.Gather(e.Table, idx) }
+
+// Params returns the table.
+func (e *EmbeddingLayer) Params() []*V { return []*V{e.Table} }
+
+// SinusoidalEmbedding returns the standard transformer/DDPM timestep
+// features [N, dim]: sin/cos at geometrically spaced frequencies. It
+// is a fixed encoding, not a parameter.
+func SinusoidalEmbedding(steps []int, dim int) *tensor.Tensor {
+	out := tensor.New(len(steps), dim)
+	half := dim / 2
+	for r, s := range steps {
+		for j := 0; j < half; j++ {
+			freq := math.Exp(-math.Log(10000) * float64(j) / float64(half))
+			angle := float64(s) * freq
+			out.Data[r*dim+j] = float32(math.Sin(angle))
+			out.Data[r*dim+half+j] = float32(math.Cos(angle))
+		}
+	}
+	return out
+}

@@ -1,0 +1,266 @@
+// Package nn is a small reverse-mode automatic-differentiation engine
+// and neural-network toolkit built on the tensor package. It provides
+// exactly the operations the diffusion denoiser, LoRA adapters,
+// ControlNet branch and GAN baseline need: linear and convolutional
+// layers, pointwise activations, layer normalization, embeddings,
+// nearest-neighbor upsampling, and reduction losses — each with a
+// hand-written, gradient-checked backward.
+//
+// Usage follows the tape pattern: ops record their backward closures
+// onto a Tape; Backward(loss) seeds the loss gradient and unwinds the
+// tape. Parameters are persistent Vs whose gradients accumulate across
+// the step until an optimizer consumes them.
+package nn
+
+import (
+	"fmt"
+
+	"trafficdiff/internal/tensor"
+)
+
+// V is a tensor value in the autodiff graph with its gradient.
+type V struct {
+	X *tensor.Tensor
+	G *tensor.Tensor
+}
+
+// NewV wraps x as a graph value with a zero gradient.
+func NewV(x *tensor.Tensor) *V {
+	return &V{X: x, G: tensor.New(x.Shape...)}
+}
+
+// Param allocates a parameter with the given shape.
+func Param(shape ...int) *V { return NewV(tensor.New(shape...)) }
+
+// ZeroGrad clears the gradient.
+func (v *V) ZeroGrad() { v.G.Zero() }
+
+// Tape records backward closures in execution order.
+type Tape struct {
+	steps []func()
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// record appends a backward closure.
+func (t *Tape) record(f func()) { t.steps = append(t.steps, f) }
+
+// Backward seeds d(loss)/d(loss)=1 and runs all recorded closures in
+// reverse. loss must be scalar (one element).
+func (t *Tape) Backward(loss *V) {
+	if loss.X.Len() != 1 {
+		panic(fmt.Sprintf("nn: Backward needs a scalar loss, got shape %v", loss.X.Shape))
+	}
+	loss.G.Data[0] = 1
+	for i := len(t.steps) - 1; i >= 0; i-- {
+		t.steps[i]()
+	}
+	t.steps = t.steps[:0]
+}
+
+// Reset drops recorded steps without running them (e.g. after a
+// forward-only pass).
+func (t *Tape) Reset() { t.steps = t.steps[:0] }
+
+// Add returns a+b (same shapes).
+func (t *Tape) Add(a, b *V) *V {
+	if !a.X.SameShape(b.X) {
+		panic("nn: Add shape mismatch")
+	}
+	out := NewV(a.X.Clone())
+	out.X.AddInto(b.X)
+	t.record(func() {
+		a.G.AddInto(out.G)
+		b.G.AddInto(out.G)
+	})
+	return out
+}
+
+// Sub returns a-b.
+func (t *Tape) Sub(a, b *V) *V {
+	if !a.X.SameShape(b.X) {
+		panic("nn: Sub shape mismatch")
+	}
+	out := NewV(a.X.Clone())
+	for i, v := range b.X.Data {
+		out.X.Data[i] -= v
+	}
+	t.record(func() {
+		a.G.AddInto(out.G)
+		for i, g := range out.G.Data {
+			b.G.Data[i] -= g
+		}
+	})
+	return out
+}
+
+// Mul returns the elementwise product.
+func (t *Tape) Mul(a, b *V) *V {
+	if !a.X.SameShape(b.X) {
+		panic("nn: Mul shape mismatch")
+	}
+	out := NewV(tensor.New(a.X.Shape...))
+	for i := range out.X.Data {
+		out.X.Data[i] = a.X.Data[i] * b.X.Data[i]
+	}
+	t.record(func() {
+		for i, g := range out.G.Data {
+			a.G.Data[i] += g * b.X.Data[i]
+			b.G.Data[i] += g * a.X.Data[i]
+		}
+	})
+	return out
+}
+
+// Scale returns s*a for a constant s.
+func (t *Tape) Scale(a *V, s float32) *V {
+	out := NewV(tensor.New(a.X.Shape...))
+	for i, v := range a.X.Data {
+		out.X.Data[i] = s * v
+	}
+	t.record(func() {
+		for i, g := range out.G.Data {
+			a.G.Data[i] += s * g
+		}
+	})
+	return out
+}
+
+// AddConst returns a+c for a constant c.
+func (t *Tape) AddConst(a *V, c float32) *V {
+	out := NewV(tensor.New(a.X.Shape...))
+	for i, v := range a.X.Data {
+		out.X.Data[i] = v + c
+	}
+	t.record(func() { a.G.AddInto(out.G) })
+	return out
+}
+
+// Reshape returns a view of a with a new shape. The gradient flows
+// back through the same view.
+func (t *Tape) Reshape(a *V, shape ...int) *V {
+	out := &V{X: a.X.Reshape(shape...), G: a.G.Reshape(shape...)}
+	return out // shared storage: no tape step needed
+}
+
+// Concat0 concatenates along axis 0 (rows) for 2-D values with equal
+// column counts.
+func (t *Tape) Concat0(a, b *V) *V {
+	if len(a.X.Shape) != 2 || len(b.X.Shape) != 2 || a.X.Shape[1] != b.X.Shape[1] {
+		panic("nn: Concat0 needs 2-D inputs with equal columns")
+	}
+	rows := a.X.Shape[0] + b.X.Shape[0]
+	out := NewV(tensor.New(rows, a.X.Shape[1]))
+	copy(out.X.Data, a.X.Data)
+	copy(out.X.Data[len(a.X.Data):], b.X.Data)
+	t.record(func() {
+		for i := range a.G.Data {
+			a.G.Data[i] += out.G.Data[i]
+		}
+		off := len(a.G.Data)
+		for i := range b.G.Data {
+			b.G.Data[i] += out.G.Data[off+i]
+		}
+	})
+	return out
+}
+
+// MatMul returns a·b for a [m,k], b [k,n].
+func (t *Tape) MatMul(a, b *V) *V {
+	out := NewV(tensor.MatMul(a.X, b.X))
+	t.record(func() {
+		// da = dout·bᵀ ; db = aᵀ·dout
+		a.G.AddInto(tensor.MatMulABT(out.G, b.X))
+		b.G.AddInto(tensor.MatMulATB(a.X, out.G))
+	})
+	return out
+}
+
+// Linear computes x·wᵀ + bias for x [N,in], w [out,in], bias [out].
+func (t *Tape) Linear(x, w, bias *V) *V {
+	n, in := x.X.Shape[0], x.X.Shape[1]
+	outDim := w.X.Shape[0]
+	if w.X.Shape[1] != in || bias.X.Shape[0] != outDim {
+		panic(fmt.Sprintf("nn: Linear shapes x%v w%v b%v", x.X.Shape, w.X.Shape, bias.X.Shape))
+	}
+	y := tensor.MatMulABT(x.X, w.X)
+	for r := 0; r < n; r++ {
+		row := y.Data[r*outDim:]
+		for o := 0; o < outDim; o++ {
+			row[o] += bias.X.Data[o]
+		}
+	}
+	out := NewV(y)
+	t.record(func() {
+		// dx = dout·w ; dw = doutᵀ·x ; db = column sums of dout
+		x.G.AddInto(tensor.MatMul(out.G, w.X))
+		w.G.AddInto(tensor.MatMulATB(out.G, x.X))
+		for r := 0; r < n; r++ {
+			row := out.G.Data[r*outDim:]
+			for o := 0; o < outDim; o++ {
+				bias.G.Data[o] += row[o]
+			}
+		}
+	})
+	return out
+}
+
+// AddRowBroadcast adds row vector b [D] to every row of a [N,D].
+func (t *Tape) AddRowBroadcast(a, b *V) *V {
+	n, d := a.X.Shape[0], a.X.Shape[1]
+	if b.X.Shape[0] != d {
+		panic("nn: AddRowBroadcast width mismatch")
+	}
+	out := NewV(a.X.Clone())
+	for r := 0; r < n; r++ {
+		row := out.X.Data[r*d:]
+		for j := 0; j < d; j++ {
+			row[j] += b.X.Data[j]
+		}
+	}
+	t.record(func() {
+		a.G.AddInto(out.G)
+		for r := 0; r < n; r++ {
+			row := out.G.Data[r*d:]
+			for j := 0; j < d; j++ {
+				b.G.Data[j] += row[j]
+			}
+		}
+	})
+	return out
+}
+
+// AddChannelBroadcast adds per-sample channel vector b [N,C] across
+// the spatial dims of a [N,C,H,W] (FiLM-style conditioning injection).
+func (t *Tape) AddChannelBroadcast(a, b *V) *V {
+	n, c := a.X.Shape[0], a.X.Shape[1]
+	spatial := a.X.Shape[2] * a.X.Shape[3]
+	if b.X.Shape[0] != n || b.X.Shape[1] != c {
+		panic("nn: AddChannelBroadcast shape mismatch")
+	}
+	out := NewV(a.X.Clone())
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			bv := b.X.Data[i*c+ch]
+			seg := out.X.Data[(i*c+ch)*spatial : (i*c+ch+1)*spatial]
+			for j := range seg {
+				seg[j] += bv
+			}
+		}
+	}
+	t.record(func() {
+		a.G.AddInto(out.G)
+		for i := 0; i < n; i++ {
+			for ch := 0; ch < c; ch++ {
+				seg := out.G.Data[(i*c+ch)*spatial : (i*c+ch+1)*spatial]
+				var sum float32
+				for _, g := range seg {
+					sum += g
+				}
+				b.G.Data[i*c+ch] += sum
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,234 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"trafficdiff/internal/stats"
+	"trafficdiff/internal/tensor"
+)
+
+func TestBackwardRequiresScalar(t *testing.T) {
+	tp := NewTape()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-scalar loss")
+		}
+	}()
+	tp.Backward(NewV(tensor.New(2)))
+}
+
+func TestTapeResetDropsSteps(t *testing.T) {
+	tp := NewTape()
+	a := NewV(tensor.FromSlice([]float32{1, 2}, 2))
+	b := NewV(tensor.FromSlice([]float32{3, 4}, 2))
+	_ = tp.Add(a, b)
+	tp.Reset()
+	if len(tp.steps) != 0 {
+		t.Fatal("reset did not clear steps")
+	}
+}
+
+func TestSinusoidalEmbeddingProperties(t *testing.T) {
+	emb := SinusoidalEmbedding([]int{0, 5, 100}, 16)
+	if emb.Shape[0] != 3 || emb.Shape[1] != 16 {
+		t.Fatalf("shape = %v", emb.Shape)
+	}
+	// t=0: all sins are 0, all cos are 1.
+	for j := 0; j < 8; j++ {
+		if emb.Data[j] != 0 {
+			t.Errorf("sin(0) feature %d = %v", j, emb.Data[j])
+		}
+		if emb.Data[8+j] != 1 {
+			t.Errorf("cos(0) feature %d = %v", j, emb.Data[8+j])
+		}
+	}
+	// Distinct timesteps produce distinct embeddings.
+	same := true
+	for j := 0; j < 16; j++ {
+		if emb.Data[16+j] != emb.Data[32+j] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("timesteps 5 and 100 share an embedding")
+	}
+}
+
+func TestAdamMinimizesQuadratic(t *testing.T) {
+	// Minimize ||x - c||^2: Adam should converge near c.
+	x := Param(4)
+	c := tensor.FromSlice([]float32{1, -2, 3, 0.5}, 4)
+	opt := NewAdam(0.1, []*V{x})
+	for i := 0; i < 300; i++ {
+		tp := NewTape()
+		loss := tp.MSE(x, c)
+		tp.Backward(loss)
+		opt.Step()
+	}
+	for i := range c.Data {
+		if math.Abs(float64(x.X.Data[i]-c.Data[i])) > 0.05 {
+			t.Fatalf("x[%d] = %v, want %v", i, x.X.Data[i], c.Data[i])
+		}
+	}
+}
+
+func TestAdamClipNorm(t *testing.T) {
+	x := Param(2)
+	opt := NewAdam(0.1, []*V{x})
+	opt.ClipNorm = 1
+	x.G.Data[0], x.G.Data[1] = 30, 40 // norm 50
+	if math.Abs(opt.GradNorm()-50) > 1e-6 {
+		t.Fatalf("grad norm = %v", opt.GradNorm())
+	}
+	opt.Step()
+	// After step gradients are zeroed.
+	if x.G.Data[0] != 0 || x.G.Data[1] != 0 {
+		t.Fatal("step did not zero gradients")
+	}
+	// First Adam step magnitude ≈ lr regardless, but must be finite and
+	// in the descent direction.
+	if !(x.X.Data[0] < 0 && x.X.Data[1] < 0) {
+		t.Fatalf("descent direction wrong: %v", x.X.Data)
+	}
+}
+
+func TestLinearLayerTrainsXORish(t *testing.T) {
+	// Small 2-layer net learns a linearly nonseparable function,
+	// proving end-to-end training through Linear+Tanh works.
+	r := stats.NewRNG(42)
+	l1 := NewLinear(r, 2, 8)
+	l2 := NewLinear(r, 8, 1)
+	params := append(l1.Params(), l2.Params()...)
+	opt := NewAdam(0.05, params)
+
+	xs := tensor.FromSlice([]float32{0, 0, 0, 1, 1, 0, 1, 1}, 4, 2)
+	ys := tensor.FromSlice([]float32{0, 1, 1, 0}, 4, 1)
+	var last float32
+	for i := 0; i < 800; i++ {
+		tp := NewTape()
+		h := tp.Tanh(l1.Apply(tp, NewV(xs)))
+		out := l2.Apply(tp, h)
+		loss := tp.MSE(out, ys)
+		last = loss.X.Data[0]
+		tp.Backward(loss)
+		opt.Step()
+	}
+	if last > 0.05 {
+		t.Fatalf("XOR loss did not converge: %v", last)
+	}
+}
+
+func TestNormLayerOutputStats(t *testing.T) {
+	r := stats.NewRNG(1)
+	norm := NewNorm(32)
+	x := NewV(tensor.New(4, 32).Randn(r, 5))
+	tp := NewTape()
+	y := norm.Apply(tp, x)
+	tp.Reset()
+	for row := 0; row < 4; row++ {
+		var sum, sq float64
+		for j := 0; j < 32; j++ {
+			v := float64(y.X.Data[row*32+j])
+			sum += v
+			sq += v * v
+		}
+		mean := sum / 32
+		std := math.Sqrt(sq/32 - mean*mean)
+		if math.Abs(mean) > 1e-4 || math.Abs(std-1) > 1e-2 {
+			t.Fatalf("row %d: mean=%v std=%v", row, mean, std)
+		}
+	}
+}
+
+func TestEmbeddingLookup(t *testing.T) {
+	r := stats.NewRNG(2)
+	emb := NewEmbedding(r, 3, 4)
+	tp := NewTape()
+	out := emb.Apply(tp, []int{2, 0})
+	tp.Reset()
+	for j := 0; j < 4; j++ {
+		if out.X.Data[j] != emb.Table.X.Data[2*4+j] {
+			t.Fatal("row 0 should be table row 2")
+		}
+		if out.X.Data[4+j] != emb.Table.X.Data[j] {
+			t.Fatal("row 1 should be table row 0")
+		}
+	}
+}
+
+func TestConvLayerShapes(t *testing.T) {
+	r := stats.NewRNG(3)
+	layer := NewConv(r, tensor.ConvSpec{InC: 1, OutC: 4, KH: 3, KW: 3, Stride: 2, Pad: 1})
+	tp := NewTape()
+	x := NewV(tensor.New(2, 1, 8, 8).Randn(r, 1))
+	y := layer.Apply(tp, x)
+	tp.Reset()
+	want := []int{2, 4, 4, 4}
+	for i, d := range want {
+		if y.X.Shape[i] != d {
+			t.Fatalf("shape = %v, want %v", y.X.Shape, want)
+		}
+	}
+}
+
+func TestTrainingLossIsFinite(t *testing.T) {
+	// Failure-injection style check: even with aggressive LR the loss
+	// must remain finite thanks to clipping.
+	r := stats.NewRNG(4)
+	l := NewLinear(r, 4, 4)
+	opt := NewAdam(0.5, l.Params())
+	opt.ClipNorm = 1
+	x := tensor.New(8, 4).Randn(r, 10)
+	y := tensor.New(8, 4).Randn(r, 10)
+	for i := 0; i < 50; i++ {
+		tp := NewTape()
+		loss := tp.MSE(l.Apply(tp, NewV(x)), y)
+		if math.IsNaN(float64(loss.X.Data[0])) || math.IsInf(float64(loss.X.Data[0]), 0) {
+			t.Fatalf("loss became non-finite at step %d", i)
+		}
+		tp.Backward(loss)
+		opt.Step()
+	}
+}
+
+func TestEMAFollowsParameters(t *testing.T) {
+	p := Param(2)
+	p.X.Data[0], p.X.Data[1] = 1, -1
+	ema := NewEMA(0.9, []*V{p})
+	// Constant params: average stays equal.
+	for i := 0; i < 10; i++ {
+		ema.Update()
+	}
+	ema.Swap()
+	if p.X.Data[0] != 1 || p.X.Data[1] != -1 {
+		t.Fatalf("constant-param EMA drifted: %v", p.X.Data)
+	}
+	ema.Swap() // restore
+
+	// Step change: the average lags behind, between old and new.
+	p.X.Data[0] = 11
+	ema.Update()
+	ema.Swap()
+	avg := p.X.Data[0]
+	ema.Swap()
+	if avg <= 1 || avg >= 11 {
+		t.Fatalf("EMA after step change = %v, want in (1, 11)", avg)
+	}
+}
+
+func TestEMASwapRoundTrip(t *testing.T) {
+	p := Param(3)
+	p.X.Data[0], p.X.Data[1], p.X.Data[2] = 1, 2, 3
+	ema := NewEMA(0.5, []*V{p})
+	p.X.Data[0] = 9
+	ema.Update()
+	before := append([]float32(nil), p.X.Data...)
+	ema.Swap()
+	ema.Swap()
+	for i := range before {
+		if p.X.Data[i] != before[i] {
+			t.Fatal("double swap did not restore live weights")
+		}
+	}
+}

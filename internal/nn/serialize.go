@@ -1,0 +1,61 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// paramBlob is the on-disk form of one parameter tensor.
+type paramBlob struct {
+	Shape []int
+	Data  []float32
+}
+
+// checkpoint is the on-disk form of a parameter list.
+type checkpoint struct {
+	Version int
+	Params  []paramBlob
+}
+
+// SaveParams writes the parameter values (not gradients) to w in a
+// stable binary format. The parameter order defines the layout; load
+// into a model built with the same constructor arguments.
+func SaveParams(w io.Writer, params []*V) error {
+	ck := checkpoint{Version: 1}
+	for _, p := range params {
+		ck.Params = append(ck.Params, paramBlob{Shape: p.X.Shape, Data: p.X.Data})
+	}
+	return gob.NewEncoder(w).Encode(ck)
+}
+
+// LoadParams reads a checkpoint written by SaveParams into params.
+// Every parameter's shape must match.
+func LoadParams(r io.Reader, params []*V) error {
+	var ck checkpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return fmt.Errorf("nn: decoding checkpoint: %w", err)
+	}
+	if ck.Version != 1 {
+		return fmt.Errorf("nn: unsupported checkpoint version %d", ck.Version)
+	}
+	if len(ck.Params) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d params, model has %d", len(ck.Params), len(params))
+	}
+	for i, blob := range ck.Params {
+		p := params[i]
+		if len(blob.Data) != len(p.X.Data) {
+			return fmt.Errorf("nn: param %d has %d values, model wants %d", i, len(blob.Data), len(p.X.Data))
+		}
+		if len(blob.Shape) != len(p.X.Shape) {
+			return fmt.Errorf("nn: param %d shape %v, model wants %v", i, blob.Shape, p.X.Shape)
+		}
+		for j := range blob.Shape {
+			if blob.Shape[j] != p.X.Shape[j] {
+				return fmt.Errorf("nn: param %d shape %v, model wants %v", i, blob.Shape, p.X.Shape)
+			}
+		}
+		copy(p.X.Data, blob.Data)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"trafficdiff/internal/stats"
+	"trafficdiff/internal/tensor"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	r := stats.NewRNG(1)
+	l1 := NewLinear(r, 4, 8)
+	l2 := NewLinear(r, 8, 2)
+	params := append(l1.Params(), l2.Params()...)
+
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, params); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh model with different init.
+	r2 := stats.NewRNG(99)
+	m1 := NewLinear(r2, 4, 8)
+	m2 := NewLinear(r2, 8, 2)
+	fresh := append(m1.Params(), m2.Params()...)
+	if err := LoadParams(&buf, fresh); err != nil {
+		t.Fatal(err)
+	}
+	for i := range params {
+		for j := range params[i].X.Data {
+			if params[i].X.Data[j] != fresh[i].X.Data[j] {
+				t.Fatalf("param %d elem %d differs after load", i, j)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsMismatchedCount(t *testing.T) {
+	r := stats.NewRNG(1)
+	l := NewLinear(r, 2, 2)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, l.Params()); err != nil {
+		t.Fatal(err)
+	}
+	other := NewLinear(r, 2, 2)
+	tooMany := append(other.Params(), Param(1))
+	if err := LoadParams(&buf, tooMany); err == nil {
+		t.Fatal("expected count mismatch error")
+	}
+}
+
+func TestLoadRejectsMismatchedShape(t *testing.T) {
+	r := stats.NewRNG(1)
+	l := NewLinear(r, 2, 3)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, l.Params()); err != nil {
+		t.Fatal(err)
+	}
+	wrong := NewLinear(r, 3, 2)
+	if err := LoadParams(&buf, wrong.Params()); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if err := LoadParams(bytes.NewReader([]byte("not a checkpoint")), []*V{Param(1)}); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestLoadPreservesZeroGradState(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewV(tensor.FromSlice([]float32{1, 2, 3}, 3))
+	if err := SaveParams(&buf, []*V{p}); err != nil {
+		t.Fatal(err)
+	}
+	q := Param(3)
+	q.G.Data[0] = 42 // stale gradient must survive untouched (values only)
+	if err := LoadParams(&buf, []*V{q}); err != nil {
+		t.Fatal(err)
+	}
+	if q.X.Data[2] != 3 {
+		t.Fatal("values not loaded")
+	}
+	if q.G.Data[0] != 42 {
+		t.Fatal("LoadParams should not touch gradients")
+	}
+}

@@ -1,0 +1,79 @@
+package nprint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV serializes a matrix as the nprint tool's CSV layout: one
+// row per packet, 1088 comma-separated values in {-1,0,1}, preceded by
+// a header line naming the sections.
+func WriteCSV(w io.Writer, m *Matrix) error {
+	bw := bufio.NewWriter(w)
+	header := fmt.Sprintf("# nprint bits=%d ipv4=%d tcp=%d udp=%d icmp=%d rows=%d",
+		BitsPerPacket, IPv4Bits, TCPBits, UDPBits, ICMPBits, m.NumRows)
+	if _, err := fmt.Fprintln(bw, header); err != nil {
+		return err
+	}
+	for r := 0; r < m.NumRows; r++ {
+		row := m.Row(r)
+		for c, v := range row {
+			if c > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(int(v))); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses the WriteCSV format. Lines beginning with '#' are
+// ignored; every data line must carry exactly 1088 values in
+// {-1,0,1}.
+func ReadCSV(r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var rows [][]int8
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != BitsPerPacket {
+			return nil, fmt.Errorf("nprint: line %d has %d values, want %d", lineNo, len(parts), BitsPerPacket)
+		}
+		row := make([]int8, BitsPerPacket)
+		for i, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return nil, fmt.Errorf("nprint: line %d col %d: %w", lineNo, i, err)
+			}
+			if v < -1 || v > 1 {
+				return nil, fmt.Errorf("nprint: line %d col %d: value %d not in {-1,0,1}", lineNo, i, v)
+			}
+			row[i] = int8(v)
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	m := NewMatrix(len(rows))
+	for i, row := range rows {
+		copy(m.Row(i), row)
+	}
+	return m, nil
+}

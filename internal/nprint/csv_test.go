@@ -1,0 +1,73 @@
+package nprint
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"trafficdiff/internal/flow"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	f := &flow.Flow{}
+	for i := 0; i < 3; i++ {
+		f.Append(buildTCP(t, nil, 10*i))
+	}
+	in := FromFlow(f, 0)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows != in.NumRows {
+		t.Fatalf("rows %d != %d", out.NumRows, in.NumRows)
+	}
+	for i := range in.Data {
+		if in.Data[i] != out.Data[i] {
+			t.Fatalf("cell %d mismatch", i)
+		}
+	}
+}
+
+func TestCSVEmptyMatrix(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, NewMatrix(0)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows != 0 {
+		t.Fatalf("rows = %d", out.NumRows)
+	}
+}
+
+func TestCSVRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"short row":    "1,0,-1\n",
+		"bad value":    strings.Repeat("2,", BitsPerPacket-1) + "2\n",
+		"non-numeric":  strings.Repeat("x,", BitsPerPacket-1) + "x\n",
+		"out of range": strings.Repeat("-1,", BitsPerPacket-1) + "9\n",
+	}
+	for name, data := range cases {
+		if _, err := ReadCSV(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestCSVSkipsComments(t *testing.T) {
+	row := strings.Repeat("0,", BitsPerPacket-1) + "1"
+	data := "# header\n\n" + row + "\n# trailer\n"
+	m, err := ReadCSV(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRows != 1 || m.Row(0)[BitsPerPacket-1] != 1 {
+		t.Fatal("comment handling broke parsing")
+	}
+}

@@ -1,0 +1,126 @@
+package nprint
+
+import (
+	"trafficdiff/internal/flow"
+	"trafficdiff/internal/packet"
+)
+
+// EncodePacket writes p's header bits into row. The row must be
+// BitsPerPacket wide; positions for headers the packet does not carry
+// are set to Vacant.
+func EncodePacket(row []int8, p *packet.Packet) {
+	for i := range row {
+		row[i] = Vacant
+	}
+	ip := p.IPv4
+	if ip == nil {
+		return
+	}
+
+	// IPv4 section: serialize the header exactly as it would appear on
+	// the wire (without payload) and write IHL*4 bytes of bits; the
+	// remainder of the 60-byte region stays vacant.
+	ipHdr := serializeIPv4Header(ip)
+	writeBits(row, IPv4Offset, ipHdr)
+
+	switch {
+	case p.TCP != nil:
+		writeBits(row, TCPOffset, serializeTCPHeader(p.TCP))
+	case p.UDP != nil:
+		writeBits(row, UDPOffset, serializeUDPHeader(p.UDP))
+	case p.ICMP != nil:
+		writeBits(row, ICMPOffset, serializeICMPHeader(p.ICMP))
+	}
+}
+
+// serializeIPv4Header renders the IPv4 header bytes verbatim from the
+// decoded fields (no checksum or length recomputation — nprint must
+// reflect the capture, warts and all).
+func serializeIPv4Header(ip *packet.IPv4) []byte {
+	hlen := ip.HeaderLen()
+	if hlen < 20 {
+		hlen = 20
+	}
+	if hlen > 60 {
+		hlen = 60
+	}
+	out := make([]byte, hlen)
+	out[0] = ip.Version<<4 | uint8(hlen/4)
+	out[1] = ip.TOS
+	be16(out[2:], ip.Length)
+	be16(out[4:], ip.ID)
+	be16(out[6:], uint16(ip.Flags)<<13|ip.FragOffset&0x1fff)
+	out[8] = ip.TTL
+	out[9] = byte(ip.Protocol)
+	be16(out[10:], ip.Checksum)
+	copy(out[12:16], ip.SrcIP[:])
+	copy(out[16:20], ip.DstIP[:])
+	copy(out[20:], ip.Options)
+	return out
+}
+
+func serializeTCPHeader(t *packet.TCP) []byte {
+	hlen := t.HeaderLen()
+	if hlen < 20 {
+		hlen = 20
+	}
+	if hlen > 60 {
+		hlen = 60
+	}
+	out := make([]byte, hlen)
+	be16(out[0:], t.SrcPort)
+	be16(out[2:], t.DstPort)
+	be32(out[4:], t.Seq)
+	be32(out[8:], t.Ack)
+	be16(out[12:], uint16(hlen/4)<<12|uint16(t.Flags)&0x1ff)
+	be16(out[14:], t.Window)
+	be16(out[16:], t.Checksum)
+	be16(out[18:], t.Urgent)
+	copy(out[20:], t.Options)
+	return out
+}
+
+func serializeUDPHeader(u *packet.UDP) []byte {
+	out := make([]byte, 8)
+	be16(out[0:], u.SrcPort)
+	be16(out[2:], u.DstPort)
+	be16(out[4:], u.Length)
+	be16(out[6:], u.Checksum)
+	return out
+}
+
+func serializeICMPHeader(i *packet.ICMPv4) []byte {
+	out := make([]byte, 8)
+	out[0] = i.Type
+	out[1] = i.Code
+	be16(out[2:], i.Checksum)
+	copy(out[4:], i.RestOfHeader[:])
+	return out
+}
+
+func be16(b []byte, v uint16) { b[0] = byte(v >> 8); b[1] = byte(v) }
+func be32(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+
+// FromFlow encodes up to maxRows packets of f into a Matrix. maxRows
+// <= 0 means MaxPacketsPerFlow. Flows longer than the cap are
+// truncated (paper §3.2: "the first 1024 packets of each network
+// flow").
+func FromFlow(f *flow.Flow, maxRows int) *Matrix {
+	if maxRows <= 0 || maxRows > MaxPacketsPerFlow {
+		maxRows = MaxPacketsPerFlow
+	}
+	n := len(f.Packets)
+	if n > maxRows {
+		n = maxRows
+	}
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		EncodePacket(m.Row(i), f.Packets[i])
+	}
+	return m
+}

@@ -1,0 +1,324 @@
+package nprint
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"trafficdiff/internal/flow"
+	"trafficdiff/internal/packet"
+)
+
+var t0 = time.Date(2023, 11, 28, 10, 0, 0, 0, time.UTC)
+
+func buildTCP(t testing.TB, opts []byte, payloadLen int) *packet.Packet {
+	t.Helper()
+	var b packet.Builder
+	ip := packet.IPv4{TTL: 64, SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 0, 0, 2}, ID: 77}
+	tcp := packet.TCP{SrcPort: 443, DstPort: 50123, Seq: 111, Ack: 222, Flags: packet.FlagACK | packet.FlagPSH, Window: 29200, Options: opts}
+	return b.BuildTCP(t0, ip, tcp, make([]byte, payloadLen))
+}
+
+func TestEncodeTCPSections(t *testing.T) {
+	p := buildTCP(t, nil, 0)
+	row := make([]int8, BitsPerPacket)
+	EncodePacket(row, p)
+
+	if SectionVacant(row, IPv4Offset, IPv4Bits) {
+		t.Error("IPv4 section vacant")
+	}
+	if SectionVacant(row, TCPOffset, TCPBits) {
+		t.Error("TCP section vacant")
+	}
+	if !SectionVacant(row, UDPOffset, UDPBits) {
+		t.Error("UDP section should be vacant for TCP packet")
+	}
+	if !SectionVacant(row, ICMPOffset, ICMPBits) {
+		t.Error("ICMP section should be vacant for TCP packet")
+	}
+	// Without options, bits beyond the 20-byte TCP header are vacant.
+	if !SectionVacant(row, TCPOffset+160, TCPBits-160) {
+		t.Error("TCP option region should be vacant without options")
+	}
+}
+
+func TestEncodeUDPSections(t *testing.T) {
+	var b packet.Builder
+	ip := packet.IPv4{TTL: 64, SrcIP: [4]byte{1, 2, 3, 4}, DstIP: [4]byte{5, 6, 7, 8}}
+	p := b.BuildUDP(t0, ip, packet.UDP{SrcPort: 3478, DstPort: 9999}, []byte{1, 2})
+	row := make([]int8, BitsPerPacket)
+	EncodePacket(row, p)
+	if SectionVacant(row, UDPOffset, UDPBits) {
+		t.Error("UDP section vacant")
+	}
+	if !SectionVacant(row, TCPOffset, TCPBits) {
+		t.Error("TCP section should be vacant for UDP packet")
+	}
+}
+
+func TestEncodeICMPSections(t *testing.T) {
+	var b packet.Builder
+	ip := packet.IPv4{TTL: 64, SrcIP: [4]byte{1, 2, 3, 4}, DstIP: [4]byte{5, 6, 7, 8}}
+	var ic packet.ICMPv4
+	ic.Type = packet.ICMPEchoRequest
+	ic.SetEcho(3, 4)
+	p := b.BuildICMP(t0, ip, ic, nil)
+	row := make([]int8, BitsPerPacket)
+	EncodePacket(row, p)
+	if SectionVacant(row, ICMPOffset, ICMPBits) {
+		t.Error("ICMP section vacant")
+	}
+	if !SectionVacant(row, TCPOffset, TCPBits) || !SectionVacant(row, UDPOffset, UDPBits) {
+		t.Error("TCP/UDP sections should be vacant for ICMP packet")
+	}
+}
+
+func TestRoundTripTCP(t *testing.T) {
+	in := buildTCP(t, []byte{2, 4, 5, 180}, 100)
+	row := make([]int8, BitsPerPacket)
+	EncodePacket(row, in)
+	out, err := DecodeRow(row, t0, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TCP == nil {
+		t.Fatal("decoded packet lacks TCP")
+	}
+	if out.TCP.SrcPort != 443 || out.TCP.DstPort != 50123 ||
+		out.TCP.Seq != 111 || out.TCP.Ack != 222 ||
+		out.TCP.Flags != packet.FlagACK|packet.FlagPSH ||
+		out.TCP.Window != 29200 {
+		t.Errorf("TCP fields mismatch: %+v", out.TCP)
+	}
+	if len(out.TCP.Options) != 4 || out.TCP.Options[0] != 2 {
+		t.Errorf("options = %v", out.TCP.Options)
+	}
+	if out.IPv4.TTL != 64 || out.IPv4.ID != 77 {
+		t.Errorf("IP fields mismatch: %+v", out.IPv4)
+	}
+	// Payload sizing preserved via IP length.
+	if len(out.Payload) != 100 {
+		t.Errorf("payload size = %d, want 100", len(out.Payload))
+	}
+}
+
+func TestRoundTripUDPAndICMP(t *testing.T) {
+	var b packet.Builder
+	ip := packet.IPv4{TTL: 55, SrcIP: [4]byte{9, 9, 9, 9}, DstIP: [4]byte{8, 8, 8, 8}}
+	udpIn := b.BuildUDP(t0, ip, packet.UDP{SrcPort: 500, DstPort: 4500}, make([]byte, 64))
+	row := make([]int8, BitsPerPacket)
+	EncodePacket(row, udpIn)
+	out, err := DecodeRow(row, t0, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.UDP == nil || out.UDP.SrcPort != 500 || out.UDP.DstPort != 4500 {
+		t.Fatalf("udp round trip: %+v", out.UDP)
+	}
+	if len(out.Payload) != 64 {
+		t.Errorf("udp payload = %d", len(out.Payload))
+	}
+
+	var ic packet.ICMPv4
+	ic.Type = packet.ICMPEchoReply
+	ic.SetEcho(21, 42)
+	icmpIn := b.BuildICMP(t0, ip, ic, nil)
+	EncodePacket(row, icmpIn)
+	out, err = DecodeRow(row, t0, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ICMP == nil || out.ICMP.Type != packet.ICMPEchoReply || out.ICMP.ID() != 21 || out.ICMP.Seq() != 42 {
+		t.Fatalf("icmp round trip: %+v", out.ICMP)
+	}
+}
+
+func TestQuickRoundTripHeaders(t *testing.T) {
+	f := func(srcPort, dstPort uint16, seq, ack uint32, window uint16, ttl uint8, flags uint16) bool {
+		var b packet.Builder
+		ip := packet.IPv4{TTL: ttl, SrcIP: [4]byte{10, 1, 2, 3}, DstIP: [4]byte{10, 4, 5, 6}}
+		in := b.BuildTCP(t0, ip, packet.TCP{
+			SrcPort: srcPort, DstPort: dstPort, Seq: seq, Ack: ack,
+			Window: window, Flags: packet.TCPFlags(flags) & 0x1ff,
+		}, nil)
+		row := make([]int8, BitsPerPacket)
+		EncodePacket(row, in)
+		out, err := DecodeRow(row, t0, DecodeOptions{})
+		if err != nil {
+			return false
+		}
+		return out.TCP.SrcPort == srcPort && out.TCP.DstPort == dstPort &&
+			out.TCP.Seq == seq && out.TCP.Ack == ack &&
+			out.TCP.Window == window && out.IPv4.TTL == ttl &&
+			out.TCP.Flags == packet.TCPFlags(flags)&0x1ff
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromFlowTruncation(t *testing.T) {
+	f := &flow.Flow{}
+	for i := 0; i < 10; i++ {
+		f.Append(buildTCP(t, nil, 0))
+	}
+	m := FromFlow(f, 4)
+	if m.NumRows != 4 {
+		t.Fatalf("rows = %d, want 4", m.NumRows)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixValidate(t *testing.T) {
+	m := NewMatrix(2)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m.Data[5] = 7
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected validation error for out-of-alphabet cell")
+	}
+	bad := &Matrix{NumRows: 2, Data: make([]int8, 10)}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestDecodeRowNoIP(t *testing.T) {
+	m := NewMatrix(1)
+	_, err := DecodeRow(m.Row(0), t0, DecodeOptions{})
+	if err == nil {
+		t.Fatal("expected error for all-vacant row")
+	}
+}
+
+func TestRepairProtocolMismatch(t *testing.T) {
+	// Build a TCP packet, then corrupt the IP protocol byte bits to UDP.
+	p := buildTCP(t, nil, 0)
+	row := make([]int8, BitsPerPacket)
+	EncodePacket(row, p)
+	// Protocol byte is IP header byte 9 => bits [72, 80). 17 = 00010001.
+	for j := 0; j < 8; j++ {
+		row[IPv4Offset+72+j] = Zero
+	}
+	row[IPv4Offset+72+3] = One
+	row[IPv4Offset+72+7] = One
+
+	// Strict decoding must reject the inconsistency.
+	if _, err := DecodeRow(row, t0, DecodeOptions{}); err == nil {
+		t.Fatal("strict decode accepted protocol mismatch")
+	}
+	// Repair reconciles with the populated TCP section.
+	out, err := DecodeRow(row, t0, DecodeOptions{Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TCP == nil {
+		t.Fatal("repair did not restore TCP")
+	}
+}
+
+func TestRepairInvalidIHL(t *testing.T) {
+	p := buildTCP(t, nil, 0)
+	row := make([]int8, BitsPerPacket)
+	EncodePacket(row, p)
+	// IHL bits are [4,8) of the first byte; set them to 2 (0010).
+	row[IPv4Offset+4] = Zero
+	row[IPv4Offset+5] = Zero
+	row[IPv4Offset+6] = One
+	row[IPv4Offset+7] = Zero
+	if _, err := DecodeRow(row, t0, DecodeOptions{}); err == nil {
+		t.Fatal("strict decode accepted IHL=2")
+	}
+	out, err := DecodeRow(row, t0, DecodeOptions{Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.IPv4.IHL != 5 {
+		t.Errorf("repaired IHL = %d, want 5", out.IPv4.IHL)
+	}
+}
+
+func TestToPacketsSkipsBadRowsInRepairMode(t *testing.T) {
+	f := &flow.Flow{}
+	f.Append(buildTCP(t, nil, 0))
+	f.Append(buildTCP(t, nil, 0))
+	m := FromFlow(f, 0)
+	// Vacate row 1 entirely: undecodable.
+	row := m.Row(1)
+	for i := range row {
+		row[i] = Vacant
+	}
+	pkts, skipped, err := ToPackets(m, DecodeOptions{Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 1 || skipped != 1 {
+		t.Fatalf("pkts=%d skipped=%d", len(pkts), skipped)
+	}
+	_, _, err = ToPackets(m, DecodeOptions{})
+	if err == nil {
+		t.Fatal("strict ToPackets should fail")
+	}
+}
+
+func TestToPacketsTimestampsMonotone(t *testing.T) {
+	f := &flow.Flow{}
+	for i := 0; i < 5; i++ {
+		f.Append(buildTCP(t, nil, 0))
+	}
+	m := FromFlow(f, 0)
+	pkts, _, err := ToPackets(m, DecodeOptions{Repair: true, Start: t0, Interval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pkts); i++ {
+		if !pkts[i].Timestamp.After(pkts[i-1].Timestamp) {
+			t.Fatal("timestamps not strictly increasing")
+		}
+	}
+	if got := pkts[1].Timestamp.Sub(pkts[0].Timestamp); got != 2*time.Millisecond {
+		t.Errorf("interval = %v", got)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := NewMatrix(1)
+	c := m.Clone()
+	c.Data[0] = One
+	if m.Data[0] == One {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestSectionHelpers(t *testing.T) {
+	row := make([]int8, BitsPerPacket)
+	for i := range row {
+		row[i] = Vacant
+	}
+	if !SectionVacant(row, 0, 10) {
+		t.Error("vacant span misreported")
+	}
+	row[3] = Zero
+	if SectionVacant(row, 0, 10) {
+		t.Error("non-vacant span misreported")
+	}
+	if SectionActive(row, 0, 10) {
+		t.Error("zeros are not active")
+	}
+	row[4] = One
+	if !SectionActive(row, 0, 10) {
+		t.Error("active span misreported")
+	}
+}
+
+func TestBitsPerPacketConstant(t *testing.T) {
+	if BitsPerPacket != 1088 {
+		t.Fatalf("BitsPerPacket = %d, want 1088 (paper Figure 2)", BitsPerPacket)
+	}
+	if IPv4Bits != 480 || TCPBits != 480 || UDPBits != 64 || ICMPBits != 64 {
+		t.Fatal("section widths diverge from paper Figure 2")
+	}
+}

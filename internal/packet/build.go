@@ -1,0 +1,51 @@
+package packet
+
+import (
+	"fmt"
+	"time"
+)
+
+// Builder assembles complete Ethernet/IPv4 frames from layer structs.
+// It serializes top-down (the opposite order of gopacket's prepend
+// buffer) because the closed layer set lets each layer size itself
+// without look-ahead.
+type Builder struct {
+	// Eth defaults for every built frame. EtherType is forced to IPv4.
+	Eth Ethernet
+}
+
+// BuildTCP assembles an Ethernet+IPv4+TCP frame. The ip.Protocol,
+// lengths, and checksums are computed; payload may be nil.
+func (b *Builder) BuildTCP(ts time.Time, ip IPv4, tcp TCP, payload []byte) *Packet {
+	ip.Protocol = ProtoTCP
+	seg := tcp.SerializeTo(nil, payload, ip.SrcIP, ip.DstIP)
+	return b.finish(ts, ip, seg)
+}
+
+// BuildUDP assembles an Ethernet+IPv4+UDP frame.
+func (b *Builder) BuildUDP(ts time.Time, ip IPv4, udp UDP, payload []byte) *Packet {
+	ip.Protocol = ProtoUDP
+	seg := udp.SerializeTo(nil, payload, ip.SrcIP, ip.DstIP)
+	return b.finish(ts, ip, seg)
+}
+
+// BuildICMP assembles an Ethernet+IPv4+ICMPv4 frame.
+func (b *Builder) BuildICMP(ts time.Time, ip IPv4, icmp ICMPv4, payload []byte) *Packet {
+	ip.Protocol = ProtoICMP
+	seg := icmp.SerializeTo(nil, payload)
+	return b.finish(ts, ip, seg)
+}
+
+func (b *Builder) finish(ts time.Time, ip IPv4, ipPayload []byte) *Packet {
+	ipBytes := ip.SerializeTo(nil, ipPayload)
+	eth := b.Eth
+	eth.EtherType = EtherTypeIPv4
+	frame := eth.SerializeTo(nil, ipBytes)
+	p, err := Decode(frame, ts)
+	if err != nil {
+		// The builder controls every byte, so a decode failure here is
+		// a bug in this package, not bad input.
+		panic(fmt.Sprintf("packet: built frame failed to decode: %v", err))
+	}
+	return p
+}

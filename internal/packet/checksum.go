@@ -1,0 +1,40 @@
+package packet
+
+import "encoding/binary"
+
+// Checksum computes the Internet checksum (RFC 1071) over data.
+func Checksum(data []byte) uint16 {
+	return finishChecksum(sumWords(0, data))
+}
+
+func sumWords(sum uint32, data []byte) uint32 {
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i:]))
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	return sum
+}
+
+func finishChecksum(sum uint32) uint16 {
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// PseudoHeaderChecksum computes the TCP/UDP checksum over the IPv4
+// pseudo-header (src, dst, protocol, segment length) followed by the
+// segment bytes.
+func PseudoHeaderChecksum(src, dst [4]byte, proto IPProtocol, segment []byte) uint16 {
+	var pseudo [12]byte
+	copy(pseudo[0:4], src[:])
+	copy(pseudo[4:8], dst[:])
+	pseudo[9] = byte(proto)
+	binary.BigEndian.PutUint16(pseudo[10:], uint16(len(segment)))
+	sum := sumWords(0, pseudo[:])
+	sum = sumWords(sum, segment)
+	return finishChecksum(sum)
+}

@@ -1,0 +1,324 @@
+package packet
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var testTime = time.Date(2023, 11, 28, 12, 0, 0, 0, time.UTC)
+
+func sampleIP() IPv4 {
+	return IPv4{
+		TOS:   0,
+		ID:    0x1234,
+		Flags: IPv4DontFragment,
+		TTL:   64,
+		SrcIP: [4]byte{10, 0, 0, 1},
+		DstIP: [4]byte{192, 168, 1, 2},
+	}
+}
+
+func TestBuildDecodeTCPRoundTrip(t *testing.T) {
+	var b Builder
+	tcp := TCP{
+		SrcPort: 443, DstPort: 51234,
+		Seq: 1000, Ack: 2000,
+		Flags:  FlagSYN | FlagACK,
+		Window: 65535,
+		Options: []byte{
+			2, 4, 0x05, 0xb4, // MSS 1460
+			1, 1, // NOPs
+			3, 3, 7, // window scale
+			0, // pad to 12 -> already multiple? 9 bytes -> padded
+		},
+	}
+	payload := []byte("hello")
+	p := b.BuildTCP(testTime, sampleIP(), tcp, payload)
+
+	if p.TCP == nil {
+		t.Fatal("no TCP layer after round trip")
+	}
+	if p.TCP.SrcPort != 443 || p.TCP.DstPort != 51234 {
+		t.Errorf("ports = %d,%d", p.TCP.SrcPort, p.TCP.DstPort)
+	}
+	if p.TCP.Seq != 1000 || p.TCP.Ack != 2000 {
+		t.Errorf("seq/ack = %d/%d", p.TCP.Seq, p.TCP.Ack)
+	}
+	if p.TCP.Flags != FlagSYN|FlagACK {
+		t.Errorf("flags = %v", p.TCP.Flags)
+	}
+	if string(p.Payload) != "hello" {
+		t.Errorf("payload = %q", p.Payload)
+	}
+	if p.TransportProtocol() != ProtoTCP {
+		t.Errorf("transport = %v", p.TransportProtocol())
+	}
+}
+
+func TestBuildDecodeUDPRoundTrip(t *testing.T) {
+	var b Builder
+	udp := UDP{SrcPort: 3478, DstPort: 50000}
+	p := b.BuildUDP(testTime, sampleIP(), udp, []byte{1, 2, 3, 4})
+	if p.UDP == nil {
+		t.Fatal("no UDP layer")
+	}
+	if p.UDP.SrcPort != 3478 || p.UDP.DstPort != 50000 {
+		t.Errorf("ports = %d,%d", p.UDP.SrcPort, p.UDP.DstPort)
+	}
+	if p.UDP.Length != 12 {
+		t.Errorf("udp length = %d, want 12", p.UDP.Length)
+	}
+	if len(p.Payload) != 4 {
+		t.Errorf("payload len = %d", len(p.Payload))
+	}
+}
+
+func TestBuildDecodeICMPRoundTrip(t *testing.T) {
+	var b Builder
+	var icmp ICMPv4
+	icmp.Type = ICMPEchoRequest
+	icmp.SetEcho(7, 42)
+	p := b.BuildICMP(testTime, sampleIP(), icmp, []byte("ping"))
+	if p.ICMP == nil {
+		t.Fatal("no ICMP layer")
+	}
+	if p.ICMP.Type != ICMPEchoRequest || p.ICMP.ID() != 7 || p.ICMP.Seq() != 42 {
+		t.Errorf("icmp = %+v", p.ICMP)
+	}
+}
+
+func TestIPv4ChecksumValid(t *testing.T) {
+	var b Builder
+	p := b.BuildUDP(testTime, sampleIP(), UDP{SrcPort: 1, DstPort: 2}, nil)
+	hlen := p.IPv4.HeaderLen()
+	header := p.Data[EthernetHeaderLen : EthernetHeaderLen+hlen]
+	if Checksum(header) != 0 {
+		t.Error("IPv4 checksum does not verify")
+	}
+}
+
+func TestTCPChecksumValid(t *testing.T) {
+	var b Builder
+	ip := sampleIP()
+	p := b.BuildTCP(testTime, ip, TCP{SrcPort: 80, DstPort: 8080, Flags: FlagACK}, []byte("data!"))
+	seg := p.Data[EthernetHeaderLen+p.IPv4.HeaderLen():]
+	if PseudoHeaderChecksum(ip.SrcIP, ip.DstIP, ProtoTCP, seg) != 0 {
+		t.Error("TCP pseudo-header checksum does not verify")
+	}
+}
+
+func TestUDPChecksumValid(t *testing.T) {
+	var b Builder
+	ip := sampleIP()
+	p := b.BuildUDP(testTime, ip, UDP{SrcPort: 53, DstPort: 5353}, []byte("q"))
+	seg := p.Data[EthernetHeaderLen+p.IPv4.HeaderLen():]
+	// Verification of a correct UDP checksum sums to 0 or the packet
+	// used the 0xffff substitution.
+	if got := PseudoHeaderChecksum(ip.SrcIP, ip.DstIP, ProtoUDP, seg); got != 0 && p.UDP.Checksum != 0xffff {
+		t.Errorf("UDP checksum does not verify: %04x", got)
+	}
+}
+
+func TestDecodeTruncatedEthernet(t *testing.T) {
+	_, err := Decode([]byte{1, 2, 3}, testTime)
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestDecodeTruncatedIPv4(t *testing.T) {
+	var b Builder
+	p := b.BuildUDP(testTime, sampleIP(), UDP{}, nil)
+	cut := p.Data[:EthernetHeaderLen+10]
+	got, err := Decode(cut, testTime)
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	if got.Eth == nil {
+		t.Error("ethernet layer should still decode")
+	}
+	if got.TruncatedAt != "ipv4" {
+		t.Errorf("TruncatedAt = %q", got.TruncatedAt)
+	}
+}
+
+func TestDecodeTruncatedTCP(t *testing.T) {
+	var b Builder
+	p := b.BuildTCP(testTime, sampleIP(), TCP{SrcPort: 1, DstPort: 2}, nil)
+	// Keep eth + full IP header + 10 bytes of TCP. The IP Length field
+	// will exceed the available bytes, so the decoder falls back to
+	// slice bounds and TCP decode fails.
+	cut := p.Data[:EthernetHeaderLen+p.IPv4.HeaderLen()+10]
+	got, err := Decode(cut, testTime)
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	if got.IPv4 == nil || got.TruncatedAt != "tcp" {
+		t.Errorf("partial decode: ipv4=%v truncatedAt=%q", got.IPv4 != nil, got.TruncatedAt)
+	}
+}
+
+func TestDecodeMalformedIHL(t *testing.T) {
+	var b Builder
+	p := b.BuildUDP(testTime, sampleIP(), UDP{}, nil)
+	raw := append([]byte(nil), p.Data...)
+	raw[EthernetHeaderLen] = 4<<4 | 3 // IHL=3 is impossible
+	_, err := Decode(raw, testTime)
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestDecodeNonIPv4EtherType(t *testing.T) {
+	frame := make([]byte, 20)
+	frame[12], frame[13] = 0x86, 0xdd // IPv6 ethertype
+	p, err := Decode(frame, testTime)
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if p.IPv4 != nil {
+		t.Error("should not decode IPv4 for IPv6 ethertype")
+	}
+	if len(p.Payload) != 6 {
+		t.Errorf("payload len = %d", len(p.Payload))
+	}
+}
+
+func TestIPv4OptionsRoundTrip(t *testing.T) {
+	var b Builder
+	ip := sampleIP()
+	ip.Options = []byte{7, 7, 8, 0, 0, 0, 0, 0} // record-route style, 8 bytes
+	p := b.BuildUDP(testTime, ip, UDP{SrcPort: 9, DstPort: 10}, nil)
+	if p.IPv4.IHL != 7 {
+		t.Errorf("IHL = %d, want 7", p.IPv4.IHL)
+	}
+	if len(p.IPv4.Options) != 8 || p.IPv4.Options[0] != 7 {
+		t.Errorf("options = %v", p.IPv4.Options)
+	}
+}
+
+func TestTCPFlagsString(t *testing.T) {
+	if s := (FlagSYN | FlagACK).String(); s != "SYN|ACK" {
+		t.Errorf("flags string = %q", s)
+	}
+	if s := TCPFlags(0).String(); s != "none" {
+		t.Errorf("zero flags string = %q", s)
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	cases := map[IPProtocol]string{ProtoTCP: "TCP", ProtoUDP: "UDP", ProtoICMP: "ICMP", 99: "IPProtocol(99)"}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", uint8(p), p.String(), want)
+		}
+	}
+}
+
+func TestMACAddrString(t *testing.T) {
+	m := MACAddr{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}
+	if m.String() != "de:ad:be:ef:00:01" {
+		t.Errorf("mac = %q", m.String())
+	}
+}
+
+// Property: any TCP header we can describe round-trips through
+// serialize+decode with all fields preserved.
+func TestQuickTCPRoundTrip(t *testing.T) {
+	f := func(srcPort, dstPort uint16, seq, ack uint32, flags uint16, window, urgent uint16, ttl uint8, id uint16, payloadByte uint8, payloadLen uint8) bool {
+		var b Builder
+		ip := sampleIP()
+		ip.TTL = ttl
+		ip.ID = id
+		in := TCP{
+			SrcPort: srcPort, DstPort: dstPort,
+			Seq: seq, Ack: ack,
+			Flags:  TCPFlags(flags) & 0x1ff,
+			Window: window, Urgent: urgent,
+		}
+		payload := make([]byte, int(payloadLen))
+		for i := range payload {
+			payload[i] = payloadByte
+		}
+		p := b.BuildTCP(testTime, ip, in, payload)
+		out := p.TCP
+		return out != nil &&
+			out.SrcPort == in.SrcPort && out.DstPort == in.DstPort &&
+			out.Seq == in.Seq && out.Ack == in.Ack &&
+			out.Flags == in.Flags &&
+			out.Window == in.Window && out.Urgent == in.Urgent &&
+			p.IPv4.TTL == ttl && p.IPv4.ID == id &&
+			len(p.Payload) == int(payloadLen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: serialization is deterministic — building the same layers
+// twice yields identical bytes.
+func TestQuickSerializeDeterministic(t *testing.T) {
+	f := func(srcPort, dstPort uint16, seq uint32) bool {
+		var b Builder
+		in := TCP{SrcPort: srcPort, DstPort: dstPort, Seq: seq, Flags: FlagACK}
+		p1 := b.BuildTCP(testTime, sampleIP(), in, nil)
+		p2 := b.BuildTCP(testTime, sampleIP(), in, nil)
+		return string(p1.Data) == string(p2.Data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example: checksum of 00 01 f2 03 f4 f5 f6 f7 is 0x220d.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data); got != 0x220d {
+		t.Errorf("checksum = %04x, want 220d", got)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	data := []byte{0xab}
+	if got := Checksum(data); got != ^uint16(0xab00) {
+		t.Errorf("odd checksum = %04x", got)
+	}
+}
+
+func TestIPv4VerifyChecksum(t *testing.T) {
+	var b Builder
+	p := b.BuildUDP(testTime, sampleIP(), UDP{SrcPort: 1, DstPort: 2}, nil)
+	hdr := p.Data[EthernetHeaderLen : EthernetHeaderLen+p.IPv4.HeaderLen()]
+	if !p.IPv4.VerifyChecksum(hdr) {
+		t.Fatal("valid header fails verification")
+	}
+	bad := append([]byte(nil), hdr...)
+	bad[8] ^= 0x5a
+	if p.IPv4.VerifyChecksum(bad) {
+		t.Fatal("corrupted header passes verification")
+	}
+}
+
+func TestIPv4AddrAccessors(t *testing.T) {
+	ip := sampleIP()
+	if ip.Src().String() != "10.0.0.1" || ip.Dst().String() != "192.168.1.2" {
+		t.Fatalf("addr accessors: %v -> %v", ip.Src(), ip.Dst())
+	}
+}
+
+func TestDecodeRespectsIPLengthBound(t *testing.T) {
+	// Extra trailing bytes beyond the IP total length (Ethernet
+	// padding) must not leak into the payload.
+	var b Builder
+	p := b.BuildUDP(testTime, sampleIP(), UDP{SrcPort: 5, DstPort: 6}, []byte{1, 2, 3})
+	padded := append(append([]byte(nil), p.Data...), 0, 0, 0, 0, 0, 0)
+	re, err := Decode(padded, testTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(re.Payload) != 3 {
+		t.Fatalf("payload = %d bytes, padding leaked", len(re.Payload))
+	}
+}

@@ -1,0 +1,66 @@
+package pcap
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzReader asserts the classic pcap reader never panics on arbitrary
+// input and either errors cleanly or returns well-formed records.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, LinkTypeEthernet)
+	_ = w.WritePacket(time.Unix(1700000000, 0), []byte{1, 2, 3, 4})
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:25])
+	f.Add(valid[:24])
+	f.Add([]byte{})
+	flip := append([]byte(nil), valid...)
+	flip[0] ^= 0xff
+	f.Add(flip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		recs, _ := r.ReadAll()
+		for _, rec := range recs {
+			if rec.Data == nil && len(rec.Data) != 0 {
+				t.Fatal("record with nil data")
+			}
+			if rec.OrigLen < 0 {
+				t.Fatal("negative original length")
+			}
+		}
+	})
+}
+
+// FuzzNGReader does the same for the pcapng reader.
+func FuzzNGReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewNGWriter(&buf, LinkTypeEthernet)
+	_ = w.WritePacket(time.Unix(1700000000, 0), []byte{9, 8, 7})
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:10])
+	f.Add(valid[:len(valid)-3])
+	mangled := append([]byte(nil), valid...)
+	mangled[30] ^= 0x55
+	f.Add(mangled)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewNGReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		recs, _ := r.ReadAll()
+		for _, rec := range recs {
+			if len(rec.Data) > pcapngMaxBlockLength {
+				t.Fatal("record larger than max block")
+			}
+		}
+	})
+}

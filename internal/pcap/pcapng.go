@@ -1,0 +1,215 @@
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// pcapng (the modern capture format Wireshark defaults to) support:
+// enough of the block structure to interoperate — Section Header,
+// Interface Description, and Enhanced Packet blocks, little-endian,
+// microsecond timestamp resolution. Unknown block types are skipped on
+// read, as the specification requires.
+
+// pcapng block type codes.
+const (
+	blockSectionHeader   = 0x0a0d0d0a
+	blockInterfaceDesc   = 0x00000001
+	blockEnhancedPacket  = 0x00000006
+	byteOrderMagic       = 0x1a2b3c4d
+	pcapngTsResolMicro   = 6 // if_tsresol option value
+	optEndOfOptions      = 0
+	optIfTsResol         = 9
+	pcapngMaxBlockLength = 1 << 26 // 64 MiB sanity cap
+)
+
+// ErrNotPcapNG reports that the stream does not begin with a Section
+// Header Block.
+var ErrNotPcapNG = errors.New("pcap: not a pcapng stream")
+
+// NGWriter writes a pcapng file with a single interface.
+type NGWriter struct {
+	w io.Writer
+}
+
+// NewNGWriter emits the Section Header and Interface Description
+// blocks and returns a writer.
+func NewNGWriter(w io.Writer, linkType LinkType) (*NGWriter, error) {
+	// Section Header Block: type, len, magic, version 1.0, section len -1.
+	shb := make([]byte, 28)
+	binary.LittleEndian.PutUint32(shb[0:], blockSectionHeader)
+	binary.LittleEndian.PutUint32(shb[4:], 28)
+	binary.LittleEndian.PutUint32(shb[8:], byteOrderMagic)
+	binary.LittleEndian.PutUint16(shb[12:], 1) // major
+	binary.LittleEndian.PutUint16(shb[14:], 0) // minor
+	binary.LittleEndian.PutUint64(shb[16:], ^uint64(0))
+	binary.LittleEndian.PutUint32(shb[24:], 28)
+	if _, err := w.Write(shb); err != nil {
+		return nil, fmt.Errorf("pcap: writing SHB: %w", err)
+	}
+	// Interface Description Block with if_tsresol = 6 (microseconds).
+	idb := make([]byte, 28)
+	binary.LittleEndian.PutUint32(idb[0:], blockInterfaceDesc)
+	binary.LittleEndian.PutUint32(idb[4:], 28)
+	binary.LittleEndian.PutUint16(idb[8:], uint16(linkType))
+	// reserved (2) + snaplen (4)
+	binary.LittleEndian.PutUint32(idb[12:], DefaultSnapLen)
+	// option: if_tsresol (code 9, len 1, value 6, 3 pad), then end.
+	binary.LittleEndian.PutUint16(idb[16:], optIfTsResol)
+	binary.LittleEndian.PutUint16(idb[18:], 1)
+	idb[20] = pcapngTsResolMicro
+	binary.LittleEndian.PutUint16(idb[24:], optEndOfOptions)
+	binary.LittleEndian.PutUint32(idb[24:], 0) // opt_endofopt (code 0, len 0)
+	binary.LittleEndian.PutUint32(idb[24:], 28)
+	if _, err := w.Write(idb); err != nil {
+		return nil, fmt.Errorf("pcap: writing IDB: %w", err)
+	}
+	return &NGWriter{w: w}, nil
+}
+
+// WritePacket appends one Enhanced Packet Block.
+func (w *NGWriter) WritePacket(ts time.Time, data []byte) error {
+	capLen := len(data)
+	pad := (4 - capLen%4) % 4
+	total := 32 + capLen + pad
+	blk := make([]byte, total)
+	binary.LittleEndian.PutUint32(blk[0:], blockEnhancedPacket)
+	binary.LittleEndian.PutUint32(blk[4:], uint32(total))
+	// interface id 0
+	usec := uint64(ts.UnixMicro())
+	binary.LittleEndian.PutUint32(blk[12:], uint32(usec>>32))
+	binary.LittleEndian.PutUint32(blk[16:], uint32(usec))
+	binary.LittleEndian.PutUint32(blk[20:], uint32(capLen))
+	binary.LittleEndian.PutUint32(blk[24:], uint32(capLen))
+	copy(blk[28:], data)
+	binary.LittleEndian.PutUint32(blk[total-4:], uint32(total))
+	if _, err := w.w.Write(blk); err != nil {
+		return fmt.Errorf("pcap: writing EPB: %w", err)
+	}
+	return nil
+}
+
+// NGReader reads a pcapng file written by this package or compatible
+// little-endian streams.
+type NGReader struct {
+	r        io.Reader
+	linkType LinkType
+}
+
+// NewNGReader parses the Section Header and the first Interface
+// Description block.
+func NewNGReader(r io.Reader) (*NGReader, error) {
+	rd := &NGReader{r: r}
+	typ, body, err := rd.readBlock()
+	if err != nil {
+		return nil, err
+	}
+	if typ != blockSectionHeader || len(body) < 8 {
+		return nil, ErrNotPcapNG
+	}
+	if binary.LittleEndian.Uint32(body[0:]) != byteOrderMagic {
+		return nil, fmt.Errorf("%w: big-endian or corrupt section header", ErrNotPcapNG)
+	}
+	// Scan forward to the first IDB.
+	for {
+		typ, body, err = rd.readBlock()
+		if err != nil {
+			return nil, fmt.Errorf("pcap: no interface description block: %w", err)
+		}
+		if typ == blockInterfaceDesc {
+			if len(body) < 8 {
+				return nil, fmt.Errorf("pcap: short IDB")
+			}
+			rd.linkType = LinkType(binary.LittleEndian.Uint16(body[0:]))
+			return rd, nil
+		}
+	}
+}
+
+// LinkType returns the first interface's link type.
+func (r *NGReader) LinkType() LinkType { return r.linkType }
+
+// readBlock returns the next block's type and body (without the
+// framing type/length fields).
+func (r *NGReader) readBlock() (uint32, []byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, fmt.Errorf("pcap: truncated block header: %w", io.ErrUnexpectedEOF)
+		}
+		return 0, nil, err
+	}
+	typ := binary.LittleEndian.Uint32(hdr[0:])
+	total := binary.LittleEndian.Uint32(hdr[4:])
+	if total < 12 || total%4 != 0 || total > pcapngMaxBlockLength {
+		return 0, nil, fmt.Errorf("pcap: implausible block length %d", total)
+	}
+	body := make([]byte, total-12)
+	if _, err := io.ReadFull(r.r, body); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("pcap: truncated block body: %w", err)
+	}
+	var trailer [4]byte
+	if _, err := io.ReadFull(r.r, trailer[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("pcap: truncated block trailer: %w", err)
+	}
+	if binary.LittleEndian.Uint32(trailer[:]) != total {
+		return 0, nil, fmt.Errorf("pcap: block trailer length mismatch")
+	}
+	return typ, body, nil
+}
+
+// ReadRecord returns the next Enhanced Packet Block as a Record,
+// skipping unknown block types. io.EOF signals a clean end.
+func (r *NGReader) ReadRecord() (Record, error) {
+	for {
+		typ, body, err := r.readBlock()
+		if err != nil {
+			return Record{}, err
+		}
+		if typ != blockEnhancedPacket {
+			continue // skip IDBs, statistics, custom blocks, ...
+		}
+		if len(body) < 20 {
+			return Record{}, fmt.Errorf("pcap: short EPB")
+		}
+		tsHigh := binary.LittleEndian.Uint32(body[4:])
+		tsLow := binary.LittleEndian.Uint32(body[8:])
+		capLen := binary.LittleEndian.Uint32(body[12:])
+		origLen := binary.LittleEndian.Uint32(body[16:])
+		if int(capLen) > len(body)-20 {
+			return Record{}, fmt.Errorf("pcap: EPB capture length %d exceeds body", capLen)
+		}
+		usec := uint64(tsHigh)<<32 | uint64(tsLow)
+		data := make([]byte, capLen)
+		copy(data, body[20:20+capLen])
+		return Record{
+			Timestamp: time.UnixMicro(int64(usec)).UTC(),
+			OrigLen:   int(origLen),
+			Data:      data,
+		}, nil
+	}
+}
+
+// ReadAll reads records until EOF, mirroring Reader.ReadAll.
+func (r *NGReader) ReadAll() ([]Record, error) {
+	var recs []Record
+	for {
+		rec, err := r.ReadRecord()
+		if errors.Is(err, io.EOF) {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+}

@@ -1,0 +1,151 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNGWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewNGWriter(&buf, LinkTypeEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packets := [][]byte{
+		{1, 2, 3},
+		{},
+		bytes.Repeat([]byte{0x55}, 1501), // odd length exercises padding
+	}
+	for i, p := range packets {
+		ts := t0.Add(time.Duration(i) * time.Millisecond)
+		if err := w.WritePacket(ts, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := NewNGReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType() != LinkTypeEthernet {
+		t.Errorf("link type = %d", r.LinkType())
+	}
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(packets) {
+		t.Fatalf("read %d records, want %d", len(recs), len(packets))
+	}
+	for i, rec := range recs {
+		if !bytes.Equal(rec.Data, packets[i]) {
+			t.Errorf("record %d data mismatch (%d vs %d bytes)", i, len(rec.Data), len(packets[i]))
+		}
+		want := t0.Add(time.Duration(i) * time.Millisecond)
+		if !rec.Timestamp.Equal(want) {
+			t.Errorf("record %d ts = %v, want %v", i, rec.Timestamp, want)
+		}
+	}
+}
+
+func TestNGRejectsClassicPcap(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, LinkTypeEthernet)
+	_ = w.WritePacket(t0, []byte{1})
+	if _, err := NewNGReader(&buf); err == nil {
+		t.Fatal("classic pcap accepted as pcapng")
+	}
+}
+
+func TestClassicRejectsNG(t *testing.T) {
+	var buf bytes.Buffer
+	_, _ = NewNGWriter(&buf, LinkTypeEthernet)
+	if _, err := NewReader(&buf); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestNGSkipsUnknownBlocks(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewNGWriter(&buf, LinkTypeEthernet)
+	// Inject a custom block (type 0x0bad) between packets.
+	_ = w.WritePacket(t0, []byte{1, 2, 3, 4})
+	custom := make([]byte, 16)
+	binary.LittleEndian.PutUint32(custom[0:], 0x0bad)
+	binary.LittleEndian.PutUint32(custom[4:], 16)
+	binary.LittleEndian.PutUint32(custom[12:], 16)
+	buf.Write(custom)
+	_ = w.WritePacket(t0, []byte{5, 6})
+
+	r, err := NewNGReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || !bytes.Equal(recs[1].Data, []byte{5, 6}) {
+		t.Fatalf("unknown block handling broke reading: %d records", len(recs))
+	}
+}
+
+func TestNGTruncatedBlock(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewNGWriter(&buf, LinkTypeEthernet)
+	_ = w.WritePacket(t0, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	cut := buf.Bytes()[:buf.Len()-6]
+	r, err := NewNGReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadRecord(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestNGImplausibleBlockLength(t *testing.T) {
+	var buf bytes.Buffer
+	_, _ = NewNGWriter(&buf, LinkTypeEthernet)
+	bad := make([]byte, 8)
+	binary.LittleEndian.PutUint32(bad[0:], blockEnhancedPacket)
+	binary.LittleEndian.PutUint32(bad[4:], 7) // <12 and unaligned
+	buf.Write(bad)
+	r, err := NewNGReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadRecord(); err == nil {
+		t.Fatal("implausible block length accepted")
+	}
+}
+
+func TestQuickNGRoundTrip(t *testing.T) {
+	f := func(data []byte, ms uint32) bool {
+		var buf bytes.Buffer
+		w, err := NewNGWriter(&buf, LinkTypeEthernet)
+		if err != nil {
+			return false
+		}
+		ts := time.UnixMicro(int64(ms) * 1000).UTC()
+		if err := w.WritePacket(ts, data); err != nil {
+			return false
+		}
+		r, err := NewNGReader(&buf)
+		if err != nil {
+			return false
+		}
+		rec, err := r.ReadRecord()
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(rec.Data, data) && rec.Timestamp.Equal(ts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

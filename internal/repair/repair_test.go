@@ -1,0 +1,198 @@
+package repair
+
+import (
+	"testing"
+	"time"
+
+	"trafficdiff/internal/core"
+	"trafficdiff/internal/flow"
+	"trafficdiff/internal/netfunc"
+	"trafficdiff/internal/packet"
+	"trafficdiff/internal/workload"
+)
+
+// conformance runs the stateful checker over a flow.
+func conformance(t *testing.T, f *flow.Flow) (violations, tcpPkts int) {
+	t.Helper()
+	c := netfunc.NewTCPStateChecker()
+	for _, p := range f.Packets {
+		if p.TCP != nil {
+			tcpPkts++
+		}
+		c.Process(p)
+	}
+	return c.Violations(), tcpPkts
+}
+
+// messyTCPFlow builds a deliberately non-conformant flow: data packets
+// with random flags and no handshake.
+func messyTCPFlow(t *testing.T, n int) *flow.Flow {
+	t.Helper()
+	var b packet.Builder
+	f := &flow.Flow{Label: "amazon"}
+	for i := 0; i < n; i++ {
+		srcIP, dstIP := [4]byte{10, 0, 0, 1}, [4]byte{93, 2, 3, 4}
+		sp, dp := uint16(40000), uint16(443)
+		if i%3 == 0 {
+			srcIP, dstIP, sp, dp = dstIP, srcIP, dp, sp
+		}
+		ip := packet.IPv4{TTL: 60, TOS: 4, SrcIP: srcIP, DstIP: dstIP, ID: uint16(i)}
+		tcp := packet.TCP{SrcPort: sp, DstPort: dp,
+			Seq: uint32(i * 1111), Ack: uint32(i * 13),
+			Flags: packet.FlagPSH, Window: 4000 + uint16(i)}
+		f.Append(b.BuildTCP(time.Unix(int64(i), 0), ip, tcp, make([]byte, 50+i)))
+	}
+	return f
+}
+
+func TestRepairAchievesFullConformance(t *testing.T) {
+	f := messyTCPFlow(t, 12)
+	before, _ := conformance(t, f)
+	if before == 0 {
+		t.Fatal("test flow unexpectedly conformant")
+	}
+	fixed, err := TCPStateful(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, tcpPkts := conformance(t, fixed)
+	if after != 0 {
+		t.Fatalf("repair left %d violations of %d packets", after, tcpPkts)
+	}
+	if len(fixed.Packets) != len(f.Packets) {
+		t.Fatalf("packet count changed: %d -> %d", len(f.Packets), len(fixed.Packets))
+	}
+}
+
+func TestRepairPreservesClassAttributes(t *testing.T) {
+	f := messyTCPFlow(t, 12)
+	fixed, err := TCPStateful(f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TTL/TOS/window carry the class signal and must survive.
+	for i := range fixed.Packets {
+		if fixed.Packets[i].IPv4.TTL != f.Packets[i].IPv4.TTL {
+			t.Fatal("TTL changed")
+		}
+		if fixed.Packets[i].IPv4.TOS != f.Packets[i].IPv4.TOS {
+			t.Fatal("TOS changed")
+		}
+		if fixed.Packets[i].TCP.Window != f.Packets[i].TCP.Window {
+			t.Fatal("window changed")
+		}
+		if !fixed.Packets[i].Timestamp.Equal(f.Packets[i].Timestamp) {
+			t.Fatal("timestamp changed")
+		}
+	}
+	// Data-phase payload sizes preserved.
+	for i := 3; i < len(f.Packets)-4; i++ {
+		if len(fixed.Packets[i].Payload) != len(f.Packets[i].Payload) {
+			t.Fatalf("payload size changed at %d", i)
+		}
+	}
+}
+
+func TestRepairCanonicalizes5Tuple(t *testing.T) {
+	f := messyTCPFlow(t, 10)
+	fixed, _ := TCPStateful(f, 3)
+	tbl := flow.NewTable()
+	for _, p := range fixed.Packets {
+		tbl.Add(p)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("repaired flow spans %d 5-tuples, want 1", tbl.Len())
+	}
+}
+
+func TestRepairSequenceProgression(t *testing.T) {
+	f := messyTCPFlow(t, 14)
+	fixed, _ := TCPStateful(f, 4)
+	last := map[uint16]uint32{}
+	for _, p := range fixed.Packets {
+		src := p.TCP.SrcPort
+		if prev, ok := last[src]; ok && p.TCP.Seq < prev {
+			t.Fatal("sequence regression after repair")
+		}
+		last[src] = p.TCP.Seq
+	}
+}
+
+func TestRepairShortFlow(t *testing.T) {
+	f := messyTCPFlow(t, 4)
+	fixed, err := TCPStateful(f, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := conformance(t, fixed); v != 0 {
+		t.Fatalf("short-flow repair left %d violations", v)
+	}
+}
+
+func TestRepairPassesThroughNonTCP(t *testing.T) {
+	g := workload.NewGenerator(1)
+	g.MaxPackets = 10
+	prof, _ := workload.ProfileByName("teams")
+	f := g.GenerateFlow(prof)
+	fixed, err := TCPStateful(f, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed != f {
+		t.Fatal("UDP flow should pass through unchanged")
+	}
+}
+
+func TestRepairGeneratedDiffusionFlows(t *testing.T) {
+	// End to end: pipeline output + repair = fully replayable TCP.
+	cfg := core.DefaultConfig()
+	cfg.Rows = 16
+	cfg.DownH = 2
+	cfg.DownW = 16
+	cfg.Hidden = 48
+	cfg.TimeSteps = 30
+	cfg.BaseSteps = 25
+	cfg.FineTuneSteps = 40
+	cfg.Batch = 8
+	cfg.DDIMSteps = 6
+	ds, err := workload.Generate(workload.Config{Seed: 4, FlowsPerClass: 6, Only: []string{"amazon"}, MaxPacketsPerFlow: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.New(cfg, []string{"amazon"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.FineTune(map[string][]*flow.Flow{"amazon": ds.Flows}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Generate("amazon", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired, err := Flows(res.Flows, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range repaired {
+		if v, _ := conformance(t, f); v != 0 {
+			t.Fatalf("generated flow %d: %d violations after repair", i, v)
+		}
+		for _, p := range f.Packets {
+			if _, err := packet.Decode(p.Data, p.Timestamp); err != nil {
+				t.Fatalf("repaired packet undecodable: %v", err)
+			}
+		}
+	}
+}
+
+func TestFlowsBatch(t *testing.T) {
+	batch := []*flow.Flow{messyTCPFlow(t, 8), messyTCPFlow(t, 9)}
+	out, err := Flows(batch, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("batch size %d", len(out))
+	}
+}

@@ -1,0 +1,152 @@
+package rf
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"trafficdiff/internal/stats"
+)
+
+// Config controls forest training.
+type Config struct {
+	// Trees is the ensemble size.
+	Trees int
+	// MaxDepth bounds each tree (0 = 24).
+	MaxDepth int
+	// MinSamplesSplit stops splitting small nodes (0 = 2).
+	MinSamplesSplit int
+	// Mtry is the number of random features examined per split
+	// (0 = √F, the classification default).
+	Mtry int
+	// Thresholds is the number of candidate split values sampled per
+	// feature (0 = 8).
+	Thresholds int
+	Seed       uint64
+}
+
+// DefaultConfig returns the settings the experiments use.
+func DefaultConfig() Config { return Config{Trees: 30, Seed: 1} }
+
+// Forest is a trained random forest.
+type Forest struct {
+	trees []*Tree
+	k     int
+}
+
+// Train fits a forest on x (rows of equal width) with labels y in
+// [0, k). Trees train concurrently; results are deterministic for a
+// given seed because each tree owns a seed derived by index.
+func Train(x [][]float32, y []int, k int, cfg Config) (*Forest, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("rf: empty training set")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("rf: %d rows, %d labels", len(x), len(y))
+	}
+	width := len(x[0])
+	if width == 0 {
+		return nil, fmt.Errorf("rf: zero-width feature rows")
+	}
+	for i, row := range x {
+		if len(row) != width {
+			return nil, fmt.Errorf("rf: row %d has %d features, want %d", i, len(row), width)
+		}
+	}
+	for i, l := range y {
+		if l < 0 || l >= k {
+			return nil, fmt.Errorf("rf: label %d at row %d out of range [0,%d)", l, i, k)
+		}
+	}
+	if cfg.Trees <= 0 {
+		return nil, fmt.Errorf("rf: need at least one tree")
+	}
+	tc := treeConfig{
+		maxDepth:        cfg.MaxDepth,
+		minSamplesSplit: cfg.MinSamplesSplit,
+		mtry:            cfg.Mtry,
+		thresholds:      cfg.Thresholds,
+	}
+	if tc.maxDepth <= 0 {
+		tc.maxDepth = 24
+	}
+	if tc.minSamplesSplit <= 0 {
+		tc.minSamplesSplit = 2
+	}
+	if tc.mtry <= 0 {
+		tc.mtry = int(math.Sqrt(float64(width)))
+		if tc.mtry < 1 {
+			tc.mtry = 1
+		}
+	}
+	if tc.thresholds <= 0 {
+		tc.thresholds = 8
+	}
+
+	f := &Forest{trees: make([]*Tree, cfg.Trees), k: k}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for ti := 0; ti < cfg.Trees; ti++ {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r := stats.NewRNG(cfg.Seed + uint64(ti)*0x9e3779b97f4a7c15)
+			// Bootstrap sample.
+			idx := make([]int, len(x))
+			for i := range idx {
+				idx[i] = r.Intn(len(x))
+			}
+			f.trees[ti] = growTree(x, y, idx, k, tc, r)
+		}(ti)
+	}
+	wg.Wait()
+	return f, nil
+}
+
+// Predict returns the majority-vote class for one row.
+func (f *Forest) Predict(row []float32) int {
+	votes := make([]int, f.k)
+	for _, t := range f.trees {
+		votes[t.Predict(row)]++
+	}
+	best, bestN := 0, -1
+	for c, n := range votes {
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	return best
+}
+
+// PredictBatch classifies many rows concurrently.
+func (f *Forest) PredictBatch(x [][]float32) []int {
+	out := make([]int, len(x))
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	chunk := (len(x) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(x) {
+			hi = len(x)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = f.Predict(x[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }

@@ -1,0 +1,77 @@
+package rf
+
+import "fmt"
+
+// Accuracy returns the fraction of predictions equal to truth.
+func Accuracy(pred, truth []int) float64 {
+	if len(pred) != len(truth) {
+		panic("rf: Accuracy length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	hits := 0
+	for i := range pred {
+		if pred[i] == truth[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(pred))
+}
+
+// ConfusionMatrix is counts[truth][pred] for k classes.
+type ConfusionMatrix struct {
+	K      int
+	Counts [][]int
+}
+
+// NewConfusionMatrix tallies a prediction run.
+func NewConfusionMatrix(pred, truth []int, k int) (*ConfusionMatrix, error) {
+	if len(pred) != len(truth) {
+		return nil, fmt.Errorf("rf: %d predictions, %d truths", len(pred), len(truth))
+	}
+	cm := &ConfusionMatrix{K: k, Counts: make([][]int, k)}
+	for i := range cm.Counts {
+		cm.Counts[i] = make([]int, k)
+	}
+	for i := range pred {
+		if truth[i] < 0 || truth[i] >= k || pred[i] < 0 || pred[i] >= k {
+			return nil, fmt.Errorf("rf: class out of range at %d (truth %d, pred %d)", i, truth[i], pred[i])
+		}
+		cm.Counts[truth[i]][pred[i]]++
+	}
+	return cm, nil
+}
+
+// PerClassRecall returns recall per true class (NaN-free: classes with
+// no examples report 0).
+func (cm *ConfusionMatrix) PerClassRecall() []float64 {
+	out := make([]float64, cm.K)
+	for c := 0; c < cm.K; c++ {
+		total := 0
+		for p := 0; p < cm.K; p++ {
+			total += cm.Counts[c][p]
+		}
+		if total > 0 {
+			out[c] = float64(cm.Counts[c][c]) / float64(total)
+		}
+	}
+	return out
+}
+
+// Accuracy returns overall accuracy from the matrix.
+func (cm *ConfusionMatrix) Accuracy() float64 {
+	hits, total := 0, 0
+	for c := 0; c < cm.K; c++ {
+		for p := 0; p < cm.K; p++ {
+			total += cm.Counts[c][p]
+			if c == p {
+				hits += cm.Counts[c][p]
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}

@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Dist is a sampleable scalar distribution.
+type Dist interface {
+	// Sample draws one variate using r.
+	Sample(r *RNG) float64
+	// Mean returns the distribution's theoretical mean (or an
+	// approximation for heavy-tailed distributions where the mean
+	// does not exist).
+	Mean() float64
+}
+
+// Uniform is the continuous uniform distribution on [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample draws a uniform variate.
+func (u Uniform) Sample(r *RNG) float64 { return u.Lo + (u.Hi-u.Lo)*r.Float64() }
+
+// Mean returns (Lo+Hi)/2.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// Normal is the Gaussian distribution with mean Mu and standard
+// deviation Sigma.
+type Normal struct{ Mu, Sigma float64 }
+
+// Sample draws a Gaussian variate.
+func (n Normal) Sample(r *RNG) float64 { return n.Mu + n.Sigma*r.NormFloat64() }
+
+// Mean returns Mu.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// LogNormal is the log-normal distribution: exp(Normal(Mu, Sigma)).
+// Packet sizes and inter-arrival times in real traces are commonly
+// modelled as log-normal.
+type LogNormal struct{ Mu, Sigma float64 }
+
+// Sample draws a log-normal variate.
+func (l LogNormal) Sample(r *RNG) float64 { return math.Exp(l.Mu + l.Sigma*r.NormFloat64()) }
+
+// Mean returns exp(Mu + Sigma^2/2).
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// Exponential is the exponential distribution with rate Lambda.
+type Exponential struct{ Lambda float64 }
+
+// Sample draws an exponential variate.
+func (e Exponential) Sample(r *RNG) float64 {
+	return -math.Log(1-r.Float64()) / e.Lambda
+}
+
+// Mean returns 1/Lambda.
+func (e Exponential) Mean() float64 { return 1 / e.Lambda }
+
+// Pareto is the Pareto (power-law) distribution with scale Xm and
+// shape Alpha. Flow sizes and burst lengths are heavy-tailed; Pareto
+// is the classic model (cf. Harpoon, Swing).
+type Pareto struct{ Xm, Alpha float64 }
+
+// Sample draws a Pareto variate.
+func (p Pareto) Sample(r *RNG) float64 {
+	return p.Xm / math.Pow(1-r.Float64(), 1/p.Alpha)
+}
+
+// Mean returns Alpha*Xm/(Alpha-1) for Alpha > 1, otherwise a large
+// finite proxy.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+// Categorical samples indices proportionally to Weights.
+type Categorical struct {
+	Weights []float64
+	cum     []float64
+}
+
+// NewCategorical builds a categorical distribution over weights,
+// which need not be normalized. It panics if weights is empty or the
+// total weight is not positive.
+func NewCategorical(weights []float64) *Categorical {
+	if len(weights) == 0 {
+		panic("stats: empty categorical")
+	}
+	c := &Categorical{Weights: append([]float64(nil), weights...)}
+	c.cum = make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			panic("stats: negative categorical weight")
+		}
+		total += w
+		c.cum[i] = total
+	}
+	if total <= 0 {
+		panic("stats: categorical with zero total weight")
+	}
+	return c
+}
+
+// SampleIndex draws an index in [0, len(Weights)).
+func (c *Categorical) SampleIndex(r *RNG) int {
+	u := r.Float64() * c.cum[len(c.cum)-1]
+	return sort.SearchFloat64s(c.cum, u)
+}
+
+// Probability returns the normalized probability of index i.
+func (c *Categorical) Probability(i int) float64 {
+	return c.Weights[i] / c.cum[len(c.cum)-1]
+}
+
+// Zipf samples ranks 1..N with probability proportional to
+// 1/rank^S. Port and destination popularity in real traffic follows
+// Zipf-like consolidation (paper §2.3 "port consolidation").
+type Zipf struct {
+	N int
+	S float64
+
+	cat *Categorical
+}
+
+// NewZipf builds a Zipf distribution over ranks 1..n with exponent s.
+func NewZipf(n int, s float64) *Zipf {
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+	}
+	return &Zipf{N: n, S: s, cat: NewCategorical(w)}
+}
+
+// SampleRank draws a rank in [1, N].
+func (z *Zipf) SampleRank(r *RNG) int { return z.cat.SampleIndex(r) + 1 }
+
+// Mixture samples from Components[i] with probability proportional to
+// Weights[i]. Real packet-size distributions are multi-modal (e.g.
+// ACK-sized vs MTU-sized packets); mixtures capture that.
+type Mixture struct {
+	Components []Dist
+	cat        *Categorical
+}
+
+// NewMixture builds a mixture distribution. len(components) must equal
+// len(weights).
+func NewMixture(components []Dist, weights []float64) *Mixture {
+	if len(components) != len(weights) {
+		panic("stats: mixture arity mismatch")
+	}
+	return &Mixture{Components: components, cat: NewCategorical(weights)}
+}
+
+// Sample draws from a randomly selected component.
+func (m *Mixture) Sample(r *RNG) float64 {
+	return m.Components[m.cat.SampleIndex(r)].Sample(r)
+}
+
+// Mean returns the weighted mean of the component means.
+func (m *Mixture) Mean() float64 {
+	total := 0.0
+	for i, c := range m.Components {
+		total += m.cat.Probability(i) * c.Mean()
+	}
+	return total
+}
+
+// Clamped wraps a distribution and clamps samples to [Lo, Hi].
+type Clamped struct {
+	D      Dist
+	Lo, Hi float64
+}
+
+// Sample draws from D and clamps the result.
+func (c Clamped) Sample(r *RNG) float64 {
+	v := c.D.Sample(r)
+	if v < c.Lo {
+		return c.Lo
+	}
+	if v > c.Hi {
+		return c.Hi
+	}
+	return v
+}
+
+// Mean returns the underlying mean clamped to [Lo, Hi].
+func (c Clamped) Mean() float64 {
+	v := c.D.Mean()
+	if v < c.Lo {
+		return c.Lo
+	}
+	if v > c.Hi {
+		return c.Hi
+	}
+	return v
+}

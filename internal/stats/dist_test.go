@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func sampleMean(d Dist, r *RNG, n int) float64 {
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += d.Sample(r)
+	}
+	return sum / float64(n)
+}
+
+func TestUniformMean(t *testing.T) {
+	r := NewRNG(1)
+	d := Uniform{Lo: 2, Hi: 6}
+	if m := sampleMean(d, r, 50000); math.Abs(m-4) > 0.05 {
+		t.Errorf("uniform sample mean %v, want ~4", m)
+	}
+	if d.Mean() != 4 {
+		t.Errorf("Mean() = %v", d.Mean())
+	}
+}
+
+func TestNormalMean(t *testing.T) {
+	r := NewRNG(2)
+	d := Normal{Mu: -3, Sigma: 2}
+	if m := sampleMean(d, r, 50000); math.Abs(m+3) > 0.05 {
+		t.Errorf("normal sample mean %v, want ~-3", m)
+	}
+}
+
+func TestLogNormalPositiveAndMean(t *testing.T) {
+	r := NewRNG(3)
+	d := LogNormal{Mu: 1, Sigma: 0.5}
+	sum := 0.0
+	for i := 0; i < 50000; i++ {
+		v := d.Sample(r)
+		if v <= 0 {
+			t.Fatalf("log-normal produced non-positive %v", v)
+		}
+		sum += v
+	}
+	want := d.Mean()
+	got := sum / 50000
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("log-normal sample mean %v, want ~%v", got, want)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRNG(4)
+	d := Exponential{Lambda: 2}
+	if m := sampleMean(d, r, 50000); math.Abs(m-0.5) > 0.02 {
+		t.Errorf("exponential sample mean %v, want ~0.5", m)
+	}
+}
+
+func TestParetoLowerBound(t *testing.T) {
+	r := NewRNG(5)
+	d := Pareto{Xm: 3, Alpha: 2.5}
+	for i := 0; i < 10000; i++ {
+		if v := d.Sample(r); v < 3 {
+			t.Fatalf("pareto sample %v below xm", v)
+		}
+	}
+	want := 2.5 * 3 / 1.5
+	if math.Abs(d.Mean()-want) > 1e-9 {
+		t.Errorf("pareto Mean() = %v, want %v", d.Mean(), want)
+	}
+}
+
+func TestParetoInfiniteMean(t *testing.T) {
+	if !math.IsInf(Pareto{Xm: 1, Alpha: 0.9}.Mean(), 1) {
+		t.Error("alpha<=1 should report infinite mean")
+	}
+}
+
+func TestCategoricalProportions(t *testing.T) {
+	r := NewRNG(6)
+	c := NewCategorical([]float64{1, 2, 7})
+	counts := make([]float64, 3)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[c.SampleIndex(r)]++
+	}
+	want := []float64{0.1, 0.2, 0.7}
+	for i := range want {
+		got := counts[i] / float64(n)
+		if math.Abs(got-want[i]) > 0.01 {
+			t.Errorf("class %d frequency %v, want %v", i, got, want[i])
+		}
+		if math.Abs(c.Probability(i)-want[i]) > 1e-12 {
+			t.Errorf("Probability(%d) = %v", i, c.Probability(i))
+		}
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	for name, weights := range map[string][]float64{
+		"empty":    {},
+		"negative": {1, -1},
+		"zero":     {0, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s weights should panic", name)
+				}
+			}()
+			NewCategorical(weights)
+		}()
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(7)
+	z := NewZipf(10, 1.2)
+	counts := make([]int, 10)
+	for i := 0; i < 50000; i++ {
+		rank := z.SampleRank(r)
+		if rank < 1 || rank > 10 {
+			t.Fatalf("rank %d out of bounds", rank)
+		}
+		counts[rank-1]++
+	}
+	if counts[0] <= counts[9] {
+		t.Errorf("zipf rank 1 (%d) should dominate rank 10 (%d)", counts[0], counts[9])
+	}
+}
+
+func TestMixtureMean(t *testing.T) {
+	r := NewRNG(8)
+	m := NewMixture(
+		[]Dist{Normal{Mu: 0, Sigma: 1}, Normal{Mu: 10, Sigma: 1}},
+		[]float64{0.5, 0.5},
+	)
+	if got := sampleMean(m, r, 50000); math.Abs(got-5) > 0.1 {
+		t.Errorf("mixture sample mean %v, want ~5", got)
+	}
+	if math.Abs(m.Mean()-5) > 1e-9 {
+		t.Errorf("mixture Mean() = %v", m.Mean())
+	}
+}
+
+func TestClamped(t *testing.T) {
+	r := NewRNG(9)
+	c := Clamped{D: Normal{Mu: 0, Sigma: 100}, Lo: -1, Hi: 1}
+	for i := 0; i < 10000; i++ {
+		v := c.Sample(r)
+		if v < -1 || v > 1 {
+			t.Fatalf("clamped sample %v escaped bounds", v)
+		}
+	}
+	if c.Mean() != 0 {
+		t.Errorf("clamped mean %v", c.Mean())
+	}
+	if (Clamped{D: Normal{Mu: 5}, Lo: -1, Hi: 1}).Mean() != 1 {
+		t.Error("mean should clamp to hi")
+	}
+}

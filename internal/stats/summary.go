@@ -1,0 +1,233 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N                  int
+	Mean, Std          float64
+	Min, Max           float64
+	P25, P50, P75, P95 float64
+}
+
+// Summarize computes descriptive statistics over xs. It returns the
+// zero Summary for an empty sample.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	sum := 0.0
+	for _, x := range sorted {
+		sum += x
+	}
+	s.Mean = sum / float64(s.N)
+	ss := 0.0
+	for _, x := range sorted {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if s.N > 1 {
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	s.P25 = Quantile(sorted, 0.25)
+	s.P50 = Quantile(sorted, 0.50)
+	s.P75 = Quantile(sorted, 0.75)
+	s.P95 = Quantile(sorted, 0.95)
+	return s
+}
+
+// Quantile returns the q-quantile (0<=q<=1) of sorted (ascending)
+// data using linear interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram is a fixed-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+	// Under and Over count out-of-range observations.
+	Under, Over int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records an observation.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if i == len(h.Counts) {
+			i--
+		}
+		h.Counts[i]++
+	}
+	h.total++
+}
+
+// Total returns the number of observations, including out-of-range ones.
+func (h *Histogram) Total() int { return h.total }
+
+// Proportions returns the in-range bin proportions (summing to <= 1).
+func (h *Histogram) Proportions() []float64 {
+	p := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return p
+	}
+	for i, c := range h.Counts {
+		p[i] = float64(c) / float64(h.total)
+	}
+	return p
+}
+
+// Normalize converts non-negative counts or weights into a probability
+// vector. A zero vector normalizes to the uniform distribution.
+func Normalize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	if total <= 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(xs))
+		}
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / total
+	}
+	return out
+}
+
+// JSDivergence returns the Jensen-Shannon divergence between two
+// discrete distributions (normalized internally), in nats. It is
+// symmetric and bounded by ln 2.
+func JSDivergence(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: JSDivergence length mismatch")
+	}
+	pn, qn := Normalize(p), Normalize(q)
+	m := make([]float64, len(pn))
+	for i := range m {
+		m[i] = (pn[i] + qn[i]) / 2
+	}
+	return (klTerm(pn, m) + klTerm(qn, m)) / 2
+}
+
+func klTerm(p, m []float64) float64 {
+	total := 0.0
+	for i := range p {
+		if p[i] > 0 && m[i] > 0 {
+			total += p[i] * math.Log(p[i]/m[i])
+		}
+	}
+	return total
+}
+
+// TotalVariation returns the total-variation distance between two
+// discrete distributions (normalized internally), in [0, 1].
+func TotalVariation(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: TotalVariation length mismatch")
+	}
+	pn, qn := Normalize(p), Normalize(q)
+	total := 0.0
+	for i := range pn {
+		total += math.Abs(pn[i] - qn[i])
+	}
+	return total / 2
+}
+
+// ImbalanceRatio returns max(count)/min(count) over a class-count
+// vector, treating zero minima as 1 observation to stay finite. The
+// paper's Figure 1 studies class-imbalance amplification; this is the
+// scalar we report.
+func ImbalanceRatio(counts []float64) float64 {
+	if len(counts) == 0 {
+		return 1
+	}
+	mn, mx := math.Inf(1), math.Inf(-1)
+	for _, c := range counts {
+		if c < mn {
+			mn = c
+		}
+		if c > mx {
+			mx = c
+		}
+	}
+	if mn < 1 {
+		mn = 1
+	}
+	if mx < 1 {
+		return 1
+	}
+	return mx / mn
+}
+
+// KSStatistic returns the two-sample Kolmogorov-Smirnov statistic —
+// the maximum distance between the empirical CDFs of xs and ys, in
+// [0, 1]. Zero-length samples yield 1 (maximally distinguishable).
+func KSStatistic(xs, ys []float64) float64 {
+	if len(xs) == 0 || len(ys) == 0 {
+		return 1
+	}
+	a := append([]float64(nil), xs...)
+	b := append([]float64(nil), ys...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	var i, j int
+	var d float64
+	for i < len(a) && j < len(b) {
+		// Step past every sample equal to the smaller current value on
+		// both sides, so ties advance the CDFs together.
+		v := a[i]
+		if b[j] < v {
+			v = b[j]
+		}
+		for i < len(a) && a[i] == v {
+			i++
+		}
+		for j < len(b) && b[j] == v {
+			j++
+		}
+		fa := float64(i) / float64(len(a))
+		fb := float64(j) / float64(len(b))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}

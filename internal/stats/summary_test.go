@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("unexpected summary %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("std = %v", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if Quantile(xs, 0) != 10 || Quantile(xs, 1) != 40 {
+		t.Error("quantile edges wrong")
+	}
+	if got := Quantile(xs, 0.5); got != 25 {
+		t.Errorf("median = %v, want 25", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("quantile of empty should be NaN")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 9.99, -1, 10, 100} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under=%d over=%d", h.Under, h.Over)
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+}
+
+func TestHistogramProportionsSum(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		h.Add(r.Float64())
+	}
+	total := 0.0
+	for _, p := range h.Proportions() {
+		total += p
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("proportions sum %v", total)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	p := Normalize([]float64{2, 2, 4})
+	want := []float64{0.25, 0.25, 0.5}
+	for i := range want {
+		if math.Abs(p[i]-want[i]) > 1e-12 {
+			t.Fatalf("normalize = %v", p)
+		}
+	}
+	u := Normalize([]float64{0, 0})
+	if u[0] != 0.5 || u[1] != 0.5 {
+		t.Fatalf("zero vector should normalize to uniform, got %v", u)
+	}
+}
+
+func TestJSDivergenceProperties(t *testing.T) {
+	p := []float64{0.5, 0.5, 0}
+	q := []float64{0, 0.5, 0.5}
+	if d := JSDivergence(p, p); d > 1e-12 {
+		t.Errorf("JS(p,p) = %v", d)
+	}
+	d1, d2 := JSDivergence(p, q), JSDivergence(q, p)
+	if math.Abs(d1-d2) > 1e-12 {
+		t.Errorf("JS not symmetric: %v vs %v", d1, d2)
+	}
+	// Disjoint distributions reach the ln 2 bound.
+	a := []float64{1, 0}
+	b := []float64{0, 1}
+	if d := JSDivergence(a, b); math.Abs(d-math.Ln2) > 1e-12 {
+		t.Errorf("JS(disjoint) = %v, want ln2", d)
+	}
+}
+
+func TestJSDivergenceBoundedQuick(t *testing.T) {
+	f := func(a, b [4]uint8) bool {
+		p := make([]float64, 4)
+		q := make([]float64, 4)
+		for i := 0; i < 4; i++ {
+			p[i] = float64(a[i])
+			q[i] = float64(b[i])
+		}
+		d := JSDivergence(p, q)
+		return d >= -1e-12 && d <= math.Ln2+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	if d := TotalVariation([]float64{1, 0}, []float64{0, 1}); math.Abs(d-1) > 1e-12 {
+		t.Errorf("TV(disjoint) = %v", d)
+	}
+	if d := TotalVariation([]float64{1, 1}, []float64{2, 2}); d > 1e-12 {
+		t.Errorf("TV(same) = %v", d)
+	}
+}
+
+func TestImbalanceRatio(t *testing.T) {
+	if r := ImbalanceRatio([]float64{100, 25}); r != 4 {
+		t.Errorf("ratio = %v", r)
+	}
+	if r := ImbalanceRatio([]float64{10, 0}); r != 10 {
+		t.Errorf("zero-min ratio = %v", r)
+	}
+	if r := ImbalanceRatio(nil); r != 1 {
+		t.Errorf("empty ratio = %v", r)
+	}
+}
+
+func TestKSStatistic(t *testing.T) {
+	same := []float64{1, 2, 3, 4, 5}
+	if d := KSStatistic(same, same); d > 1e-12 {
+		t.Errorf("KS(x,x) = %v", d)
+	}
+	lo := []float64{0, 0.1, 0.2, 0.3}
+	hi := []float64{10, 10.1, 10.2, 10.3}
+	if d := KSStatistic(lo, hi); math.Abs(d-1) > 1e-12 {
+		t.Errorf("KS(disjoint) = %v, want 1", d)
+	}
+	if d := KSStatistic(nil, same); d != 1 {
+		t.Errorf("KS(empty) = %v", d)
+	}
+	// Symmetry.
+	a := []float64{1, 5, 9, 2}
+	b := []float64{3, 4, 8}
+	if KSStatistic(a, b) != KSStatistic(b, a) {
+		t.Error("KS not symmetric")
+	}
+}
+
+func TestKSStatisticConvergesForSameDistribution(t *testing.T) {
+	r := NewRNG(1)
+	a := make([]float64, 3000)
+	b := make([]float64, 3000)
+	for i := range a {
+		a[i] = r.NormFloat64()
+		b[i] = r.NormFloat64()
+	}
+	if d := KSStatistic(a, b); d > 0.06 {
+		t.Errorf("KS of same distribution = %v, want small", d)
+	}
+}

@@ -1,0 +1,142 @@
+package tensor
+
+import "fmt"
+
+// ConvSpec describes a 2D convolution's geometry.
+type ConvSpec struct {
+	InC, OutC int
+	KH, KW    int
+	Stride    int
+	Pad       int
+}
+
+// OutSize returns the spatial output size for an input of h x w.
+func (s ConvSpec) OutSize(h, w int) (oh, ow int) {
+	oh = (h+2*s.Pad-s.KH)/s.Stride + 1
+	ow = (w+2*s.Pad-s.KW)/s.Stride + 1
+	return oh, ow
+}
+
+// Im2Col unrolls x [N,C,H,W] into columns [N*OH*OW, C*KH*KW] so the
+// convolution becomes a matrix multiply against the [OutC, C*KH*KW]
+// weight matrix.
+func Im2Col(x *Tensor, s ConvSpec) *Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if c != s.InC {
+		panic(fmt.Sprintf("tensor: im2col channels %d != spec %d", c, s.InC))
+	}
+	oh, ow := s.OutSize(h, w)
+	cols := New(n*oh*ow, c*s.KH*s.KW)
+	row := 0
+	for b := 0; b < n; b++ {
+		base := b * c * h * w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				dst := cols.Data[row*cols.Shape[1]:]
+				idx := 0
+				for ch := 0; ch < c; ch++ {
+					cbase := base + ch*h*w
+					for ky := 0; ky < s.KH; ky++ {
+						iy := oy*s.Stride + ky - s.Pad
+						for kx := 0; kx < s.KW; kx++ {
+							ix := ox*s.Stride + kx - s.Pad
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								dst[idx] = x.Data[cbase+iy*w+ix]
+							}
+							idx++
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im scatters column gradients back to input space (the adjoint of
+// Im2Col). h and w are the original spatial dims.
+func Col2Im(cols *Tensor, s ConvSpec, n, h, w int) *Tensor {
+	c := s.InC
+	oh, ow := s.OutSize(h, w)
+	x := New(n, c, h, w)
+	row := 0
+	for b := 0; b < n; b++ {
+		base := b * c * h * w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				src := cols.Data[row*cols.Shape[1]:]
+				idx := 0
+				for ch := 0; ch < c; ch++ {
+					cbase := base + ch*h*w
+					for ky := 0; ky < s.KH; ky++ {
+						iy := oy*s.Stride + ky - s.Pad
+						for kx := 0; kx < s.KW; kx++ {
+							ix := ox*s.Stride + kx - s.Pad
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								x.Data[cbase+iy*w+ix] += src[idx]
+							}
+							idx++
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+	return x
+}
+
+// Conv2D computes a forward convolution of x [N,C,H,W] with weights
+// w [OutC, C*KH*KW] and bias b [OutC], returning [N,OutC,OH,OW]. It
+// also returns the im2col matrix for reuse in the backward pass.
+func Conv2D(x, w, b *Tensor, s ConvSpec) (y, cols *Tensor) {
+	n, h, wd := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh, ow := s.OutSize(h, wd)
+	cols = Im2Col(x, s)
+	// out[rows, OutC] = cols · wᵀ
+	out := MatMulABT(cols, w)
+	y = New(n, s.OutC, oh, ow)
+	// Transpose [N*OH*OW, OutC] -> [N, OutC, OH, OW], adding bias.
+	spatial := oh * ow
+	for bIdx := 0; bIdx < n; bIdx++ {
+		for p := 0; p < spatial; p++ {
+			row := out.Data[(bIdx*spatial+p)*s.OutC:]
+			for o := 0; o < s.OutC; o++ {
+				y.Data[bIdx*s.OutC*spatial+o*spatial+p] = row[o] + b.Data[o]
+			}
+		}
+	}
+	return y, cols
+}
+
+// Conv2DBackward computes input, weight and bias gradients for Conv2D.
+// dy is [N,OutC,OH,OW]; cols is the matrix returned by Conv2D.
+func Conv2DBackward(dy, cols, w *Tensor, s ConvSpec, n, h, wd int) (dx, dw, db *Tensor) {
+	oh, ow := s.OutSize(h, wd)
+	spatial := oh * ow
+	// Re-layout dy to [N*OH*OW, OutC].
+	dyT := New(n*spatial, s.OutC)
+	for bIdx := 0; bIdx < n; bIdx++ {
+		for o := 0; o < s.OutC; o++ {
+			src := dy.Data[bIdx*s.OutC*spatial+o*spatial:]
+			for p := 0; p < spatial; p++ {
+				dyT.Data[(bIdx*spatial+p)*s.OutC+o] = src[p]
+			}
+		}
+	}
+	// dw [OutC, C*KH*KW] = dyTᵀ · cols
+	dw = MatMulATB(dyT, cols)
+	// db [OutC] = column sums of dyT.
+	db = New(s.OutC)
+	for r := 0; r < dyT.Shape[0]; r++ {
+		row := dyT.Data[r*s.OutC:]
+		for o := 0; o < s.OutC; o++ {
+			db.Data[o] += row[o]
+		}
+	}
+	// dcols = dyT · w, then scatter back.
+	dcols := MatMul(dyT, w)
+	dx = Col2Im(dcols, s, n, h, wd)
+	return dx, dw, db
+}

@@ -1,0 +1,145 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"trafficdiff/internal/stats"
+)
+
+// naiveConv2D is a direct convolution used to verify the im2col path.
+func naiveConv2D(x, w, b *Tensor, s ConvSpec) *Tensor {
+	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := s.OutSize(h, wd)
+	y := New(n, s.OutC, oh, ow)
+	for bi := 0; bi < n; bi++ {
+		for o := 0; o < s.OutC; o++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					sum := b.Data[o]
+					for ch := 0; ch < c; ch++ {
+						for ky := 0; ky < s.KH; ky++ {
+							for kx := 0; kx < s.KW; kx++ {
+								iy := oy*s.Stride + ky - s.Pad
+								ix := ox*s.Stride + kx - s.Pad
+								if iy < 0 || iy >= h || ix < 0 || ix >= wd {
+									continue
+								}
+								xv := x.Data[((bi*c+ch)*h+iy)*wd+ix]
+								wv := w.Data[o*c*s.KH*s.KW+(ch*s.KH+ky)*s.KW+kx]
+								sum += xv * wv
+							}
+						}
+					}
+					y.Data[((bi*s.OutC+o)*oh+oy)*ow+ox] = sum
+				}
+			}
+		}
+	}
+	return y
+}
+
+func TestConv2DMatchesNaive(t *testing.T) {
+	r := stats.NewRNG(1)
+	for _, tc := range []struct {
+		spec    ConvSpec
+		n, h, w int
+	}{
+		{ConvSpec{InC: 1, OutC: 2, KH: 3, KW: 3, Stride: 1, Pad: 1}, 2, 4, 5},
+		{ConvSpec{InC: 3, OutC: 4, KH: 3, KW: 3, Stride: 2, Pad: 1}, 1, 6, 6},
+		{ConvSpec{InC: 2, OutC: 1, KH: 1, KW: 1, Stride: 1, Pad: 0}, 2, 3, 3},
+		{ConvSpec{InC: 1, OutC: 3, KH: 5, KW: 3, Stride: 1, Pad: 2}, 1, 5, 4},
+	} {
+		x := New(tc.n, tc.spec.InC, tc.h, tc.w).Randn(r, 1)
+		w := New(tc.spec.OutC, tc.spec.InC*tc.spec.KH*tc.spec.KW).Randn(r, 1)
+		b := New(tc.spec.OutC).Randn(r, 1)
+		got, _ := Conv2D(x, w, b, tc.spec)
+		want := naiveConv2D(x, w, b, tc.spec)
+		if !got.SameShape(want) {
+			t.Fatalf("spec %+v: shape %v vs %v", tc.spec, got.Shape, want.Shape)
+		}
+		for i := range want.Data {
+			if math.Abs(float64(got.Data[i]-want.Data[i])) > 1e-3 {
+				t.Fatalf("spec %+v: cell %d = %v, want %v", tc.spec, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestCol2ImAdjointOfIm2Col(t *testing.T) {
+	// The adjoint test: <Im2Col(x), y> == <x, Col2Im(y)> for random x, y.
+	r := stats.NewRNG(2)
+	s := ConvSpec{InC: 2, OutC: 3, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	n, h, w := 2, 4, 4
+	x := New(n, s.InC, h, w).Randn(r, 1)
+	cols := Im2Col(x, s)
+	y := New(cols.Shape[0], cols.Shape[1]).Randn(r, 1)
+
+	var lhs float64
+	for i := range cols.Data {
+		lhs += float64(cols.Data[i]) * float64(y.Data[i])
+	}
+	back := Col2Im(y, s, n, h, w)
+	var rhs float64
+	for i := range x.Data {
+		rhs += float64(x.Data[i]) * float64(back.Data[i])
+	}
+	if math.Abs(lhs-rhs) > 1e-2*math.Max(1, math.Abs(lhs)) {
+		t.Fatalf("adjoint identity violated: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestConv2DBackwardNumericGradient(t *testing.T) {
+	r := stats.NewRNG(3)
+	s := ConvSpec{InC: 1, OutC: 2, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	n, h, wd := 1, 3, 3
+	x := New(n, s.InC, h, wd).Randn(r, 0.5)
+	w := New(s.OutC, s.InC*s.KH*s.KW).Randn(r, 0.5)
+	b := New(s.OutC).Randn(r, 0.5)
+
+	// Loss = sum(y). Then dy = ones.
+	loss := func() float64 {
+		y, _ := naiveLoss(x, w, b, s)
+		return y
+	}
+	y, cols := Conv2D(x, w, b, s)
+	dy := New(y.Shape...)
+	dy.Fill(1)
+	dx, dw, db := Conv2DBackward(dy, cols, w, s, n, h, wd)
+
+	const eps = 1e-2
+	check := func(name string, param *Tensor, grad *Tensor) {
+		for i := 0; i < param.Len(); i += 3 { // sample every third element
+			orig := param.Data[i]
+			param.Data[i] = orig + eps
+			up := loss()
+			param.Data[i] = orig - eps
+			down := loss()
+			param.Data[i] = orig
+			num := (up - down) / (2 * eps)
+			if math.Abs(num-float64(grad.Data[i])) > 1e-2*math.Max(1, math.Abs(num)) {
+				t.Fatalf("%s[%d]: numeric %v vs analytic %v", name, i, num, grad.Data[i])
+			}
+		}
+	}
+	check("x", x, dx)
+	check("w", w, dw)
+	check("b", b, db)
+}
+
+func naiveLoss(x, w, b *Tensor, s ConvSpec) (float64, *Tensor) {
+	y := naiveConv2D(x, w, b, s)
+	var sum float64
+	for _, v := range y.Data {
+		sum += float64(v)
+	}
+	return sum, y
+}
+
+func TestConvSpecOutSize(t *testing.T) {
+	s := ConvSpec{InC: 1, OutC: 1, KH: 3, KW: 3, Stride: 2, Pad: 1}
+	oh, ow := s.OutSize(8, 8)
+	if oh != 4 || ow != 4 {
+		t.Fatalf("out = %dx%d", oh, ow)
+	}
+}

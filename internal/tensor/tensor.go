@@ -1,0 +1,189 @@
+// Package tensor provides the dense float32 tensor type and the
+// numeric kernels (matrix multiply, convolution via im2col) that the
+// nn autodiff package builds on. It is deliberately small: just what a
+// CPU-trained DDPM and GAN need, with reference-checked kernels.
+package tensor
+
+import (
+	"fmt"
+
+	"trafficdiff/internal/stats"
+)
+
+// Tensor is a dense row-major float32 tensor.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// New allocates a zero tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		if s <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dim %v", shape))
+		}
+		n *= s
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromSlice wraps data with the given shape, validating the size.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	t := &Tensor{Shape: append([]int(nil), shape...), Data: data}
+	if len(data) != t.Len() {
+		panic(fmt.Sprintf("tensor: %d elements for shape %v", len(data), shape))
+	}
+	return t
+}
+
+// Len returns the total element count.
+func (t *Tensor) Len() int {
+	n := 1
+	for _, s := range t.Shape {
+		n *= s
+	}
+	return n
+}
+
+// Dim returns the size of axis i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i := range t.Shape {
+		if t.Shape[i] != o.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	return &Tensor{Shape: append([]int(nil), t.Shape...), Data: append([]float32(nil), t.Data...)}
+}
+
+// Reshape returns a view with a new shape sharing storage. The element
+// count must match.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	v := &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+	if v.Len() != t.Len() {
+		panic(fmt.Sprintf("tensor: reshape %v -> %v", t.Shape, shape))
+	}
+	return v
+}
+
+// Zero sets all elements to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets all elements to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Randn fills the tensor with N(0, std) noise.
+func (t *Tensor) Randn(r *stats.RNG, std float64) *Tensor {
+	for i := range t.Data {
+		t.Data[i] = float32(r.NormFloat64() * std)
+	}
+	return t
+}
+
+// AddInto accumulates o into t elementwise.
+func (t *Tensor) AddInto(o *Tensor) {
+	if len(t.Data) != len(o.Data) {
+		panic("tensor: AddInto size mismatch")
+	}
+	for i, v := range o.Data {
+		t.Data[i] += v
+	}
+}
+
+// MatMul computes C = A·B for A [m,k] and B [k,n], writing into a new
+// [m,n] tensor.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: matmul %v x %v", a.Shape, b.Shape))
+	}
+	c := New(m, n)
+	matmulInto(c.Data, a.Data, b.Data, m, k, n)
+	return c
+}
+
+// matmulInto computes C += A·B with C pre-zeroed by the caller, using
+// an ikj loop order for cache-friendly access.
+func matmulInto(c, a, b []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		ci := c[i*n : (i+1)*n]
+		ai := a[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j := range bp {
+				ci[j] += av * bp[j]
+			}
+		}
+	}
+}
+
+// MatMulATB computes C = Aᵀ·B for A [k,m] and B [k,n] → C [m,n].
+func MatMulATB(a, b *Tensor) *Tensor {
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: matmulATB %v x %v", a.Shape, b.Shape))
+	}
+	c := New(m, n)
+	for p := 0; p < k; p++ {
+		ap := a.Data[p*m : (p+1)*m]
+		bp := b.Data[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			ci := c.Data[i*n : (i+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// MatMulABT computes C = A·Bᵀ for A [m,k] and B [n,k] → C [m,n].
+func MatMulABT(a, b *Tensor) *Tensor {
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: matmulABT %v x %v", a.Shape, b.Shape))
+	}
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		ci := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b.Data[j*k : (j+1)*k]
+			var sum float32
+			for p := range ai {
+				sum += ai[p] * bj[p]
+			}
+			ci[j] = sum
+		}
+	}
+	return c
+}

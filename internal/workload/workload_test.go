@@ -1,0 +1,344 @@
+package workload
+
+import (
+	"testing"
+
+	"trafficdiff/internal/flow"
+	"trafficdiff/internal/packet"
+)
+
+func TestCatalogMatchesTable1(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 11 {
+		t.Fatalf("catalog size = %d, want 11", len(cat))
+	}
+	wantCounts := map[string]int{
+		"netflix": 4104, "youtube": 2702, "amazon": 1509, "twitch": 1150,
+		"teams": 3886, "meet": 1313, "zoom": 1312,
+		"facebook": 1477, "twitter": 1260, "instagram": 873,
+		"other": 3901,
+	}
+	total := 0
+	for _, p := range cat {
+		if wantCounts[p.Name] != p.Table1Count {
+			t.Errorf("%s count = %d, want %d", p.Name, p.Table1Count, wantCounts[p.Name])
+		}
+		total += p.Table1Count
+	}
+	if total != 23487 {
+		t.Errorf("total flows = %d", total)
+	}
+	// Macro groupings per Table 1.
+	macros := map[string]MacroService{
+		"netflix": VideoStreaming, "youtube": VideoStreaming,
+		"teams": VideoConferencing, "facebook": SocialMedia, "other": IoTDevice,
+	}
+	for name, want := range macros {
+		if got, _ := MacroOf(name); got != want {
+			t.Errorf("MacroOf(%s) = %v", name, got)
+		}
+	}
+	if _, ok := MacroOf("nope"); ok {
+		t.Error("unknown class should not resolve")
+	}
+}
+
+func TestGenerateFlowDeterministic(t *testing.T) {
+	p, _ := ProfileByName("netflix")
+	g1, g2 := NewGenerator(42), NewGenerator(42)
+	f1, f2 := g1.GenerateFlow(p), g2.GenerateFlow(p)
+	if len(f1.Packets) != len(f2.Packets) {
+		t.Fatalf("lengths differ: %d vs %d", len(f1.Packets), len(f2.Packets))
+	}
+	for i := range f1.Packets {
+		if string(f1.Packets[i].Data) != string(f2.Packets[i].Data) {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+}
+
+func TestTCPFlowStructure(t *testing.T) {
+	p, _ := ProfileByName("amazon")
+	g := NewGenerator(7)
+	f := g.GenerateFlow(p)
+	if len(f.Packets) < 7 {
+		t.Fatalf("flow too short: %d", len(f.Packets))
+	}
+	// All packets TCP — this is the Figure 2 property for Amazon.
+	for i, pk := range f.Packets {
+		if pk.TCP == nil {
+			t.Fatalf("packet %d is not TCP", i)
+		}
+	}
+	// Handshake: SYN, SYN|ACK, ACK.
+	if f.Packets[0].TCP.Flags != packet.FlagSYN {
+		t.Errorf("first packet flags = %v", f.Packets[0].TCP.Flags)
+	}
+	if f.Packets[1].TCP.Flags != packet.FlagSYN|packet.FlagACK {
+		t.Errorf("second packet flags = %v", f.Packets[1].TCP.Flags)
+	}
+	if f.Packets[2].TCP.Flags != packet.FlagACK {
+		t.Errorf("third packet flags = %v", f.Packets[2].TCP.Flags)
+	}
+	// SYN carries an MSS option.
+	if len(f.Packets[0].TCP.Options) < 4 || f.Packets[0].TCP.Options[0] != 2 {
+		t.Errorf("SYN options = %v", f.Packets[0].TCP.Options)
+	}
+	// Timestamps strictly ordered.
+	for i := 1; i < len(f.Packets); i++ {
+		if f.Packets[i].Timestamp.Before(f.Packets[i-1].Timestamp) {
+			t.Fatal("timestamps went backwards")
+		}
+	}
+}
+
+func TestTCPSequenceProgression(t *testing.T) {
+	p, _ := ProfileByName("netflix")
+	g := NewGenerator(11)
+	f := g.GenerateFlow(p)
+	// Per direction, sequence numbers never decrease (mod wraparound,
+	// which these short flows never hit).
+	lastSeq := map[uint16]uint32{}
+	for _, pk := range f.Packets {
+		src := pk.TCP.SrcPort
+		if last, ok := lastSeq[src]; ok {
+			if pk.TCP.Seq < last {
+				t.Fatalf("seq regression on port %d: %d < %d", src, pk.TCP.Seq, last)
+			}
+		}
+		lastSeq[src] = pk.TCP.Seq
+	}
+}
+
+func TestUDPFlowProtocolPurity(t *testing.T) {
+	p, _ := ProfileByName("teams")
+	g := NewGenerator(3)
+	f := g.GenerateFlow(p)
+	for i, pk := range f.Packets {
+		if pk.UDP == nil {
+			t.Fatalf("teams packet %d is not UDP", i)
+		}
+	}
+	// Teams marks EF.
+	if f.Packets[0].IPv4.TOS != 0xb8 {
+		t.Errorf("teams TOS = %#x", f.Packets[0].IPv4.TOS)
+	}
+}
+
+func TestICMPPairing(t *testing.T) {
+	p, _ := ProfileByName("other")
+	g := NewGenerator(5)
+	// Force ICMP by drawing flows until one is ICMP.
+	var f *flow.Flow
+	for i := 0; i < 200; i++ {
+		cand := g.GenerateFlow(p)
+		if cand.Packets[0].ICMP != nil {
+			f = cand
+			break
+		}
+	}
+	if f == nil {
+		t.Fatal("no ICMP flow generated in 200 draws")
+	}
+	if len(f.Packets)%2 != 0 {
+		t.Fatalf("icmp flow has odd packet count %d", len(f.Packets))
+	}
+	for i := 0; i < len(f.Packets); i += 2 {
+		req, rep := f.Packets[i].ICMP, f.Packets[i+1].ICMP
+		if req.Type != packet.ICMPEchoRequest || rep.Type != packet.ICMPEchoReply {
+			t.Fatalf("pair %d types = %d,%d", i/2, req.Type, rep.Type)
+		}
+		if req.ID() != rep.ID() || req.Seq() != rep.Seq() {
+			t.Fatalf("pair %d id/seq mismatch", i/2)
+		}
+	}
+}
+
+func TestGenerateDatasetImbalance(t *testing.T) {
+	ds, err := Generate(Config{Seed: 1, Scale: 0.01, MaxPacketsPerFlow: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := ds.ClassCounts()
+	if counts["netflix"] <= counts["instagram"] {
+		t.Errorf("imbalance not preserved: netflix=%d instagram=%d", counts["netflix"], counts["instagram"])
+	}
+	if len(ds.Classes) != 11 {
+		t.Errorf("classes = %v", ds.Classes)
+	}
+}
+
+func TestGenerateBalanced(t *testing.T) {
+	ds, err := Generate(Config{Seed: 1, FlowsPerClass: 5, MaxPacketsPerFlow: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, n := range ds.ClassCounts() {
+		if n != 5 {
+			t.Errorf("class %s has %d flows", c, n)
+		}
+	}
+}
+
+func TestGenerateOnlySubset(t *testing.T) {
+	ds, err := Generate(Config{Seed: 1, FlowsPerClass: 3, Only: []string{"netflix", "youtube"}, MaxPacketsPerFlow: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Flows) != 6 || len(ds.Classes) != 2 {
+		t.Fatalf("flows=%d classes=%v", len(ds.Flows), ds.Classes)
+	}
+}
+
+func TestGenerateRejectsUnknownClass(t *testing.T) {
+	if _, err := Generate(Config{Seed: 1, FlowsPerClass: 1, Only: []string{"nope"}}); err == nil {
+		t.Fatal("expected error for unknown class")
+	}
+}
+
+func TestGenerateRejectsEmptyConfig(t *testing.T) {
+	if _, err := Generate(Config{Seed: 1}); err == nil {
+		t.Fatal("expected error for missing scale")
+	}
+}
+
+func TestSplitStratified(t *testing.T) {
+	ds, err := Generate(Config{Seed: 2, FlowsPerClass: 10, MaxPacketsPerFlow: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := ds.Split(0.8, 99)
+	if len(train.Flows)+len(test.Flows) != len(ds.Flows) {
+		t.Fatal("split lost flows")
+	}
+	trainCounts, testCounts := train.ClassCounts(), test.ClassCounts()
+	for _, c := range ds.Classes {
+		if trainCounts[c] != 8 || testCounts[c] != 2 {
+			t.Errorf("class %s split %d/%d, want 8/2", c, trainCounts[c], testCounts[c])
+		}
+	}
+}
+
+func TestSplitTinyClassKeepsBothSides(t *testing.T) {
+	ds, err := Generate(Config{Seed: 3, FlowsPerClass: 2, Only: []string{"zoom"}, MaxPacketsPerFlow: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := ds.Split(0.99, 1)
+	if len(train.Flows) == 0 || len(test.Flows) == 0 {
+		t.Fatalf("degenerate split %d/%d", len(train.Flows), len(test.Flows))
+	}
+}
+
+func TestMaxPacketsCap(t *testing.T) {
+	ds, err := Generate(Config{Seed: 4, FlowsPerClass: 3, MaxPacketsPerFlow: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range ds.Flows {
+		if len(f.Packets) > 9 {
+			t.Fatalf("flow with %d packets exceeds cap", len(f.Packets))
+		}
+	}
+}
+
+func TestCountVectorAlignment(t *testing.T) {
+	ds, err := Generate(Config{Seed: 5, FlowsPerClass: 2, Only: []string{"netflix", "zoom"}, MaxPacketsPerFlow: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := ds.CountVector()
+	if len(v) != 2 || v[0] != 2 || v[1] != 2 {
+		t.Fatalf("count vector = %v", v)
+	}
+}
+
+func TestDistinctClassesHaveDistinctSignatures(t *testing.T) {
+	// Sanity: the generator must make netflix (TCP) and teams (UDP)
+	// trivially separable at the protocol level.
+	g := NewGenerator(8)
+	nf, _ := ProfileByName("netflix")
+	tm, _ := ProfileByName("teams")
+	fn := g.GenerateFlow(nf)
+	ft := g.GenerateFlow(tm)
+	if fn.DominantProtocol() != packet.ProtoTCP {
+		t.Error("netflix flows should be TCP-dominant")
+	}
+	if ft.DominantProtocol() != packet.ProtoUDP {
+		t.Error("teams flows should be UDP-dominant")
+	}
+}
+
+func TestClassNamesOrder(t *testing.T) {
+	names := ClassNames()
+	if names[0] != "netflix" || names[len(names)-1] != "other" {
+		t.Fatalf("class order = %v", names)
+	}
+}
+
+func TestMacroLabel(t *testing.T) {
+	if MacroLabel("zoom") != string(VideoConferencing) {
+		t.Error("zoom macro wrong")
+	}
+	if MacroLabel("bogus") != "" {
+		t.Error("bogus macro should be empty")
+	}
+}
+
+func TestTCPAckTracksPeerSequence(t *testing.T) {
+	// Stateful correctness: each packet's Ack must equal the peer
+	// direction's next expected sequence number at that point.
+	p, _ := ProfileByName("facebook")
+	g := NewGenerator(23)
+	f := g.GenerateFlow(p)
+	nextSeq := map[uint16]uint32{}
+	for i, pk := range f.Packets {
+		src, dst := pk.TCP.SrcPort, pk.TCP.DstPort
+		if want, ok := nextSeq[dst]; ok {
+			if pk.TCP.Ack != want {
+				t.Fatalf("packet %d: ack %d, want peer seq %d", i, pk.TCP.Ack, want)
+			}
+		}
+		consumed := uint32(len(pk.Payload))
+		if pk.TCP.Flags&(packet.FlagSYN|packet.FlagFIN) != 0 {
+			consumed++
+		}
+		nextSeq[src] = pk.TCP.Seq + consumed
+	}
+}
+
+func TestGeneratorTimestampsAdvanceAcrossFlows(t *testing.T) {
+	g := NewGenerator(29)
+	p, _ := ProfileByName("zoom")
+	f1 := g.GenerateFlow(p)
+	f2 := g.GenerateFlow(p)
+	if !f2.Start().After(f1.Start()) {
+		t.Fatal("second flow does not start after the first")
+	}
+}
+
+func TestConferencingIsochrony(t *testing.T) {
+	// Conferencing profiles have low inter-arrival variance relative
+	// to streaming — the timing signature classifiers can use.
+	g := NewGenerator(31)
+	cv := func(name string) float64 {
+		p, _ := ProfileByName(name)
+		f := g.GenerateFlow(p)
+		var gaps []float64
+		for i := 1; i < len(f.Packets); i++ {
+			gaps = append(gaps, f.Packets[i].Timestamp.Sub(f.Packets[i-1].Timestamp).Seconds())
+		}
+		var mean, sq float64
+		for _, x := range gaps {
+			mean += x
+		}
+		mean /= float64(len(gaps))
+		for _, x := range gaps {
+			sq += (x - mean) * (x - mean)
+		}
+		return (sq / float64(len(gaps))) / (mean * mean) // squared CV
+	}
+	if cv("teams") >= cv("twitch") {
+		t.Errorf("teams timing (cv²=%v) should be steadier than twitch (cv²=%v)", cv("teams"), cv("twitch"))
+	}
+}
