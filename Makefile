@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench fuzz experiments examples clean
+.PHONY: all build test vet lint race bench fuzz experiments examples clean
 
 all: build test
 
@@ -12,8 +12,20 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Static analysis: go vet plus the project's own tracelint pass, which
+# enforces the determinism invariants (seeded RNG only, no RNG sharing
+# across goroutines, no float ==, no dropped errors, no library
+# panics). See DESIGN.md "Static analysis & determinism invariants".
+lint: vet
+	$(GO) run ./cmd/tracelint
+
 test:
 	$(GO) test ./...
+
+# Race-detector pass over every package; the concurrency in
+# internal/rf (and anything the ROADMAP adds) must stay clean.
+race:
+	$(GO) test -race ./...
 
 # Full benchmark harness: every table/figure + ablations + micro benches.
 bench:

@@ -144,7 +144,8 @@ func writeFile(path string, fn func(*os.File) error) error {
 		return err
 	}
 	if err := fn(f); err != nil {
-		f.Close()
+		// The write error takes precedence over any close failure.
+		_ = f.Close()
 		return err
 	}
 	return f.Close()

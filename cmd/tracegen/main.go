@@ -132,7 +132,9 @@ func run(o runOpts) error {
 				return err
 			}
 			synth, err = core.Load(f)
-			f.Close()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 			if err != nil {
 				return err
 			}
@@ -162,7 +164,8 @@ func run(o runOpts) error {
 				return err
 			}
 			if err := synth.Save(f); err != nil {
-				f.Close()
+				// The Save error takes precedence over any close failure.
+				_ = f.Close()
 				return err
 			}
 			if err := f.Close(); err != nil {
@@ -224,12 +227,18 @@ func run(o runOpts) error {
 	return nil
 }
 
-func writePcap(path string, flows []*flow.Flow) error {
+func writePcap(path string, flows []*flow.Flow) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// A failed close on a written file loses buffered packets; surface
+	// it unless an earlier write error already explains the damage.
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	w, err := pcap.NewWriter(f, pcap.LinkTypeEthernet)
 	if err != nil {
 		return err
@@ -245,24 +254,20 @@ func writePcap(path string, flows []*flow.Flow) error {
 }
 
 func writeNetflowCSV(path string, feats [][]float64, labels []int, micro *eval.LabelSpace) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	fmt.Fprint(f, "label")
+	var b strings.Builder
+	fmt.Fprint(&b, "label")
 	for _, n := range netflow.FeatureNames {
-		fmt.Fprintf(f, ",%s", n)
+		fmt.Fprintf(&b, ",%s", n)
 	}
-	fmt.Fprintln(f)
+	fmt.Fprintln(&b)
 	for i, row := range feats {
-		fmt.Fprint(f, micro.Names[labels[i]])
+		fmt.Fprint(&b, micro.Names[labels[i]])
 		for _, v := range row {
-			fmt.Fprintf(f, ",%g", v)
+			fmt.Fprintf(&b, ",%g", v)
 		}
-		fmt.Fprintln(f)
+		fmt.Fprintln(&b)
 	}
-	return nil
+	return os.WriteFile(path, []byte(b.String()), 0o644)
 }
 
 func logLossCurve(name string, losses []float64) {

@@ -1,0 +1,98 @@
+// Command tracelint runs the project's domain-specific static analysis
+// over the whole module and exits nonzero on findings.
+//
+// Usage:
+//
+//	tracelint              # analyze the module containing the cwd
+//	tracelint -json        # machine-readable findings
+//	tracelint -list        # list analyzers and what they enforce
+//	tracelint -root DIR    # analyze the module rooted at DIR
+//
+// The analyzers enforce the determinism and robustness invariants the
+// reproduction depends on; see internal/lint for the catalogue and
+// DESIGN.md for the rationale.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"trafficdiff/internal/lint"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracelint: ")
+	var (
+		asJSON = flag.Bool("json", false, "emit findings as a JSON array")
+		list   = flag.Bool("list", false, "list analyzers and exit")
+		root   = flag.String("root", "", "module root (default: nearest go.mod above cwd)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	dir := *root
+	if dir == "" {
+		var err error
+		dir, err = findModuleRoot()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	findings := lint.RunAnalyzers(loader.ModuleRoot(), loader.ModulePath(), pkgs, lint.All())
+
+	if *asJSON {
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		fmt.Printf("tracelint: %d packages, %d findings\n", len(pkgs), len(findings))
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks upward from the cwd to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

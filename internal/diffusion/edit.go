@@ -150,7 +150,7 @@ func predictGuided(model Denoiser, x *tensor.Tensor, t, class int, guidance floa
 	tp := nn.NewTape()
 	epsC := model.Forward(tp, nn.NewV(x.Clone()), []int{t}, []int{class}, control)
 	var eps *tensor.Tensor
-	if guidance != 1 {
+	if !stats.ApproxEqual(guidance, 1, 1e-9) {
 		epsU := model.Forward(tp, nn.NewV(x.Clone()), []int{t}, []int{model.NullClass()}, control)
 		eps = tensor.New(x.Shape...)
 		wg := float32(guidance)

@@ -155,6 +155,7 @@ type UNetDenoiser struct {
 // even) with base channel count c and k classes.
 func NewUNetDenoiser(r *stats.RNG, h, w, c, k int) *UNetDenoiser {
 	if h%2 != 0 || w%2 != 0 {
+		//tracelint:allow paniccheck — documented shape invariant (doc comment: h and w must be even)
 		panic("diffusion: UNet needs even spatial dims")
 	}
 	const embHidden = 64

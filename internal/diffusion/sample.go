@@ -72,7 +72,7 @@ func Sample(model Denoiser, sched *Schedule, cfg SampleConfig) (*tensor.Tensor, 
 		tp := nn.NewTape()
 		epsC := forward(tp, nn.NewV(x.Clone()), steps, cond, control)
 		var eps *tensor.Tensor
-		if cfg.GuidanceScale != 1 {
+		if !stats.ApproxEqual(cfg.GuidanceScale, 1, 1e-9) {
 			uncond := make([]int, n)
 			for i := range uncond {
 				uncond[i] = model.NullClass()

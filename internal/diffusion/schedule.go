@@ -53,6 +53,7 @@ type Schedule struct {
 // NewSchedule precomputes a schedule with T steps.
 func NewSchedule(kind ScheduleKind, T int) *Schedule {
 	if T < 1 {
+		//tracelint:allow paniccheck — constructor invariant; T comes from validated config
 		panic("diffusion: schedule needs T >= 1")
 	}
 	s := &Schedule{
@@ -102,6 +103,7 @@ func NewSchedule(kind ScheduleKind, T int) *Schedule {
 			prev = ab
 		}
 	default:
+		//tracelint:allow paniccheck — exhaustive switch over the package's own ScheduleKind constants
 		panic("diffusion: unknown schedule kind")
 	}
 	abar := 1.0

@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheck flags dropped error returns in internal/ and cmd/ packages:
+// a call whose error result is discarded as an expression statement, or
+// assigned to the blank identifier without an adjacent comment saying
+// why. A swallowed write error means a truncated pcap or checkpoint
+// that the experiment harness then silently evaluates — the failure
+// shows up as a wrong table number, far from the cause.
+//
+// Calls that cannot fail are exempt: fmt.Print* to stdout, fmt.Fprint*
+// to a *bytes.Buffer, *strings.Builder, os.Stdout or os.Stderr, and
+// methods on *bytes.Buffer / *strings.Builder (documented to always
+// return nil errors). Deferred calls are also exempt; error-carrying
+// cleanups (e.g. Close on a written file) should be explicit
+// statements so the error can propagate.
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "forbid silently dropped error returns in internal/ and cmd/",
+	Run:  runErrCheck,
+}
+
+func runErrCheck(pass *Pass) {
+	if !strings.Contains(pass.Pkg.Path, "/internal/") && !strings.Contains(pass.Pkg.Path, "/cmd/") {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass.Pkg, f) {
+			continue
+		}
+		commentLines := commentLineSet(pass.Pkg, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if idx := errorResultIndex(info, call); idx >= 0 && !infallibleCall(info, call) {
+					pass.Reportf(call.Pos(),
+						"handle the error, or assign to _ with a comment explaining why it is safe to drop",
+						"error result of %s is silently discarded", calleeLabel(call))
+				}
+			case *ast.AssignStmt:
+				checkBlankErrAssign(pass, info, stmt, commentLines)
+			}
+			return true
+		})
+	}
+}
+
+// checkBlankErrAssign flags `_ = fallibleCall()` shapes with no
+// adjacent comment justifying the drop.
+func checkBlankErrAssign(pass *Pass, info *types.Info, stmt *ast.AssignStmt, commentLines map[int]bool) {
+	line := pass.Pkg.Fset.Position(stmt.Pos()).Line
+	if commentLines[line] || commentLines[line-1] {
+		return
+	}
+	errType := types.Universe.Lookup("error").Type()
+	for i, lhs := range stmt.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		var t types.Type
+		if len(stmt.Rhs) == len(stmt.Lhs) {
+			t = info.TypeOf(stmt.Rhs[i])
+		} else if tuple, ok := info.TypeOf(stmt.Rhs[0]).(*types.Tuple); ok && i < tuple.Len() {
+			t = tuple.At(i).Type()
+		}
+		if t == nil || !types.Identical(t, errType) {
+			continue
+		}
+		if len(stmt.Rhs) == len(stmt.Lhs) {
+			if call, ok := ast.Unparen(stmt.Rhs[i]).(*ast.CallExpr); ok && infallibleCall(info, call) {
+				continue
+			}
+		}
+		pass.Reportf(id.Pos(),
+			"handle the error, or add a comment on this or the previous line explaining the drop",
+			"error is assigned to _ without a justifying comment")
+	}
+}
+
+// errorResultIndex returns the index of the first error result of the
+// call, or -1 if it cannot fail (or is not a plain function call).
+func errorResultIndex(info *types.Info, call *ast.CallExpr) int {
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return -1 // builtin or conversion
+	}
+	errType := types.Universe.Lookup("error").Type()
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errType) {
+			return i
+		}
+	}
+	return -1
+}
+
+// infallibleCall reports whether the call is on the documented
+// never-fails list.
+func infallibleCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		return isInfallibleWriter(recv.Type())
+	}
+	if fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	name := fn.Name()
+	if name == "Print" || name == "Printf" || name == "Println" {
+		return true
+	}
+	if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+		return infallibleWriterExpr(info, call.Args[0])
+	}
+	return false
+}
+
+// infallibleWriterExpr reports whether the writer expression is
+// os.Stdout, os.Stderr, or a value of an infallible writer type.
+func infallibleWriterExpr(info *types.Info, expr ast.Expr) bool {
+	if sel, ok := ast.Unparen(expr).(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pkg, ok := info.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "os" {
+				return sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr"
+			}
+		}
+	}
+	return isInfallibleWriter(info.TypeOf(expr))
+}
+
+// isInfallibleWriter reports whether t is *bytes.Buffer or
+// *strings.Builder, whose Write methods are documented to return nil
+// errors.
+func isInfallibleWriter(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "bytes.Buffer", "strings.Builder":
+		return true
+	}
+	return false
+}
+
+// calleeFunc resolves the called function or method, if statically
+// known.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// calleeLabel renders the callee for a diagnostic.
+func calleeLabel(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}
+
+// commentLineSet records every line of f that carries a comment.
+func commentLineSet(pkg *Package, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			start := pkg.Fset.Position(c.Pos()).Line
+			end := pkg.Fset.Position(c.End()).Line
+			for l := start; l <= end; l++ {
+				lines[l] = true
+			}
+		}
+	}
+	return lines
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != where either operand is floating-point, in
+// non-test code. Exact float comparison is the classic source of
+// platform- and optimization-dependent behavior (x87 vs SSE rounding,
+// FMA contraction): a branch on `a == b` can take different sides on
+// different builds, which breaks bit-level reproducibility of the
+// synthesis pipeline. Compare through stats.ApproxEqual or an explicit
+// threshold instead; annotate deliberate exact sentinel checks.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "forbid ==/!= on floating-point operands outside tests",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass.Pkg, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatType(info.TypeOf(be.X)) && !isFloatType(info.TypeOf(be.Y)) {
+				return true
+			}
+			// Two compile-time constants compare exactly by definition.
+			if info.Types[be.X].Value != nil && info.Types[be.Y].Value != nil {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"use stats.ApproxEqual(a, b, tol), an explicit threshold, or annotate a deliberate sentinel check",
+				"floating-point %s comparison is not reproducible across platforms", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,210 @@
+// Package lint implements tracelint, a project-specific static
+// analysis pass over the trafficdiff module built on go/ast and
+// go/types alone.
+//
+// The pipeline's headline guarantee is bit-level determinism: the same
+// seed must yield the same synthetic pcap and the same table numbers on
+// every platform. The analyzers in this package mechanically enforce
+// the coding invariants that guarantee rests on:
+//
+//   - randimport: all randomness flows through internal/stats.RNG;
+//     math/rand and crypto/rand imports are banned in non-test code.
+//   - rngescape: a *stats.RNG must not be shared across goroutines;
+//     each goroutine takes its own Split() stream.
+//   - floateq: no ==/!= on floating-point operands outside tests.
+//   - errcheck: no silently dropped error returns in internal/ and cmd/.
+//   - paniccheck: no panic() in internal/ packages outside the tensor
+//     shape-invariant kernels.
+//
+// A finding can be suppressed at a specific site with a directive
+// comment naming the analyzer and a justification:
+//
+//	//tracelint:allow paniccheck — documented API invariant, mirrors math/rand
+//
+// The directive applies to findings on its own line or, for a
+// standalone comment line, the line directly below it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	// Analyzer names the pass that produced the finding.
+	Analyzer string `json:"analyzer"`
+	// Pos is "file:line:col" with the file relative to the module root.
+	Pos string `json:"pos"`
+	// Message states what is wrong.
+	Message string `json:"message"`
+	// Hint suggests how to fix it.
+	Hint string `json:"hint,omitempty"`
+
+	line, col int
+}
+
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+	if f.Hint != "" {
+		s += " (fix: " + f.Hint + ")"
+	}
+	return s
+}
+
+// Analyzer is one self-contained static-analysis pass. Run is invoked
+// once per package and reports through the pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns every tracelint analyzer in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{RandImport, RNGEscape, FloatEq, ErrCheck, PanicCheck}
+}
+
+// Pass carries one (package, analyzer) pairing and collects findings.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	// ModulePath is the module being analyzed ("trafficdiff").
+	ModulePath string
+
+	moduleRoot string
+	allows     map[string]map[int][]string // file -> line -> allowed analyzer names
+	findings   *[]Finding
+}
+
+// Reportf records a finding at pos unless a tracelint:allow directive
+// covers that line.
+func (p *Pass) Reportf(pos token.Pos, hint, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.allowed(position.Filename, position.Line) {
+		return
+	}
+	file := position.Filename
+	if rel, err := filepath.Rel(p.moduleRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      fmt.Sprintf("%s:%d:%d", file, position.Line, position.Column),
+		Message:  fmt.Sprintf(format, args...),
+		Hint:     hint,
+		line:     position.Line,
+		col:      position.Column,
+	})
+}
+
+func (p *Pass) allowed(file string, line int) bool {
+	for _, name := range p.allows[file][line] {
+		if name == p.Analyzer.Name || name == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// directivePrefix starts a suppression comment: //tracelint:allow name…
+const directivePrefix = "tracelint:allow"
+
+// collectAllows maps file -> line -> analyzers suppressed on that line.
+// A trailing comment suppresses its own line; a standalone comment line
+// suppresses the next line.
+func collectAllows(pkg *Package) map[string]map[int][]string {
+	allows := map[string]map[int][]string{}
+	for _, f := range pkg.Files {
+		tf := pkg.Fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		fileAllows := allows[tf.Name()]
+		if fileAllows == nil {
+			fileAllows = map[int][]string{}
+			allows[tf.Name()] = fileAllows
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, directivePrefix)
+				if !ok {
+					continue
+				}
+				// Drop the justification after an em-dash or "--".
+				for _, sep := range []string{"—", "--"} {
+					if i := strings.Index(rest, sep); i >= 0 {
+						rest = rest[:i]
+					}
+				}
+				names := strings.Fields(rest)
+				if len(names) == 0 {
+					continue
+				}
+				// A trailing directive guards its own line; a standalone
+				// directive guards the line below. Without source text the
+				// two are indistinguishable, so the directive covers both.
+				pos := pkg.Fset.Position(c.Pos())
+				fileAllows[pos.Line] = append(fileAllows[pos.Line], names...)
+				fileAllows[pos.Line+1] = append(fileAllows[pos.Line+1], names...)
+			}
+		}
+	}
+	return allows
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// surviving findings sorted by position.
+func RunAnalyzers(moduleRoot, modulePath string, pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		allows := collectAllows(pkg)
+		for _, a := range analyzers {
+			a.Run(&Pass{
+				Analyzer:   a,
+				Pkg:        pkg,
+				ModulePath: modulePath,
+				moduleRoot: moduleRoot,
+				allows:     allows,
+				findings:   &findings,
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if af, bf := posFile(a.Pos), posFile(b.Pos); af != bf {
+			return af < bf
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// posFile strips the ":line:col" suffix from a finding position.
+func posFile(pos string) string {
+	if i := strings.LastIndexByte(pos, ':'); i >= 0 {
+		if j := strings.LastIndexByte(pos[:i], ':'); j >= 0 {
+			return pos[:j]
+		}
+	}
+	return pos
+}
+
+// isTestFile reports whether the file holding pos is a _test.go file.
+// The loader skips test files, but fixture packages may include them.
+func isTestFile(pkg *Package, f *ast.File) bool {
+	tf := pkg.Fset.File(f.Pos())
+	return tf != nil && strings.HasSuffix(tf.Name(), "_test.go")
+}

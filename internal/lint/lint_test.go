@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLoader caches one loader per test binary so the standard
+// library is type-checked from source only once.
+var (
+	loaderOnce sync.Once
+	loader     *Loader
+	loaderErr  error
+)
+
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := filepath.Abs("../..")
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loader, loaderErr = NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatalf("loader: %v", loaderErr)
+	}
+	return loader
+}
+
+// want is one expected diagnostic parsed from a fixture comment.
+type want struct {
+	file   string
+	line   int
+	substr string
+	seen   bool
+}
+
+// wantRe matches a want expectation in a comment: the word "want",
+// optionally "+N" to shift the expected line N lines below the
+// comment, then the expected message substring in backquotes.
+var wantRe = regexp.MustCompile("want(\\+[0-9]+)? `([^`]+)`")
+
+func parseWants(pkg *Package) []*want {
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				offset := 0
+				if m[1] != "" {
+					offset, _ = strconv.Atoi(m[1])
+				}
+				wants = append(wants, &want{
+					file:   pos.Filename,
+					line:   pos.Line + offset,
+					substr: m[2],
+				})
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture applies one analyzer to one fixture package and checks
+// the findings against the fixture's want comments, both directions.
+func runFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	l := fixtureLoader(t)
+	pkg, err := l.Load(l.ModulePath() + "/internal/lint/testdata/src/" + name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	findings := RunAnalyzers(l.ModuleRoot(), l.ModulePath(), []*Package{pkg}, []*Analyzer{a})
+	wants := parseWants(pkg)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments", name)
+	}
+
+	for _, f := range findings {
+		file, line := findingSite(t, l, f)
+		matched := false
+		for _, w := range wants {
+			if !w.seen && filepath.Base(w.file) == filepath.Base(file) &&
+				w.line == line && strings.Contains(f.Message, w.substr) {
+				w.seen = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.seen {
+			t.Errorf("missing finding at %s:%d containing %q", filepath.Base(w.file), w.line, w.substr)
+		}
+	}
+}
+
+// findingSite splits a finding position into file and line.
+func findingSite(t *testing.T, l *Loader, f Finding) (string, int) {
+	t.Helper()
+	parts := strings.Split(f.Pos, ":")
+	if len(parts) < 3 {
+		t.Fatalf("malformed finding position %q", f.Pos)
+	}
+	line, err := strconv.Atoi(parts[len(parts)-2])
+	if err != nil {
+		t.Fatalf("malformed finding position %q: %v", f.Pos, err)
+	}
+	return strings.Join(parts[:len(parts)-2], ":"), line
+}
+
+func TestRandImportFixture(t *testing.T) { runFixture(t, RandImport, "randimport") }
+func TestRNGEscapeFixture(t *testing.T)  { runFixture(t, RNGEscape, "rngescape") }
+func TestFloatEqFixture(t *testing.T)    { runFixture(t, FloatEq, "floateq") }
+func TestErrCheckFixture(t *testing.T)   { runFixture(t, ErrCheck, "errcheck") }
+func TestPanicCheckFixture(t *testing.T) { runFixture(t, PanicCheck, "paniccheck") }
+
+// TestLoaderResolvesModulePackages checks that the zero-dependency
+// loader can type-check a real module package and expose its types.
+func TestLoaderResolvesModulePackages(t *testing.T) {
+	l := fixtureLoader(t)
+	pkg, err := l.Load(l.ModulePath() + "/internal/stats")
+	if err != nil {
+		t.Fatalf("loading internal/stats: %v", err)
+	}
+	obj := pkg.Types.Scope().Lookup("RNG")
+	if obj == nil {
+		t.Fatal("internal/stats has no RNG type")
+	}
+	if !isRNGPointer(types.NewPointer(obj.Type())) {
+		t.Fatal("isRNGPointer does not recognize *stats.RNG")
+	}
+}

@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+// Only non-test files are loaded: test code is exempt from every
+// analyzer, and `go test -race ./...` covers its concurrency.
+type Package struct {
+	// Path is the import path, e.g. "trafficdiff/internal/stats".
+	Path string
+	// Dir is the absolute directory the sources were read from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of a single module using only
+// the standard library: module-internal imports resolve recursively
+// through the loader itself, and standard-library imports resolve
+// through the compiler's source importer.
+type Loader struct {
+	fset       *token.FileSet
+	moduleRoot string
+	modulePath string
+	std        types.Importer
+	pkgs       map[string]*Package
+	loading    map[string]bool
+}
+
+// NewLoader returns a loader for the module rooted at moduleRoot
+// (the directory containing go.mod).
+func NewLoader(moduleRoot string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:       fset,
+		moduleRoot: abs,
+		modulePath: modPath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}, nil
+}
+
+// ModulePath returns the module path declared in go.mod.
+func (l *Loader) ModulePath() string { return l.modulePath }
+
+// ModuleRoot returns the absolute directory containing go.mod.
+func (l *Loader) ModuleRoot() string { return l.moduleRoot }
+
+// Fset returns the file set shared by every loaded package.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// LoadAll loads every package under the module root, skipping testdata
+// trees and hidden directories. Packages come back sorted by import
+// path so analysis output is deterministic.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var paths []string
+	err := filepath.WalkDir(l.moduleRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != l.moduleRoot && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(p, ".go") || strings.HasSuffix(p, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(l.moduleRoot, filepath.Dir(p))
+		if err != nil {
+			return err
+		}
+		ip := l.modulePath
+		if rel != "." {
+			ip = l.modulePath + "/" + filepath.ToSlash(rel)
+		}
+		paths = append(paths, ip)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var out []*Package
+	seen := map[string]bool{}
+	for _, ip := range paths {
+		if seen[ip] {
+			continue
+		}
+		seen[ip] = true
+		pkg, err := l.Load(ip)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// Load type-checks the package at the given module-internal import
+// path, loading its module-internal dependencies first.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.moduleRoot
+	if path != l.modulePath {
+		rel, ok := strings.CutPrefix(path, l.modulePath+"/")
+		if !ok {
+			return nil, fmt.Errorf("lint: %s is outside module %s", path, l.modulePath)
+		}
+		dir = filepath.Join(l.moduleRoot, filepath.FromSlash(rel))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+	sort.Slice(files, func(i, j int) bool {
+		return l.fset.File(files[i].Pos()).Name() < l.fset.File(files[j].Pos()).Name()
+	})
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importerFunc(l.importPkg)}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/") {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

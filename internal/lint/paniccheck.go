@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PanicCheck flags panic calls in internal/ packages. A panic inside
+// the library layer tears down a whole generation run — in a server
+// setting, one malformed flow kills every in-flight request sharing the
+// process. Library code returns errors; panics are reserved for
+// programmer-error invariants.
+//
+// Two escape hatches exist. The tensor kernels (internal/tensor,
+// internal/nn) panic on shape mismatches by design: they sit in the
+// training hot loop where an error return per matmul would be both
+// unusable and slow, exactly like Go's own slice bounds checks. Other
+// sites can justify themselves in place with
+// `//tracelint:allow paniccheck — reason`.
+var PanicCheck = &Analyzer{
+	Name: "paniccheck",
+	Doc:  "forbid panic() in internal/ packages outside shape-invariant kernels",
+	Run:  runPanicCheck,
+}
+
+// panicExemptSuffixes are package-path suffixes of the shape-invariant
+// kernel packages allowed to panic.
+var panicExemptSuffixes = []string{"internal/tensor", "internal/nn"}
+
+func runPanicCheck(pass *Pass) {
+	if !strings.Contains(pass.Pkg.Path, "/internal/") {
+		return
+	}
+	for _, suffix := range panicExemptSuffixes {
+		if strings.HasSuffix(pass.Pkg.Path, suffix) {
+			return
+		}
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass.Pkg, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin || id.Name != "panic" {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"return an error, or annotate a true invariant with //tracelint:allow paniccheck — reason",
+				"panic in library package %s tears down the whole process", pass.Pkg.Types.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"strconv"
+)
+
+// RandImport bans math/rand, math/rand/v2 and crypto/rand imports in
+// non-test code. Every random draw must flow through internal/stats.RNG
+// so that one seed determines the whole pipeline: math/rand's global
+// source is process-wide mutable state, and crypto/rand is
+// nondeterministic by construction — either silently breaks the
+// same-seed-same-pcap guarantee the experiments depend on.
+var RandImport = &Analyzer{
+	Name: "randimport",
+	Doc:  "forbid math/rand and crypto/rand imports outside tests",
+	Run:  runRandImport,
+}
+
+var bannedRandImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+func runRandImport(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass.Pkg, f) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if bannedRandImports[path] {
+				pass.Reportf(imp.Pos(),
+					"draw from a seeded *stats.RNG (internal/stats) instead",
+					"import of %q is banned in non-test code: randomness must be seeded and deterministic", path)
+			}
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// RNGEscape flags a *stats.RNG that crosses a goroutine boundary
+// unsafely: captured by a `go` statement's closure, or handed to more
+// than one goroutine. The xoshiro generator is deliberately unlocked
+// for speed, so concurrent draws race on its 256-bit state — the race
+// detector only catches that when schedules interleave, while the
+// deterministic-output guarantee is corrupted every time. The safe
+// pattern is one Split() stream per goroutine, derived sequentially
+// before any goroutine starts.
+var RNGEscape = &Analyzer{
+	Name: "rngescape",
+	Doc:  "forbid sharing a *stats.RNG across goroutines without Split()",
+	Run:  runRNGEscape,
+}
+
+func runRNGEscape(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass.Pkg, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncForRNGEscape(pass, fd)
+		}
+	}
+}
+
+func checkFuncForRNGEscape(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	// Every position where an RNG object is handed to a goroutine,
+	// keyed by the variable, in source order.
+	passedTo := map[types.Object][]token.Pos{}
+	var passedOrder []types.Object
+
+	recordPass := func(obj types.Object, pos token.Pos) {
+		if _, seen := passedTo[obj]; !seen {
+			passedOrder = append(passedOrder, obj)
+		}
+		passedTo[obj] = append(passedTo[obj], pos)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		call := g.Call
+		// RNG receivers and arguments travel into the new goroutine.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if obj := rngObject(info, sel.X); obj != nil {
+				recordPass(obj, sel.X.Pos())
+			}
+		}
+		for _, arg := range call.Args {
+			if obj := rngObject(info, arg); obj != nil {
+				recordPass(obj, arg.Pos())
+			}
+		}
+		// RNG variables captured by a spawned closure.
+		if fl, ok := call.Fun.(*ast.FuncLit); ok {
+			reported := map[types.Object]bool{}
+			ast.Inspect(fl.Body, func(m ast.Node) bool {
+				id, ok := m.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := info.Uses[id]
+				if obj == nil || !isRNGPointer(obj.Type()) || reported[obj] {
+					return true
+				}
+				// Only free variables count: anything declared inside
+				// the closure (params, locals) is goroutine-private.
+				if obj.Pos() >= fl.Pos() && obj.Pos() <= fl.End() {
+					return true
+				}
+				if splitOrigin(pass, fd, obj) {
+					return true
+				}
+				reported[obj] = true
+				pass.Reportf(id.Pos(),
+					"derive a per-goroutine stream with Split() before the go statement",
+					"*stats.RNG %q is captured by a goroutine closure; concurrent draws race on the generator state", obj.Name())
+				return true
+			})
+		}
+		return true
+	})
+
+	for _, obj := range passedOrder {
+		positions := passedTo[obj]
+		if len(positions) < 2 {
+			continue
+		}
+		sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+		pass.Reportf(positions[1],
+			"give each goroutine its own Split() stream",
+			"*stats.RNG %q is passed to %d goroutines; concurrent draws race on the generator state", obj.Name(), len(positions))
+	}
+}
+
+// rngObject returns the variable behind expr if it is a plain
+// identifier of type *stats.RNG.
+func rngObject(info *types.Info, expr ast.Expr) types.Object {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := info.Uses[id]
+	if obj == nil || !isRNGPointer(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// isRNGPointer reports whether t is *stats.RNG.
+func isRNGPointer(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "RNG" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/stats")
+}
+
+// splitOrigin reports whether every assignment to obj inside fd is a
+// Split() call or a range over a slice of pre-split streams — the two
+// shapes that guarantee the captured value is goroutine-private.
+func splitOrigin(pass *Pass, fd *ast.FuncDecl, obj types.Object) bool {
+	info := pass.Pkg.Info
+	assigns := 0
+	allSafe := true
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range stmt.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || (info.Defs[id] != obj && info.Uses[id] != obj) {
+					continue
+				}
+				assigns++
+				if len(stmt.Rhs) == len(stmt.Lhs) && isSplitCall(stmt.Rhs[i]) {
+					continue
+				}
+				allSafe = false
+			}
+		case *ast.ValueSpec:
+			for i, name := range stmt.Names {
+				if info.Defs[name] != obj {
+					continue
+				}
+				assigns++
+				if i < len(stmt.Values) && isSplitCall(stmt.Values[i]) {
+					continue
+				}
+				allSafe = false
+			}
+		case *ast.RangeStmt:
+			id, ok := stmt.Value.(*ast.Ident)
+			if !ok || info.Defs[id] != obj {
+				return true
+			}
+			// Ranging over []*stats.RNG distributes pre-split streams;
+			// each iteration variable is a distinct generator.
+			assigns++
+			t := info.TypeOf(stmt.X)
+			if t == nil {
+				allSafe = false
+				return true
+			}
+			switch u := t.Underlying().(type) {
+			case *types.Slice:
+				if !isRNGPointer(u.Elem()) {
+					allSafe = false
+				}
+			case *types.Array:
+				if !isRNGPointer(u.Elem()) {
+					allSafe = false
+				}
+			default:
+				allSafe = false
+			}
+		}
+		return true
+	})
+	return assigns > 0 && allSafe
+}
+
+// isSplitCall matches r.Split() for any receiver expression.
+func isSplitCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Split"
+}

@@ -1,0 +1,45 @@
+// Package errcheck is a tracelint fixture: dropped error returns.
+//
+// The blank-assignment expectations use the want+N offset form: a
+// comment on the assignment's own (or previous) line would count as
+// the justifying comment and exempt the site.
+package errcheck
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fail() error { return errors.New("boom") }
+
+func failPair() (int, error) { return 0, errors.New("boom") }
+
+func drops() {
+	fail() // want `error result of fail is silently discarded`
+
+	// want+2 `assigned to _ without a justifying comment`
+
+	_ = fail()
+
+	// want+2 `assigned to _ without a justifying comment`
+
+	_, _ = failPair()
+}
+
+func checked() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	// Deliberately ignored: this comment is the sanctioned escape hatch.
+	_ = fail()
+	fmt.Println("stdout convenience writes are exempt")
+	fmt.Fprintln(os.Stderr, "and stderr diagnostics")
+	var b strings.Builder
+	fmt.Fprintf(&b, "a strings.Builder cannot fail")
+	var buf bytes.Buffer
+	buf.WriteString("nor can a bytes.Buffer")
+	return nil
+}

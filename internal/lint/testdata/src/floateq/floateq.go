@@ -1,0 +1,19 @@
+// Package floateq is a tracelint fixture: exact float comparison.
+package floateq
+
+func compare(a, b float64, f float32, x, y int) bool {
+	if a == b { // want `floating-point == comparison`
+		return true
+	}
+	if float64(f) != b { // want `floating-point != comparison`
+		return false
+	}
+	if x == y { // integers compare exactly: no finding
+		return true
+	}
+	const c = 1.5
+	_ = c == 1.5 // two compile-time constants: no finding
+	//tracelint:allow floateq — deliberate exact sentinel, fixture negative case
+	_ = a == 0
+	return false
+}

@@ -1,0 +1,15 @@
+// Package paniccheck is a tracelint fixture: panics in library code.
+package paniccheck
+
+func bad(n int) {
+	if n < 0 {
+		panic("negative") // want `panic in library package paniccheck`
+	}
+}
+
+func allowed(n int) {
+	if n < 0 {
+		//tracelint:allow paniccheck — fixture-sanctioned invariant check
+		panic("negative")
+	}
+}

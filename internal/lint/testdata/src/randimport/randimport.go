@@ -1,0 +1,16 @@
+// Package randimport is a tracelint fixture: banned randomness imports.
+package randimport
+
+import (
+	crand "crypto/rand" // want `import of "crypto/rand" is banned`
+	mrand "math/rand"   // want `import of "math/rand" is banned`
+
+	"trafficdiff/internal/stats"
+)
+
+// Uses keep the imports alive so the fixture type-checks.
+var (
+	_ = crand.Reader
+	_ = mrand.Int
+	_ = stats.NewRNG // the sanctioned source of randomness: no finding
+)

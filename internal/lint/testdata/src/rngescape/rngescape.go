@@ -1,0 +1,51 @@
+// Package rngescape is a tracelint fixture: RNG streams crossing
+// goroutine boundaries.
+package rngescape
+
+import (
+	"trafficdiff/internal/stats"
+)
+
+func use(r *stats.RNG) { _ = r.Float64() }
+
+// badCapture shares one generator with a spawned closure.
+func badCapture(root *stats.RNG) {
+	go func() {
+		_ = root.Float64() // want `captured by a goroutine closure`
+	}()
+}
+
+// badFanOut hands the same generator to two goroutines.
+func badFanOut(root *stats.RNG) {
+	go use(root)
+	go use(root) // want `passed to 2 goroutines`
+}
+
+// goodSplit derives a private stream per goroutine before spawning:
+// the captured variable's only assignment is a Split() call.
+func goodSplit(root *stats.RNG) {
+	for i := 0; i < 4; i++ {
+		r := root.Split()
+		go func() {
+			_ = r.Float64()
+		}()
+	}
+}
+
+// goodRange distributes pre-split streams; each iteration variable is
+// a distinct generator.
+func goodRange(root *stats.RNG) {
+	rngs := make([]*stats.RNG, 4)
+	for i := range rngs {
+		rngs[i] = root.Split()
+	}
+	for _, r := range rngs {
+		go use(r)
+	}
+}
+
+// goodSingle passes a generator to exactly one goroutine, which then
+// owns it.
+func goodSingle(root *stats.RNG) {
+	go use(root)
+}

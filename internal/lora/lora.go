@@ -32,6 +32,7 @@ type Adapter struct {
 // and fan-out. B starts at zero so the adapter is initially a no-op.
 func NewAdapter(r *stats.RNG, in, out, rank int, alpha float64) *Adapter {
 	if rank <= 0 || rank > in || rank > out {
+		//tracelint:allow paniccheck — shape invariant on adapter construction, same class as tensor kernel checks
 		panic(fmt.Sprintf("lora: rank %d out of range for %dx%d layer", rank, in, out))
 	}
 	ad := &Adapter{A: nn.Param(rank, in), B: nn.Param(out, rank), Rank: rank, Alpha: alpha}

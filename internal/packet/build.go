@@ -45,6 +45,7 @@ func (b *Builder) finish(ts time.Time, ip IPv4, ipPayload []byte) *Packet {
 	if err != nil {
 		// The builder controls every byte, so a decode failure here is
 		// a bug in this package, not bad input.
+		//tracelint:allow paniccheck — round-trip self-check of builder output, unreachable on any input
 		panic(fmt.Sprintf("packet: built frame failed to decode: %v", err))
 	}
 	return p

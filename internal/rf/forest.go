@@ -37,7 +37,8 @@ type Forest struct {
 
 // Train fits a forest on x (rows of equal width) with labels y in
 // [0, k). Trees train concurrently; results are deterministic for a
-// given seed because each tree owns a seed derived by index.
+// given seed because every tree receives its own RNG stream, Split off
+// a root generator sequentially before any goroutine starts.
 func Train(x [][]float32, y []int, k int, cfg Config) (*Forest, error) {
 	if len(x) == 0 {
 		return nil, fmt.Errorf("rf: empty training set")
@@ -85,6 +86,14 @@ func Train(x [][]float32, y []int, k int, cfg Config) (*Forest, error) {
 	}
 
 	f := &Forest{trees: make([]*Tree, cfg.Trees), k: k}
+	// Derive one independent stream per tree on this goroutine, before
+	// any worker starts: Split advances the root deterministically, so
+	// tree ti's stream depends only on (seed, ti), never on schedule.
+	root := stats.NewRNG(cfg.Seed)
+	rngs := make([]*stats.RNG, cfg.Trees)
+	for i := range rngs {
+		rngs[i] = root.Split()
+	}
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for ti := 0; ti < cfg.Trees; ti++ {
@@ -93,7 +102,7 @@ func Train(x [][]float32, y []int, k int, cfg Config) (*Forest, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			r := stats.NewRNG(cfg.Seed + uint64(ti)*0x9e3779b97f4a7c15)
+			r := rngs[ti]
 			// Bootstrap sample.
 			idx := make([]int, len(x))
 			for i := range idx {

@@ -5,6 +5,7 @@ import "fmt"
 // Accuracy returns the fraction of predictions equal to truth.
 func Accuracy(pred, truth []int) float64 {
 	if len(pred) != len(truth) {
+		//tracelint:allow paniccheck — shape invariant on caller-built slices, same class as tensor kernel checks
 		panic("rf: Accuracy length mismatch")
 	}
 	if len(pred) == 0 {

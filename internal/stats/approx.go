@@ -1,0 +1,26 @@
+package stats
+
+import "math"
+
+// ApproxEqual reports whether a and b agree to within tol: absolutely
+// for values near zero, relatively for large magnitudes. It is the
+// sanctioned replacement for exact float ==/!= in non-test code (see
+// the tracelint floateq analyzer): exact comparison of computed floats
+// branches differently across platforms and optimization levels, which
+// breaks the pipeline's same-seed-same-output guarantee.
+//
+// NaN compares unequal to everything, matching IEEE semantics.
+func ApproxEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		//tracelint:allow floateq — infinities carry no rounding error; only identical infinities match
+		return a == b
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(a-b) <= tol*scale
+}

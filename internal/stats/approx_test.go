@@ -1,0 +1,33 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 1e-12, true},
+		{0, 0, 1e-12, true},
+		{1, 1 + 1e-13, 1e-12, true},
+		{1, 1 + 1e-9, 1e-12, false},
+		{1e12, 1e12 * (1 + 1e-13), 1e-12, true}, // relative for large magnitudes
+		{1e12, 1e12 + 1, 1e-15, false},
+		{0, 1e-13, 1e-12, true}, // absolute near zero
+		{0, 1e-6, 1e-12, false},
+		{-2, 2, 1e-12, false},
+		{math.Inf(1), math.Inf(1), 1e-12, true},
+		{math.Inf(1), math.Inf(-1), 1e-12, false},
+		{math.Inf(1), 1e300, 1e-12, false},
+		{math.NaN(), math.NaN(), 1e-12, false},
+		{math.NaN(), 1, 1e-12, false},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("ApproxEqual(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}

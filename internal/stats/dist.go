@@ -86,6 +86,7 @@ type Categorical struct {
 // total weight is not positive.
 func NewCategorical(weights []float64) *Categorical {
 	if len(weights) == 0 {
+		//tracelint:allow paniccheck — documented constructor invariant, mirrors stdlib math/rand argument panics
 		panic("stats: empty categorical")
 	}
 	c := &Categorical{Weights: append([]float64(nil), weights...)}
@@ -93,12 +94,14 @@ func NewCategorical(weights []float64) *Categorical {
 	total := 0.0
 	for i, w := range weights {
 		if w < 0 {
+			//tracelint:allow paniccheck — documented constructor invariant
 			panic("stats: negative categorical weight")
 		}
 		total += w
 		c.cum[i] = total
 	}
 	if total <= 0 {
+		//tracelint:allow paniccheck — documented constructor invariant
 		panic("stats: categorical with zero total weight")
 	}
 	return c
@@ -149,6 +152,7 @@ type Mixture struct {
 // len(weights).
 func NewMixture(components []Dist, weights []float64) *Mixture {
 	if len(components) != len(weights) {
+		//tracelint:allow paniccheck — documented constructor invariant
 		panic("stats: mixture arity mismatch")
 	}
 	return &Mixture{Components: components, cat: NewCategorical(weights)}

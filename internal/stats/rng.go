@@ -52,6 +52,7 @@ func (r *RNG) Uint64() uint64 {
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
+		//tracelint:allow paniccheck — documented argument invariant, mirrors math/rand.Intn
 		panic("stats: Intn with non-positive n")
 	}
 	return int(r.Uint64() % uint64(n))

@@ -75,6 +75,7 @@ type Histogram struct {
 // NewHistogram creates a histogram with bins equal-width bins.
 func NewHistogram(lo, hi float64, bins int) *Histogram {
 	if bins <= 0 || hi <= lo {
+		//tracelint:allow paniccheck — documented constructor invariant
 		panic("stats: invalid histogram bounds")
 	}
 	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
@@ -137,6 +138,7 @@ func Normalize(xs []float64) []float64 {
 // symmetric and bounded by ln 2.
 func JSDivergence(p, q []float64) float64 {
 	if len(p) != len(q) {
+		//tracelint:allow paniccheck — shape invariant on caller-built slices, same class as tensor kernel checks
 		panic("stats: JSDivergence length mismatch")
 	}
 	pn, qn := Normalize(p), Normalize(q)
@@ -161,6 +163,7 @@ func klTerm(p, m []float64) float64 {
 // discrete distributions (normalized internally), in [0, 1].
 func TotalVariation(p, q []float64) float64 {
 	if len(p) != len(q) {
+		//tracelint:allow paniccheck — shape invariant on caller-built slices, same class as tensor kernel checks
 		panic("stats: TotalVariation length mismatch")
 	}
 	pn, qn := Normalize(p), Normalize(q)
@@ -217,9 +220,11 @@ func KSStatistic(xs, ys []float64) float64 {
 		if b[j] < v {
 			v = b[j]
 		}
+		//tracelint:allow floateq — v is copied (not computed) from a[i]/b[j]; exact tie-stepping over sorted samples is the KS definition
 		for i < len(a) && a[i] == v {
 			i++
 		}
+		//tracelint:allow floateq — same exact tie-step as above
 		for j < len(b) && b[j] == v {
 			j++
 		}

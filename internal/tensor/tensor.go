@@ -130,6 +130,7 @@ func matmulInto(c, a, b []float32, m, k, n int) {
 		ai := a[i*k : (i+1)*k]
 		for p := 0; p < k; p++ {
 			av := ai[p]
+			//tracelint:allow floateq — exact-zero sparse skip: av*x adds exactly 0, so skipping is lossless; an epsilon here would change results
 			if av == 0 {
 				continue
 			}
@@ -153,6 +154,7 @@ func MatMulATB(a, b *Tensor) *Tensor {
 		ap := a.Data[p*m : (p+1)*m]
 		bp := b.Data[p*n : (p+1)*n]
 		for i, av := range ap {
+			//tracelint:allow floateq — exact-zero sparse skip, see matmulInto
 			if av == 0 {
 				continue
 			}
