@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench fuzz experiments examples clean
+.PHONY: all build test vet lint race bench bench-json verify-determinism fuzz experiments examples clean
 
 all: build test
 
@@ -30,6 +30,24 @@ race:
 # Full benchmark harness: every table/figure + ablations + micro benches.
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Machine-readable benchmark snapshot: the §4 speed benches plus the
+# tensor substrate micro-benches, appended as one labeled run to
+# BENCH_kernels.json (override BENCH_LABEL to tag the run).
+BENCH_LABEL ?= local
+bench-json:
+	{ $(GO) test -run NONE -bench 'BenchmarkGenerationSpeed|BenchmarkDiffusionTrainStep|BenchmarkNprint' -benchmem -benchtime 2x . ; \
+	  $(GO) test -run NONE -bench . -benchmem ./internal/tensor ; } \
+	| $(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)" -out BENCH_kernels.json -append
+
+# End-to-end determinism guard: the tiny Table 2 experiment must print
+# byte-identical output at GOMAXPROCS=1 and GOMAXPROCS=4.
+verify-determinism:
+	$(GO) build -o /tmp/traceval-det ./cmd/traceval
+	GOMAXPROCS=1 /tmp/traceval-det -fast table2 > /tmp/det_p1.txt
+	GOMAXPROCS=4 /tmp/traceval-det -fast table2 > /tmp/det_p4.txt
+	diff /tmp/det_p1.txt /tmp/det_p4.txt
+	@echo "determinism OK: GOMAXPROCS=1 and 4 outputs identical"
 
 # Short fuzzing pass over the binary-format decoders.
 fuzz:

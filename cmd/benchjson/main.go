@@ -1,0 +1,160 @@
+// Command benchjson converts `go test -bench -benchmem` text output
+// (read from stdin) into a JSON snapshot suitable for committing next
+// to the code it measures (BENCH_kernels.json). Each invocation parses
+// one bench run into a labeled record; with -append the record is added
+// to the existing file's runs array so before/after comparisons live in
+// one document.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | benchjson -label post-PR -out BENCH_kernels.json -append
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string  `json:"name"`
+	Package    string  `json:"package,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64  `json:"allocs_per_op,omitempty"`
+	// Custom holds testing.B.ReportMetric extras (e.g. flows/s).
+	Custom map[string]float64 `json:"custom,omitempty"`
+}
+
+// Run is one labeled bench invocation.
+type Run struct {
+	Label   string   `json:"label"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// Doc is the committed snapshot: a series of runs over time.
+type Doc struct {
+	Runs []Run `json:"runs"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	label := flag.String("label", "bench", "label for this run")
+	appendRun := flag.Bool("append", false, "append to an existing -out document instead of overwriting")
+	flag.Parse()
+
+	run, err := parse(bufio.NewScanner(os.Stdin), *label)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	doc := &Doc{}
+	if *appendRun && *out != "" {
+		if data, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(data, doc); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: existing %s: %v\n", *out, err)
+				os.Exit(1)
+			}
+		}
+	}
+	doc.Runs = append(doc.Runs, *run)
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads go-test bench output. Lines look like:
+//
+//	pkg: trafficdiff/internal/tensor
+//	cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+//	BenchmarkMatMul/8x2176x128-4  	 100	 123456 ns/op	 7.9 flows/s	 64 B/op	 2 allocs/op
+func parse(sc *bufio.Scanner, label string) (*Run, error) {
+	run := &Run{Label: label}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			run.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: trimProcSuffix(fields[0]), Package: pkg, Iterations: iters}
+		// Remaining fields come in (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = int64(v)
+			case "allocs/op":
+				r.AllocsPerOp = int64(v)
+			default:
+				if r.Custom == nil {
+					r.Custom = map[string]float64{}
+				}
+				r.Custom[unit] = v
+			}
+		}
+		run.Results = append(run.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(run.Results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return run, nil
+}
+
+// trimProcSuffix drops the -N GOMAXPROCS suffix go test appends to
+// benchmark names, so records compare across machines.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

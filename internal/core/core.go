@@ -20,6 +20,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"trafficdiff/internal/controlnet"
@@ -238,45 +240,83 @@ func (s *Synthesizer) EncodeFlow(f *flow.Flow) (*tensor.Tensor, error) {
 // vocabulary must have at least one flow (its one-shot ControlNet
 // template comes from the first).
 func (s *Synthesizer) FineTune(flowsByClass map[string][]*flow.Flow) (*TrainReport, error) {
-	set := &diffusion.TrainSet{}
+	// Per-class preparation (template derivation, control tensors, flow
+	// encoding, gap fitting) touches only that class's flows, so classes
+	// fan out across a worker pool into indexed slots; the merge below
+	// runs in class order (first error in class order wins), so results
+	// are identical at any GOMAXPROCS. The shared maps are written only
+	// during the sequential merge.
+	type classPrep struct {
+		tpl    *controlnet.Template
+		ctrl   *tensor.Tensor
+		images []*tensor.Tensor
+		labels []int
+		dist   *heuristic.Empirical
+		err    error
+	}
+	preps := make([]classPrep, len(s.classes))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
 	for _, class := range s.classes {
 		flows := flowsByClass[class]
 		if len(flows) == 0 {
 			return nil, fmt.Errorf("core: class %q has no training flows", class)
 		}
-		ci := s.index[class]
-		// One-shot protocol template from the first example.
-		tpl, err := controlnet.FromExample(nprint.FromFlow(flows[0], s.cfg.Rows))
-		if err != nil {
-			return nil, fmt.Errorf("core: template for %q: %w", class, err)
-		}
-		s.templates[ci] = tpl
-		h, w := s.ModelShape()
-		ctrl, err := tpl.ControlTensor(h, w, s.cfg.DownH, s.cfg.DownW)
-		if err != nil {
-			return nil, fmt.Errorf("core: control tensor for %q: %w", class, err)
-		}
-		s.controls[ci] = ctrl
-
-		var gaps []float64
-		for _, f := range flows {
-			im, err := s.EncodeFlow(f)
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ci int, class string, flows []*flow.Flow) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			p := &preps[ci]
+			// One-shot protocol template from the first example.
+			tpl, err := controlnet.FromExample(nprint.FromFlow(flows[0], s.cfg.Rows))
 			if err != nil {
-				return nil, err
+				p.err = fmt.Errorf("core: template for %q: %w", class, err)
+				return
 			}
-			set.Images = append(set.Images, im)
-			set.Labels = append(set.Labels, ci)
-			for i := 1; i < len(f.Packets); i++ {
-				g := f.Packets[i].Timestamp.Sub(f.Packets[i-1].Timestamp).Seconds() * 1000
-				if g >= 0 {
-					gaps = append(gaps, g)
+			p.tpl = tpl
+			h, w := s.ModelShape()
+			ctrl, err := tpl.ControlTensor(h, w, s.cfg.DownH, s.cfg.DownW)
+			if err != nil {
+				p.err = fmt.Errorf("core: control tensor for %q: %w", class, err)
+				return
+			}
+			p.ctrl = ctrl
+
+			var gaps []float64
+			for _, f := range flows {
+				im, err := s.EncodeFlow(f)
+				if err != nil {
+					p.err = err
+					return
+				}
+				p.images = append(p.images, im)
+				p.labels = append(p.labels, ci)
+				for i := 1; i < len(f.Packets); i++ {
+					g := f.Packets[i].Timestamp.Sub(f.Packets[i-1].Timestamp).Seconds() * 1000
+					if g >= 0 {
+						gaps = append(gaps, g)
+					}
 				}
 			}
+			if len(gaps) == 0 {
+				gaps = []float64{2}
+			}
+			p.dist = heuristic.NewEmpirical(gaps)
+		}(s.index[class], class, flows)
+	}
+	wg.Wait()
+
+	set := &diffusion.TrainSet{}
+	for ci := range preps {
+		if preps[ci].err != nil {
+			return nil, preps[ci].err
 		}
-		if len(gaps) == 0 {
-			gaps = []float64{2}
-		}
-		s.gapDists[ci] = heuristic.NewEmpirical(gaps)
+		s.templates[ci] = preps[ci].tpl
+		s.controls[ci] = preps[ci].ctrl
+		s.gapDists[ci] = preps[ci].dist
+		set.Images = append(set.Images, preps[ci].images...)
+		set.Labels = append(set.Labels, preps[ci].labels...)
 	}
 
 	report := &TrainReport{Images: len(set.Images)}
@@ -397,41 +437,90 @@ func (s *Synthesizer) Generate(class string, n int) (*GenerateResult, error) {
 		return nil, err
 	}
 
-	res := &GenerateResult{}
+	// Post-processing (upscale, quantize, projection, back-transform,
+	// timestamp stamping) is independent per flow: each worker owns one
+	// result slot, and the aggregation below runs sequentially in flow
+	// order, so the result is identical at any GOMAXPROCS. Timestamp
+	// gaps come from per-flow RNG streams split off sequentially before
+	// any worker starts (same discipline as rf.Train).
 	tpl := s.templates[ci]
 	h, w := s.ModelShape()
 	d := h * w
-	var complianceSum, cellSum float64
 	base := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	tsRoot := stats.NewRNG(s.cfg.Seed ^ s.genCalls ^ 0x7ad3c1)
+	tsRNGs := make([]*stats.RNG, n)
+	for i := range tsRNGs {
+		tsRNGs[i] = tsRoot.Split()
+	}
+
+	type flowResult struct {
+		m          *nprint.Matrix
+		fl         *flow.Flow
+		repaired   int
+		skipped    int
+		compliance float64
+		cell       float64
+		err        error
+	}
+	slots := make([]flowResult, n)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
-		im := &imagerep.Image{H: h, W: w, Pix: samples.Data[i*d : (i+1)*d]}
-		up, err := imagerep.Upscale(im, s.cfg.DownH, s.cfg.DownW)
-		if err != nil {
-			return nil, err
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			slot := &slots[i]
+			im := &imagerep.Image{H: h, W: w, Pix: samples.Data[i*d : (i+1)*d]}
+			up, err := imagerep.Upscale(im, s.cfg.DownH, s.cfg.DownW)
+			if err != nil {
+				slot.err = err
+				return
+			}
+			imagerep.Quantize(up) // "color processing"
+			m, err := imagerep.ToMatrix(up)
+			if err != nil {
+				slot.err = err
+				return
+			}
+			slot.compliance = tpl.ProtocolCompliance(m)
+			slot.cell = tpl.Compliance(m)
+			slot.repaired = tpl.Project(m)
+			if s.cfg.ConstantSnap {
+				slot.repaired += tpl.ProjectConstants(m)
+			}
+			start := base.Add(time.Duration(i) * time.Second)
+			pkts, skipped, err := nprint.ToPackets(m, nprint.DecodeOptions{
+				Repair:   true,
+				Start:    start,
+				Interval: 2 * time.Millisecond,
+			})
+			if err != nil {
+				slot.err = fmt.Errorf("core: back-transform: %w", err)
+				return
+			}
+			s.stampTimestamps(pkts, ci, start, tsRNGs[i])
+			slot.skipped = skipped
+			slot.m = m
+			slot.fl = &flow.Flow{Label: class, Packets: pkts}
+		}(i)
+	}
+	wg.Wait()
+
+	res := &GenerateResult{}
+	var complianceSum, cellSum float64
+	for i := range slots {
+		if slots[i].err != nil {
+			return nil, slots[i].err
 		}
-		imagerep.Quantize(up) // "color processing"
-		m, err := imagerep.ToMatrix(up)
-		if err != nil {
-			return nil, err
-		}
-		complianceSum += tpl.ProtocolCompliance(m)
-		cellSum += tpl.Compliance(m)
-		res.Repaired += tpl.Project(m)
-		if s.cfg.ConstantSnap {
-			res.Repaired += tpl.ProjectConstants(m)
-		}
-		pkts, skipped, err := nprint.ToPackets(m, nprint.DecodeOptions{
-			Repair:   true,
-			Start:    base.Add(time.Duration(i) * time.Second),
-			Interval: 2 * time.Millisecond,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("core: back-transform: %w", err)
-		}
-		s.stampTimestamps(pkts, ci, base.Add(time.Duration(i)*time.Second))
-		res.SkippedRows += skipped
-		res.Matrices = append(res.Matrices, m)
-		res.Flows = append(res.Flows, &flow.Flow{Label: class, Packets: pkts})
+		complianceSum += slots[i].compliance
+		cellSum += slots[i].cell
+		res.Repaired += slots[i].repaired
+		res.SkippedRows += slots[i].skipped
+		res.Matrices = append(res.Matrices, slots[i].m)
+		res.Flows = append(res.Flows, slots[i].fl)
 	}
 	res.RawCompliance = complianceSum / float64(n)
 	res.RawCellCompliance = cellSum / float64(n)
@@ -486,13 +575,13 @@ func (s *Synthesizer) Template(class string) (*controlnet.Template, error) {
 func (s *Synthesizer) SetDDIMSteps(steps int) { s.cfg.DDIMSteps = steps }
 
 // stampTimestamps rewrites the packets' timestamps with gaps sampled
-// from the class's fitted inter-arrival distribution.
-func (s *Synthesizer) stampTimestamps(pkts []*packet.Packet, ci int, start time.Time) {
+// from the class's fitted inter-arrival distribution. r is the flow's
+// private stream, so flows in one call draw distinct gap sequences.
+func (s *Synthesizer) stampTimestamps(pkts []*packet.Packet, ci int, start time.Time, r *stats.RNG) {
 	dist := s.gapDists[ci]
 	if dist == nil || len(pkts) == 0 {
 		return
 	}
-	r := stats.NewRNG(s.cfg.Seed ^ s.genCalls ^ 0x7ad3c1)
 	ts := start
 	for _, p := range pkts {
 		p.Timestamp = ts

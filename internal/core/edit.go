@@ -8,6 +8,7 @@ import (
 	"trafficdiff/internal/flow"
 	"trafficdiff/internal/imagerep"
 	"trafficdiff/internal/nprint"
+	"trafficdiff/internal/stats"
 	"trafficdiff/internal/tensor"
 )
 
@@ -170,7 +171,8 @@ func (s *Synthesizer) postprocess(img *tensor.Tensor, ci int, label string) (*Ge
 	if err != nil {
 		return nil, fmt.Errorf("core: back-transform: %w", err)
 	}
-	s.stampTimestamps(pkts, ci, time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC))
+	s.stampTimestamps(pkts, ci, time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC),
+		stats.NewRNG(s.cfg.Seed^s.genCalls^0x7ad3c1))
 	res.SkippedRows = skipped
 	res.Matrices = []*nprint.Matrix{m}
 	res.Flows = []*flow.Flow{{Label: label, Packets: pkts}}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"trafficdiff/internal/nn"
 	"trafficdiff/internal/stats"
 	"trafficdiff/internal/tensor"
 )
@@ -145,23 +144,9 @@ func Translate(model Denoiser, sched *Schedule, cfg TranslateConfig) (*tensor.Te
 }
 
 // predictGuided runs one classifier-free-guided ε prediction for a
-// single-sample batch.
+// single-sample batch using the plain model forward (see predictOne).
 func predictGuided(model Denoiser, x *tensor.Tensor, t, class int, guidance float64, control *tensor.Tensor) *tensor.Tensor {
-	tp := nn.NewTape()
-	epsC := model.Forward(tp, nn.NewV(x.Clone()), []int{t}, []int{class}, control)
-	var eps *tensor.Tensor
-	if !stats.ApproxEqual(guidance, 1, 1e-9) {
-		epsU := model.Forward(tp, nn.NewV(x.Clone()), []int{t}, []int{model.NullClass()}, control)
-		eps = tensor.New(x.Shape...)
-		wg := float32(guidance)
-		for i := range eps.Data {
-			eps.Data[i] = epsU.X.Data[i] + wg*(epsC.X.Data[i]-epsU.X.Data[i])
-		}
-	} else {
-		eps = epsC.X
-	}
-	tp.Reset()
-	return eps
+	return predictOne(model.Forward, model.NullClass(), x, t, class, guidance, control)
 }
 
 // stepDDPMInPlace applies one reverse DDPM step (with x0 clipping) to

@@ -3,6 +3,8 @@ package diffusion
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"trafficdiff/internal/nn"
 	"trafficdiff/internal/stats"
@@ -24,7 +26,7 @@ type SampleConfig struct {
 	// sampling (the paper's "generative speed" lever).
 	DDIMSteps int
 	// Control, when non-nil, is the ControlNet conditioning image
-	// [1,H,W] replicated across the batch.
+	// [1,H,W] shared by every flow in the batch.
 	Control *tensor.Tensor
 	Seed    uint64
 	// ExtraForward, when non-nil, replaces the plain model forward —
@@ -37,6 +39,13 @@ type SampleConfig struct {
 type ForwardFunc func(tp *nn.Tape, xt *nn.V, steps []int, class []int, control *tensor.Tensor) *nn.V
 
 // Sample draws cfg.N images [N,1,H,W] from the model under sched.
+//
+// Flows in a diffusion batch are statistically independent, so they are
+// sampled concurrently, one goroutine-pool task per flow. Each flow
+// owns a private RNG stream derived by Split() from the seed root —
+// all streams are derived sequentially BEFORE any worker starts, so the
+// draw sequence per flow is a pure function of (Seed, flow index) and
+// the output is bit-identical at GOMAXPROCS=1 and GOMAXPROCS=N.
 func Sample(model Denoiser, sched *Schedule, cfg SampleConfig) (*tensor.Tensor, error) {
 	if cfg.N <= 0 {
 		return nil, fmt.Errorf("diffusion: sample N must be positive")
@@ -45,58 +54,79 @@ func Sample(model Denoiser, sched *Schedule, cfg SampleConfig) (*tensor.Tensor, 
 		return nil, fmt.Errorf("diffusion: class %d out of range [0,%d)", cfg.Class, model.NullClass())
 	}
 	h, w := model.Shape()
-	r := stats.NewRNG(cfg.Seed)
 	n, d := cfg.N, h*w
 
 	forward := cfg.ExtraForward
 	if forward == nil {
 		forward = model.Forward
 	}
+	nullClass := model.NullClass()
 
+	// Control is read-only during sampling and shared by all workers.
 	var control *tensor.Tensor
 	if cfg.Control != nil {
-		control = tensor.New(n, 1, h, w)
-		for i := 0; i < n; i++ {
-			copy(control.Data[i*d:(i+1)*d], cfg.Control.Data)
-		}
+		control = cfg.Control.Reshape(1, 1, h, w)
 	}
 
-	// ε prediction with classifier-free guidance.
+	// One private stream per flow, split off sequentially before any
+	// goroutine exists (same discipline as rf.Train).
+	root := stats.NewRNG(cfg.Seed)
+	rngs := make([]*stats.RNG, n)
+	for i := range rngs {
+		rngs[i] = root.Split()
+	}
+
+	out := tensor.New(n, 1, h, w)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r := rngs[i]
+			x := sampleOne(forward, nullClass, sched, cfg, h, w, r, control)
+			copy(out.Data[i*d:(i+1)*d], x.Data)
+		}(i)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// sampleOne draws a single flow image [1,1,H,W] from its private RNG
+// stream.
+func sampleOne(forward ForwardFunc, nullClass int, sched *Schedule, cfg SampleConfig, h, w int, r *stats.RNG, control *tensor.Tensor) *tensor.Tensor {
 	predict := func(x *tensor.Tensor, t int) *tensor.Tensor {
-		steps := make([]int, n)
-		cond := make([]int, n)
-		for i := range steps {
-			steps[i] = t
-			cond[i] = cfg.Class
-		}
-		tp := nn.NewTape()
-		epsC := forward(tp, nn.NewV(x.Clone()), steps, cond, control)
-		var eps *tensor.Tensor
-		if !stats.ApproxEqual(cfg.GuidanceScale, 1, 1e-9) {
-			uncond := make([]int, n)
-			for i := range uncond {
-				uncond[i] = model.NullClass()
-			}
-			epsU := forward(tp, nn.NewV(x.Clone()), steps, uncond, control)
-			eps = tensor.New(n, 1, h, w)
-			wg := float32(cfg.GuidanceScale)
-			for i := range eps.Data {
-				eps.Data[i] = epsU.X.Data[i] + wg*(epsC.X.Data[i]-epsU.X.Data[i])
-			}
-		} else {
-			eps = epsC.X
-		}
-		tp.Reset()
-		return eps
+		return predictOne(forward, nullClass, x, t, cfg.Class, cfg.GuidanceScale, control)
 	}
-
 	// x_T ~ N(0, I).
-	x := tensor.New(n, 1, h, w).Randn(r, 1)
-
+	x := tensor.New(1, 1, h, w).Randn(r, 1)
 	if cfg.DDIMSteps > 0 && cfg.DDIMSteps < sched.T {
-		return sampleDDIM(x, sched, cfg.DDIMSteps, predict), nil
+		return sampleDDIM(x, sched, cfg.DDIMSteps, predict)
 	}
-	return sampleDDPM(x, sched, r, predict), nil
+	return sampleDDPM(x, sched, r, predict)
+}
+
+// predictOne runs one classifier-free-guided ε prediction for a
+// single-sample batch. Shared by the batch sampler and the editing
+// tasks (Inpaint, Translate).
+func predictOne(forward ForwardFunc, nullClass int, x *tensor.Tensor, t, class int, guidance float64, control *tensor.Tensor) *tensor.Tensor {
+	tp := nn.NewTape()
+	epsC := forward(tp, nn.NewV(x.Clone()), []int{t}, []int{class}, control)
+	var eps *tensor.Tensor
+	if !stats.ApproxEqual(guidance, 1, 1e-9) {
+		epsU := forward(tp, nn.NewV(x.Clone()), []int{t}, []int{nullClass}, control)
+		eps = tensor.New(x.Shape...)
+		wg := float32(guidance)
+		for i := range eps.Data {
+			eps.Data[i] = epsU.X.Data[i] + wg*(epsC.X.Data[i]-epsU.X.Data[i])
+		}
+	} else {
+		eps = epsC.X
+	}
+	tp.Reset()
+	return eps
 }
 
 // sampleDDPM runs full ancestral sampling: T model evaluations. The

@@ -92,15 +92,24 @@ func Train(model Denoiser, sched *Schedule, set *TrainSet, cfg TrainConfig) ([]f
 	losses := make([]float64, 0, cfg.Steps)
 	n := cfg.Batch
 	d := h * w
+
+	// Minibatch buffers are allocated once and refilled every step, and
+	// the tape's output arena recycles the forward pass's intermediate
+	// tensors across steps — shapes repeat, so after the first step the
+	// training loop is allocation-free on the hot path.
+	xt := tensor.New(n, 1, h, w)
+	noise := tensor.New(n, 1, h, w)
+	steps := make([]int, n)
+	class := make([]int, n)
+	var control *tensor.Tensor
+	if cfg.Controls != nil {
+		control = tensor.New(n, 1, h, w)
+	}
+	xv := nn.NewV(xt)
+	tp := nn.NewTape()
+	tp.EnableReuse()
+
 	for step := 0; step < cfg.Steps; step++ {
-		xt := tensor.New(n, 1, h, w)
-		noise := tensor.New(n, 1, h, w)
-		steps := make([]int, n)
-		class := make([]int, n)
-		var control *tensor.Tensor
-		if cfg.Controls != nil {
-			control = tensor.New(n, 1, h, w)
-		}
 		for i := 0; i < n; i++ {
 			idx := r.Intn(len(set.Images))
 			x0 := set.Images[idx]
@@ -120,12 +129,17 @@ func Train(model Denoiser, sched *Schedule, set *TrainSet, cfg TrainConfig) ([]f
 			if control != nil {
 				if ctrl, ok := cfg.Controls[set.Labels[idx]]; ok {
 					copy(control.Data[i*d:(i+1)*d], ctrl.Data)
+				} else {
+					ctrlRow := control.Data[i*d : (i+1)*d]
+					for j := range ctrlRow {
+						ctrlRow[j] = 0
+					}
 				}
 			}
 		}
 
-		tp := nn.NewTape()
-		pred := model.Forward(tp, nn.NewV(xt), steps, class, control)
+		xv.ZeroGrad()
+		pred := model.Forward(tp, xv, steps, class, control)
 		loss := tp.MSE(pred, noise)
 		lv := float64(loss.X.Data[0])
 		if math.IsNaN(lv) || math.IsInf(lv, 0) {
@@ -137,6 +151,9 @@ func Train(model Denoiser, sched *Schedule, set *TrainSet, cfg TrainConfig) ([]f
 		if ema != nil {
 			ema.Update()
 		}
+		// All tape outputs from this step are dead now; hand their
+		// storage back for the next step.
+		tp.Recycle()
 	}
 	if ema != nil {
 		// Install the averaged weights for sampling.

@@ -49,3 +49,36 @@ func goodRange(root *stats.RNG) {
 func goodSingle(root *stats.RNG) {
 	go use(root)
 }
+
+// badWorkerPoolShared is the bounded worker-pool shape (semaphore +
+// per-task goroutine) with a shared generator captured by every worker
+// — the bug the parallel sampling/postprocessing layer must not have.
+func badWorkerPoolShared(root *stats.RNG, n int) {
+	sem := make(chan struct{}, 4)
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem }()
+			_ = root.Float64() // want `captured by a goroutine closure`
+		}()
+	}
+}
+
+// goodWorkerPoolPreSplit is the sanctioned pool shape: one stream per
+// task split off sequentially before any worker starts, indexed by the
+// task id inside the closure.
+func goodWorkerPoolPreSplit(root *stats.RNG, n int) {
+	rngs := make([]*stats.RNG, n)
+	for i := range rngs {
+		rngs[i] = root.Split()
+	}
+	sem := make(chan struct{}, 4)
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem }()
+			r := rngs[i]
+			_ = r.Float64()
+		}(i)
+	}
+}

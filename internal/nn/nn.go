@@ -35,13 +35,86 @@ func Param(shape ...int) *V { return NewV(tensor.New(shape...)) }
 // ZeroGrad clears the gradient.
 func (v *V) ZeroGrad() { v.G.Zero() }
 
-// Tape records backward closures in execution order.
+// Tape records backward closures in execution order. With reuse
+// enabled (EnableReuse) it also owns an arena of output tensors:
+// training loops whose shapes repeat every step can run Recycle()
+// after the optimizer step to return all tape-allocated values to the
+// pool instead of garbage-collecting them.
 type Tape struct {
 	steps []func()
+
+	reuse bool
+	free  map[int][]*V // recycled values keyed by element count
+	taken []*V         // values handed out since the last Recycle
 }
 
 // NewTape returns an empty tape.
 func NewTape() *Tape { return &Tape{} }
+
+// EnableReuse turns on the tape's output arena. Callers that enable it
+// must call Recycle only when no value produced by this tape since the
+// last Recycle is referenced anymore (typically right after the
+// optimizer step consumes the gradients).
+func (t *Tape) EnableReuse() {
+	t.reuse = true
+	if t.free == nil {
+		t.free = make(map[int][]*V)
+	}
+}
+
+// alloc returns a zeroed graph value of the given shape, reusing a
+// recycled buffer of the same element count when the arena is on.
+func (t *Tape) alloc(shape ...int) *V {
+	if !t.reuse {
+		return NewV(tensor.New(shape...))
+	}
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if vs := t.free[n]; len(vs) > 0 {
+		base := vs[len(vs)-1]
+		t.free[n] = vs[:len(vs)-1]
+		base.X.Zero()
+		base.G.Zero()
+		v := &V{X: base.X.Reshape(shape...), G: base.G.Reshape(shape...)}
+		t.taken = append(t.taken, v)
+		return v
+	}
+	v := NewV(tensor.New(shape...))
+	t.taken = append(t.taken, v)
+	return v
+}
+
+// cloneV allocates via the arena and copies src into the value.
+func (t *Tape) cloneV(src *tensor.Tensor) *V {
+	v := t.alloc(src.Shape...)
+	copy(v.X.Data, src.Data)
+	return v
+}
+
+// adopt wraps a tensor allocated elsewhere (e.g. by a fused kernel) as
+// a tape value so its storage still enters the arena on Recycle.
+func (t *Tape) adopt(x *tensor.Tensor) *V {
+	v := NewV(x)
+	if t.reuse {
+		t.taken = append(t.taken, v)
+	}
+	return v
+}
+
+// Recycle returns every value the tape allocated since the last
+// Recycle to the arena. No-op unless EnableReuse was called.
+func (t *Tape) Recycle() {
+	if !t.reuse {
+		return
+	}
+	for _, v := range t.taken {
+		n := v.X.Len()
+		t.free[n] = append(t.free[n], v)
+	}
+	t.taken = t.taken[:0]
+}
 
 // record appends a backward closure.
 func (t *Tape) record(f func()) { t.steps = append(t.steps, f) }
@@ -68,7 +141,7 @@ func (t *Tape) Add(a, b *V) *V {
 	if !a.X.SameShape(b.X) {
 		panic("nn: Add shape mismatch")
 	}
-	out := NewV(a.X.Clone())
+	out := t.cloneV(a.X)
 	out.X.AddInto(b.X)
 	t.record(func() {
 		a.G.AddInto(out.G)
@@ -82,7 +155,7 @@ func (t *Tape) Sub(a, b *V) *V {
 	if !a.X.SameShape(b.X) {
 		panic("nn: Sub shape mismatch")
 	}
-	out := NewV(a.X.Clone())
+	out := t.cloneV(a.X)
 	for i, v := range b.X.Data {
 		out.X.Data[i] -= v
 	}
@@ -100,7 +173,7 @@ func (t *Tape) Mul(a, b *V) *V {
 	if !a.X.SameShape(b.X) {
 		panic("nn: Mul shape mismatch")
 	}
-	out := NewV(tensor.New(a.X.Shape...))
+	out := t.alloc(a.X.Shape...)
 	for i := range out.X.Data {
 		out.X.Data[i] = a.X.Data[i] * b.X.Data[i]
 	}
@@ -115,7 +188,7 @@ func (t *Tape) Mul(a, b *V) *V {
 
 // Scale returns s*a for a constant s.
 func (t *Tape) Scale(a *V, s float32) *V {
-	out := NewV(tensor.New(a.X.Shape...))
+	out := t.alloc(a.X.Shape...)
 	for i, v := range a.X.Data {
 		out.X.Data[i] = s * v
 	}
@@ -129,7 +202,7 @@ func (t *Tape) Scale(a *V, s float32) *V {
 
 // AddConst returns a+c for a constant c.
 func (t *Tape) AddConst(a *V, c float32) *V {
-	out := NewV(tensor.New(a.X.Shape...))
+	out := t.alloc(a.X.Shape...)
 	for i, v := range a.X.Data {
 		out.X.Data[i] = v + c
 	}
@@ -151,7 +224,7 @@ func (t *Tape) Concat0(a, b *V) *V {
 		panic("nn: Concat0 needs 2-D inputs with equal columns")
 	}
 	rows := a.X.Shape[0] + b.X.Shape[0]
-	out := NewV(tensor.New(rows, a.X.Shape[1]))
+	out := t.alloc(rows, a.X.Shape[1])
 	copy(out.X.Data, a.X.Data)
 	copy(out.X.Data[len(a.X.Data):], b.X.Data)
 	t.record(func() {
@@ -168,7 +241,8 @@ func (t *Tape) Concat0(a, b *V) *V {
 
 // MatMul returns a·b for a [m,k], b [k,n].
 func (t *Tape) MatMul(a, b *V) *V {
-	out := NewV(tensor.MatMul(a.X, b.X))
+	out := t.alloc(a.X.Shape[0], b.X.Shape[1])
+	tensor.MatMulInto(out.X, a.X, b.X)
 	t.record(func() {
 		// da = dout·bᵀ ; db = aᵀ·dout
 		a.G.AddInto(tensor.MatMulABT(out.G, b.X))
@@ -184,14 +258,14 @@ func (t *Tape) Linear(x, w, bias *V) *V {
 	if w.X.Shape[1] != in || bias.X.Shape[0] != outDim {
 		panic(fmt.Sprintf("nn: Linear shapes x%v w%v b%v", x.X.Shape, w.X.Shape, bias.X.Shape))
 	}
-	y := tensor.MatMulABT(x.X, w.X)
+	out := t.alloc(n, outDim)
+	tensor.MatMulABTInto(out.X, x.X, w.X)
 	for r := 0; r < n; r++ {
-		row := y.Data[r*outDim:]
+		row := out.X.Data[r*outDim:]
 		for o := 0; o < outDim; o++ {
 			row[o] += bias.X.Data[o]
 		}
 	}
-	out := NewV(y)
 	t.record(func() {
 		// dx = dout·w ; dw = doutᵀ·x ; db = column sums of dout
 		x.G.AddInto(tensor.MatMul(out.G, w.X))
@@ -212,7 +286,7 @@ func (t *Tape) AddRowBroadcast(a, b *V) *V {
 	if b.X.Shape[0] != d {
 		panic("nn: AddRowBroadcast width mismatch")
 	}
-	out := NewV(a.X.Clone())
+	out := t.cloneV(a.X)
 	for r := 0; r < n; r++ {
 		row := out.X.Data[r*d:]
 		for j := 0; j < d; j++ {
@@ -239,7 +313,7 @@ func (t *Tape) AddChannelBroadcast(a, b *V) *V {
 	if b.X.Shape[0] != n || b.X.Shape[1] != c {
 		panic("nn: AddChannelBroadcast shape mismatch")
 	}
-	out := NewV(a.X.Clone())
+	out := t.cloneV(a.X)
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {
 			bv := b.X.Data[i*c+ch]

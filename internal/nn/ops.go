@@ -8,7 +8,7 @@ import (
 
 // SiLU applies x*sigmoid(x) elementwise (the denoiser's activation).
 func (t *Tape) SiLU(a *V) *V {
-	out := NewV(tensor.New(a.X.Shape...))
+	out := t.alloc(a.X.Shape...)
 	sig := make([]float32, len(a.X.Data))
 	for i, v := range a.X.Data {
 		s := float32(1 / (1 + math.Exp(-float64(v))))
@@ -27,7 +27,7 @@ func (t *Tape) SiLU(a *V) *V {
 
 // Tanh applies tanh elementwise.
 func (t *Tape) Tanh(a *V) *V {
-	out := NewV(tensor.New(a.X.Shape...))
+	out := t.alloc(a.X.Shape...)
 	for i, v := range a.X.Data {
 		out.X.Data[i] = float32(math.Tanh(float64(v)))
 	}
@@ -42,7 +42,7 @@ func (t *Tape) Tanh(a *V) *V {
 
 // Sigmoid applies the logistic function elementwise.
 func (t *Tape) Sigmoid(a *V) *V {
-	out := NewV(tensor.New(a.X.Shape...))
+	out := t.alloc(a.X.Shape...)
 	for i, v := range a.X.Data {
 		out.X.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
 	}
@@ -57,7 +57,7 @@ func (t *Tape) Sigmoid(a *V) *V {
 
 // LeakyReLU applies max(x, alpha*x) elementwise (GAN discriminator).
 func (t *Tape) LeakyReLU(a *V, alpha float32) *V {
-	out := NewV(tensor.New(a.X.Shape...))
+	out := t.alloc(a.X.Shape...)
 	for i, v := range a.X.Data {
 		if v >= 0 {
 			out.X.Data[i] = v
@@ -82,7 +82,7 @@ func (t *Tape) LeakyReLU(a *V, alpha float32) *V {
 func (t *Tape) LayerNorm(x, gamma, beta *V) *V {
 	n, d := x.X.Shape[0], x.X.Shape[1]
 	const eps = 1e-5
-	out := NewV(tensor.New(n, d))
+	out := t.alloc(n, d)
 	xhat := make([]float32, n*d)
 	invStd := make([]float32, n)
 	for r := 0; r < n; r++ {
@@ -132,7 +132,7 @@ func (t *Tape) LayerNorm(x, gamma, beta *V) *V {
 func (t *Tape) Conv2D(x, w, b *V, s tensor.ConvSpec) *V {
 	n, h, wd := x.X.Shape[0], x.X.Shape[2], x.X.Shape[3]
 	y, cols := tensor.Conv2D(x.X, w.X, b.X, s)
-	out := NewV(y)
+	out := t.adopt(y)
 	t.record(func() {
 		dx, dw, db := tensor.Conv2DBackward(out.G, cols, w.X, s, n, h, wd)
 		x.G.AddInto(dx)
@@ -146,7 +146,7 @@ func (t *Tape) Conv2D(x, w, b *V, s tensor.ConvSpec) *V {
 // nearest-neighbor replication.
 func (t *Tape) UpsampleNearest2x(x *V) *V {
 	n, c, h, w := x.X.Shape[0], x.X.Shape[1], x.X.Shape[2], x.X.Shape[3]
-	out := NewV(tensor.New(n, c, 2*h, 2*w))
+	out := t.alloc(n, c, 2*h, 2*w)
 	for i := 0; i < n*c; i++ {
 		src := x.X.Data[i*h*w:]
 		dst := out.X.Data[i*4*h*w:]
@@ -174,7 +174,7 @@ func (t *Tape) UpsampleNearest2x(x *V) *V {
 // (embedding lookup). Gradients scatter-add back into the table.
 func (t *Tape) Gather(table *V, idx []int) *V {
 	d := table.X.Shape[1]
-	out := NewV(tensor.New(len(idx), d))
+	out := t.alloc(len(idx), d)
 	for r, id := range idx {
 		copy(out.X.Data[r*d:(r+1)*d], table.X.Data[id*d:(id+1)*d])
 	}
@@ -194,7 +194,7 @@ func (t *Tape) Gather(table *V, idx []int) *V {
 
 // Mean reduces to a scalar mean.
 func (t *Tape) Mean(a *V) *V {
-	out := NewV(tensor.New(1))
+	out := t.alloc(1)
 	var sum float64
 	for _, v := range a.X.Data {
 		sum += float64(v)
@@ -216,7 +216,7 @@ func (t *Tape) MSE(pred *V, target *tensor.Tensor) *V {
 	if !pred.X.SameShape(target) {
 		panic("nn: MSE shape mismatch")
 	}
-	out := NewV(tensor.New(1))
+	out := t.alloc(1)
 	var sum float64
 	for i, v := range pred.X.Data {
 		d := float64(v - target.Data[i])
@@ -239,7 +239,7 @@ func (t *Tape) BCEWithLogits(logits *V, target *tensor.Tensor) *V {
 	if !logits.X.SameShape(target) {
 		panic("nn: BCE shape mismatch")
 	}
-	out := NewV(tensor.New(1))
+	out := t.alloc(1)
 	var sum float64
 	for i, z := range logits.X.Data {
 		zf, tf := float64(z), float64(target.Data[i])
@@ -265,7 +265,7 @@ func (t *Tape) MulScalarBroadcast(a, s *V) *V {
 	if s.X.Shape[0] != n || s.X.Shape[1] != 1 {
 		panic("nn: MulScalarBroadcast needs s of shape [N,1]")
 	}
-	out := NewV(tensor.New(n, d))
+	out := t.alloc(n, d)
 	for r := 0; r < n; r++ {
 		sv := s.X.Data[r]
 		row := a.X.Data[r*d : (r+1)*d]
@@ -297,7 +297,7 @@ func (t *Tape) MulChannelBroadcast(a, b *V) *V {
 	if b.X.Shape[0] != n || b.X.Shape[1] != c {
 		panic("nn: MulChannelBroadcast shape mismatch")
 	}
-	out := NewV(tensor.New(a.X.Shape...))
+	out := t.alloc(a.X.Shape...)
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {
 			bv := b.X.Data[i*c+ch]
@@ -328,7 +328,7 @@ func (t *Tape) MulChannelBroadcast(a, b *V) *V {
 // Transpose2D returns aᵀ for a [m,n].
 func (t *Tape) Transpose2D(a *V) *V {
 	m, n := a.X.Shape[0], a.X.Shape[1]
-	out := NewV(tensor.New(n, m))
+	out := t.alloc(n, m)
 	for i := 0; i < m; i++ {
 		for j := 0; j < n; j++ {
 			out.X.Data[j*m+i] = a.X.Data[i*n+j]
@@ -348,7 +348,7 @@ func (t *Tape) Transpose2D(a *V) *V {
 // a [m,n].
 func (t *Tape) SoftmaxRows(a *V) *V {
 	m, n := a.X.Shape[0], a.X.Shape[1]
-	out := NewV(tensor.New(m, n))
+	out := t.alloc(m, n)
 	for i := 0; i < m; i++ {
 		row := a.X.Data[i*n : (i+1)*n]
 		dst := out.X.Data[i*n : (i+1)*n]
@@ -393,7 +393,7 @@ func (t *Tape) SliceRows(a *V, lo, hi int) *V {
 	if lo < 0 || hi > n || lo >= hi {
 		panic("nn: SliceRows bounds")
 	}
-	out := NewV(tensor.New(hi-lo, d))
+	out := t.alloc(hi-lo, d)
 	copy(out.X.Data, a.X.Data[lo*d:hi*d])
 	t.record(func() {
 		dst := a.G.Data[lo*d : hi*d]

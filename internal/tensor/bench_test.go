@@ -1,0 +1,85 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+
+	"trafficdiff/internal/stats"
+)
+
+// Substrate micro-benchmarks for the parallel kernel layer. These feed
+// `make bench-json` (BENCH_kernels.json) alongside the §4 speed benches
+// in the repo root.
+
+var benchMatMulSizes = []struct{ m, k, n int }{
+	{8, 2176, 128},   // MLP hidden forward, training batch
+	{128, 2176, 128}, // wide batch
+	{256, 256, 256},  // square reference point
+	{1, 2176, 128},   // batch-1 inference row
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	r := stats.NewRNG(1)
+	for _, sz := range benchMatMulSizes {
+		a := New(sz.m, sz.k).Randn(r, 1)
+		bb := New(sz.k, sz.n).Randn(r, 1)
+		b.Run(fmt.Sprintf("%dx%dx%d", sz.m, sz.k, sz.n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MatMul(a, bb)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulABT(b *testing.B) {
+	r := stats.NewRNG(2)
+	for _, sz := range benchMatMulSizes {
+		a := New(sz.m, sz.k).Randn(r, 1)
+		bb := New(sz.n, sz.k).Randn(r, 1)
+		b.Run(fmt.Sprintf("%dx%dx%d", sz.m, sz.k, sz.n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MatMulABT(a, bb)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulATB(b *testing.B) {
+	r := stats.NewRNG(3)
+	for _, sz := range benchMatMulSizes {
+		a := New(sz.k, sz.m).Randn(r, 1)
+		bb := New(sz.k, sz.n).Randn(r, 1)
+		b.Run(fmt.Sprintf("%dx%dx%d", sz.m, sz.k, sz.n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MatMulATB(a, bb)
+			}
+		})
+	}
+}
+
+func BenchmarkIm2Col(b *testing.B) {
+	r := stats.NewRNG(4)
+	spec := ConvSpec{InC: 32, OutC: 32, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	x := New(8, 32, 16, 136).Randn(r, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Im2Col(x, spec)
+	}
+}
+
+func BenchmarkConv2D(b *testing.B) {
+	r := stats.NewRNG(5)
+	spec := ConvSpec{InC: 32, OutC: 32, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	x := New(8, 32, 16, 136).Randn(r, 1)
+	w := New(32, 32*3*3).Randn(r, 0.1)
+	bias := New(32).Randn(r, 0.1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2D(x, w, bias, spec)
+	}
+}

@@ -1,0 +1,206 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file is the parallel kernel layer: every heavy kernel (matrix
+// multiply variants, im2col/col2im, the fused Conv2D epilogue) shards
+// its *independent* work — output rows, output columns, batch images —
+// across a goroutine pool sized by GOMAXPROCS.
+//
+// Determinism contract: sharding never reorders the floating-point
+// accumulation that produces any single output element. Each element's
+// value is a sum over the contraction index p, and every kernel below
+// visits p in strictly increasing order no matter how the independent
+// dimension is split. Workers write disjoint index ranges of the output
+// slice, so results are bit-identical at GOMAXPROCS=1 and GOMAXPROCS=N
+// and the race detector stays clean. See DESIGN.md "Parallel kernels &
+// determinism under GOMAXPROCS".
+
+// minParallelWork is the approximate number of fused multiply-adds (or
+// equivalent element operations) below which a kernel runs serially:
+// goroutine dispatch costs on the order of microseconds, so small ops
+// must not pay it.
+const minParallelWork = 1 << 17
+
+// kBlock is the contraction-axis tile: panels of B this tall stay hot
+// in cache while a row block of the output accumulates. Tiles are
+// visited in increasing order, which preserves per-element accumulation
+// order exactly.
+const kBlock = 256
+
+// workers returns the shard count for parallel kernels.
+func workers() int { return runtime.GOMAXPROCS(0) }
+
+// shard splits [0, n) into one contiguous block per worker and runs fn
+// on each block concurrently, blocking until all complete. fn must
+// write only state owned by its block.
+func shard(n int, fn func(lo, hi int)) {
+	w := workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// dispatch runs a kernel over an output of rows x cols elements costing
+// work multiply-adds: serially when small, sharded over rows when there
+// are enough of them to feed every worker, and sharded over columns
+// otherwise (the batch-1 inference shape: one row, wide output). Both
+// kernels must produce bit-identical elements; only the split differs.
+func dispatch(work, rows, cols int, rowKernel, colKernel func(lo, hi int)) {
+	if work < minParallelWork || workers() <= 1 {
+		rowKernel(0, rows)
+		return
+	}
+	if rows >= workers() {
+		shard(rows, rowKernel)
+		return
+	}
+	shard(cols, colKernel)
+}
+
+// --- C = A·B -----------------------------------------------------------
+
+// matmulRows computes rows [lo, hi) of C = A·B with C pre-zeroed, in
+// cache-blocked ikj order. For each element, the contraction index p
+// advances strictly monotonically (tile by tile, then within the tile),
+// so accumulation order matches the serial kernel exactly.
+func matmulRows(c, a, b []float32, lo, hi, k, n int) {
+	for p0 := 0; p0 < k; p0 += kBlock {
+		p1 := p0 + kBlock
+		if p1 > k {
+			p1 = k
+		}
+		for i := lo; i < hi; i++ {
+			ci := c[i*n : (i+1)*n]
+			ai := a[i*k : (i+1)*k]
+			for p := p0; p < p1; p++ {
+				av := ai[p]
+				//tracelint:allow floateq — exact-zero sparse skip: av*x adds exactly 0, so skipping is lossless; an epsilon here would change results
+				if av == 0 {
+					continue
+				}
+				bp := b[p*n : (p+1)*n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// matmulCols computes columns [jlo, jhi) of every row of C = A·B. Same
+// per-element accumulation order as matmulRows: p strictly increasing.
+func matmulCols(c, a, b []float32, m, k, n, jlo, jhi int) {
+	for i := 0; i < m; i++ {
+		ci := c[i*n+jlo : i*n+jhi]
+		ai := a[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			//tracelint:allow floateq — exact-zero sparse skip, see matmulRows
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n+jlo : p*n+jhi]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// --- C = Aᵀ·B ----------------------------------------------------------
+
+// matmulATBRows computes rows [lo, hi) of C = Aᵀ·B (A is [k,m], so row
+// i of C reads column i of A). p increases strictly per element.
+func matmulATBRows(c, a, b []float32, lo, hi, k, m, n int) {
+	for i := lo; i < hi; i++ {
+		ci := c[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := a[p*m+i]
+			//tracelint:allow floateq — exact-zero sparse skip, see matmulRows
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// matmulATBCols computes columns [jlo, jhi) of C = Aᵀ·B in the serial
+// kernel's p-outer order (A rows stream sequentially); per element the
+// accumulation is still p-increasing.
+func matmulATBCols(c, a, b []float32, k, m, n, jlo, jhi int) {
+	for p := 0; p < k; p++ {
+		ap := a[p*m : (p+1)*m]
+		bp := b[p*n+jlo : p*n+jhi]
+		for i, av := range ap {
+			//tracelint:allow floateq — exact-zero sparse skip, see matmulRows
+			if av == 0 {
+				continue
+			}
+			cs := c[i*n+jlo : i*n+jhi]
+			for j, bv := range bp {
+				cs[j] += av * bv
+			}
+		}
+	}
+}
+
+// --- C = A·Bᵀ ----------------------------------------------------------
+
+// matmulABTRows computes rows [lo, hi) of C = A·Bᵀ. Each element is one
+// sequential dot product, so there is no accumulation to reorder.
+func matmulABTRows(c, a, b []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		ai := a[i*k : (i+1)*k]
+		ci := c[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b[j*k : (j+1)*k]
+			var sum float32
+			for p := range ai {
+				sum += ai[p] * bj[p]
+			}
+			ci[j] = sum
+		}
+	}
+}
+
+// matmulABTCols computes columns [jlo, jhi) of every row of C = A·Bᵀ.
+func matmulABTCols(c, a, b []float32, m, k, n, jlo, jhi int) {
+	for i := 0; i < m; i++ {
+		ai := a[i*k : (i+1)*k]
+		ci := c[i*n : (i+1)*n]
+		for j := jlo; j < jhi; j++ {
+			bj := b[j*k : (j+1)*k]
+			var sum float32
+			for p := range ai {
+				sum += ai[p] * bj[p]
+			}
+			ci[j] = sum
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"trafficdiff/internal/stats"
+)
+
+// The parallel kernel layer's hard contract is exact (bit-level)
+// equivalence with the serial reference at every GOMAXPROCS value —
+// not approximate equality. These tests pin that contract across odd
+// shapes (1×N, N×1, sizes that are not multiples of the k tile or the
+// worker count) and across worker counts.
+
+// --- serial references: the pre-parallel kernels, verbatim -----------
+
+func refMatMul(a, b *Tensor) *Tensor {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		ci := c.Data[i*n : (i+1)*n]
+		ai := a.Data[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue
+			}
+			bp := b.Data[p*n : (p+1)*n]
+			for j := range bp {
+				ci[j] += av * bp[j]
+			}
+		}
+	}
+	return c
+}
+
+func refMatMulATB(a, b *Tensor) *Tensor {
+	k, m := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	c := New(m, n)
+	for p := 0; p < k; p++ {
+		ap := a.Data[p*m : (p+1)*m]
+		bp := b.Data[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			ci := c.Data[i*n : (i+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+func refMatMulABT(a, b *Tensor) *Tensor {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[0]
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		ci := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b.Data[j*k : (j+1)*k]
+			var sum float32
+			for p := range ai {
+				sum += ai[p] * bj[p]
+			}
+			ci[j] = sum
+		}
+	}
+	return c
+}
+
+func refIm2Col(x *Tensor, s ConvSpec) *Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := s.OutSize(h, w)
+	cols := New(n*oh*ow, c*s.KH*s.KW)
+	row := 0
+	for b := 0; b < n; b++ {
+		base := b * c * h * w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				dst := cols.Data[row*cols.Shape[1]:]
+				idx := 0
+				for ch := 0; ch < c; ch++ {
+					cbase := base + ch*h*w
+					for ky := 0; ky < s.KH; ky++ {
+						iy := oy*s.Stride + ky - s.Pad
+						for kx := 0; kx < s.KW; kx++ {
+							ix := ox*s.Stride + kx - s.Pad
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								dst[idx] = x.Data[cbase+iy*w+ix]
+							}
+							idx++
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+	return cols
+}
+
+func refCol2Im(cols *Tensor, s ConvSpec, n, h, w int) *Tensor {
+	c := s.InC
+	oh, ow := s.OutSize(h, w)
+	x := New(n, c, h, w)
+	row := 0
+	for b := 0; b < n; b++ {
+		base := b * c * h * w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				src := cols.Data[row*cols.Shape[1]:]
+				idx := 0
+				for ch := 0; ch < c; ch++ {
+					cbase := base + ch*h*w
+					for ky := 0; ky < s.KH; ky++ {
+						iy := oy*s.Stride + ky - s.Pad
+						for kx := 0; kx < s.KW; kx++ {
+							ix := ox*s.Stride + kx - s.Pad
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								x.Data[cbase+iy*w+ix] += src[idx]
+							}
+							idx++
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+	return x
+}
+
+func refConv2D(x, w, b *Tensor, s ConvSpec) *Tensor {
+	n, h, wd := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh, ow := s.OutSize(h, wd)
+	cols := refIm2Col(x, s)
+	out := refMatMulABT(cols, w)
+	y := New(n, s.OutC, oh, ow)
+	spatial := oh * ow
+	for bIdx := 0; bIdx < n; bIdx++ {
+		for p := 0; p < spatial; p++ {
+			row := out.Data[(bIdx*spatial+p)*s.OutC:]
+			for o := 0; o < s.OutC; o++ {
+				y.Data[bIdx*s.OutC*spatial+o*spatial+p] = row[o] + b.Data[o]
+			}
+		}
+	}
+	return y
+}
+
+// --- helpers ---------------------------------------------------------
+
+// randTensor fills a tensor with noise plus exact zeros, so the sparse
+// skip path is exercised.
+func randTensor(r *stats.RNG, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		if r.Bool(0.1) {
+			continue // exact zero
+		}
+		t.Data[i] = float32(r.NormFloat64())
+	}
+	return t
+}
+
+// requireIdentical fails unless got and want match bit-for-bit.
+func requireIdentical(t *testing.T, got, want *Tensor, label string) {
+	t.Helper()
+	if !got.SameShape(want) {
+		t.Fatalf("%s: shape %v, want %v", label, got.Shape, want.Shape)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("%s: element %d = %v, want %v (exact)", label, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// withGOMAXPROCS runs fn under each of the given worker counts.
+func withGOMAXPROCS(t *testing.T, counts []int, fn func(t *testing.T)) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, c := range counts {
+		runtime.GOMAXPROCS(c)
+		t.Run(fmt.Sprintf("procs=%d", c), fn)
+	}
+}
+
+// matmulShapes covers degenerate rows/cols, shapes below and above the
+// serial threshold, and sizes that are not multiples of kBlock or any
+// worker count.
+var matmulShapes = []struct{ m, k, n int }{
+	{1, 1, 1},
+	{1, 7, 513},   // single row, wide: column-shard path
+	{513, 7, 1},   // single column output
+	{1, 300, 300}, // k spans two tiles on one row
+	{3, 257, 129}, // k just past one tile, odd everything
+	{8, 64, 64},   // small, below threshold: serial path
+	{65, 2176, 5}, // tall-thin above threshold
+	{12, 2176, 128}, // the MLP training shape
+}
+
+func TestMatMulMatchesSerialReference(t *testing.T) {
+	withGOMAXPROCS(t, []int{1, 2, 3, 8}, func(t *testing.T) {
+		r := stats.NewRNG(42)
+		for _, sh := range matmulShapes {
+			a := randTensor(r, sh.m, sh.k)
+			b := randTensor(r, sh.k, sh.n)
+			requireIdentical(t, MatMul(a, b), refMatMul(a, b),
+				fmt.Sprintf("MatMul %dx%dx%d", sh.m, sh.k, sh.n))
+		}
+	})
+}
+
+func TestMatMulATBMatchesSerialReference(t *testing.T) {
+	withGOMAXPROCS(t, []int{1, 2, 3, 8}, func(t *testing.T) {
+		r := stats.NewRNG(43)
+		for _, sh := range matmulShapes {
+			a := randTensor(r, sh.k, sh.m)
+			b := randTensor(r, sh.k, sh.n)
+			requireIdentical(t, MatMulATB(a, b), refMatMulATB(a, b),
+				fmt.Sprintf("MatMulATB %dx%dx%d", sh.m, sh.k, sh.n))
+		}
+	})
+}
+
+func TestMatMulABTMatchesSerialReference(t *testing.T) {
+	withGOMAXPROCS(t, []int{1, 2, 3, 8}, func(t *testing.T) {
+		r := stats.NewRNG(44)
+		for _, sh := range matmulShapes {
+			a := randTensor(r, sh.m, sh.k)
+			b := randTensor(r, sh.n, sh.k)
+			requireIdentical(t, MatMulABT(a, b), refMatMulABT(a, b),
+				fmt.Sprintf("MatMulABT %dx%dx%d", sh.m, sh.k, sh.n))
+		}
+	})
+}
+
+// convShapes mixes strides, pads, odd spatial dims, and batch sizes
+// around the worker count.
+var convShapes = []struct {
+	n, c, h, w int
+	s          ConvSpec
+}{
+	{1, 1, 5, 5, ConvSpec{InC: 1, OutC: 3, KH: 3, KW: 3, Stride: 1, Pad: 1}},
+	{2, 3, 9, 7, ConvSpec{InC: 3, OutC: 5, KH: 3, KW: 3, Stride: 2, Pad: 1}},
+	{3, 2, 16, 136, ConvSpec{InC: 2, OutC: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}}, // model-sized
+	{5, 1, 1, 31, ConvSpec{InC: 1, OutC: 2, KH: 1, KW: 3, Stride: 1, Pad: 1}},   // single-row images
+}
+
+func TestIm2ColCol2ImMatchSerialReference(t *testing.T) {
+	withGOMAXPROCS(t, []int{1, 2, 3, 8}, func(t *testing.T) {
+		r := stats.NewRNG(45)
+		for ci, cs := range convShapes {
+			x := randTensor(r, cs.n, cs.c, cs.h, cs.w)
+			cols := Im2Col(x, cs.s)
+			requireIdentical(t, cols, refIm2Col(x, cs.s), fmt.Sprintf("Im2Col case %d", ci))
+			grad := randTensor(r, cols.Shape[0], cols.Shape[1])
+			requireIdentical(t, Col2Im(grad, cs.s, cs.n, cs.h, cs.w),
+				refCol2Im(grad, cs.s, cs.n, cs.h, cs.w), fmt.Sprintf("Col2Im case %d", ci))
+		}
+	})
+}
+
+func TestConv2DFusedEpilogueMatchesSerialReference(t *testing.T) {
+	withGOMAXPROCS(t, []int{1, 2, 3, 8}, func(t *testing.T) {
+		r := stats.NewRNG(46)
+		for ci, cs := range convShapes {
+			x := randTensor(r, cs.n, cs.c, cs.h, cs.w)
+			w := randTensor(r, cs.s.OutC, cs.c*cs.s.KH*cs.s.KW)
+			b := randTensor(r, cs.s.OutC)
+			y, _ := Conv2D(x, w, b, cs.s)
+			requireIdentical(t, y, refConv2D(x, w, b, cs.s), fmt.Sprintf("Conv2D case %d", ci))
+		}
+	})
+}
+
+// TestKernelsIdenticalAcrossWorkerCounts is the direct GOMAXPROCS=1 vs
+// GOMAXPROCS=N statement: one big op computed at both settings, bytes
+// compared.
+func TestKernelsIdenticalAcrossWorkerCounts(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	r := stats.NewRNG(47)
+	a := randTensor(r, 123, 517)
+	b := randTensor(r, 517, 89)
+	bT := randTensor(r, 89, 517)
+
+	runtime.GOMAXPROCS(1)
+	serialAB := MatMul(a, b)
+	serialABT := MatMulABT(a, bT)
+	for _, procs := range []int{2, 4, 16} {
+		runtime.GOMAXPROCS(procs)
+		requireIdentical(t, MatMul(a, b), serialAB, fmt.Sprintf("MatMul procs=%d", procs))
+		requireIdentical(t, MatMulABT(a, bT), serialABT, fmt.Sprintf("MatMulABT procs=%d", procs))
+	}
+}

@@ -110,82 +110,75 @@ func (t *Tensor) AddInto(o *Tensor) {
 }
 
 // MatMul computes C = A·B for A [m,k] and B [k,n], writing into a new
-// [m,n] tensor.
+// [m,n] tensor. Output rows (or columns, when the batch is narrow) are
+// sharded across GOMAXPROCS workers; results are bit-identical at any
+// worker count (see parallel.go).
 func MatMul(a, b *Tensor) *Tensor {
+	c := New(a.Shape[0], b.Shape[1])
+	MatMulInto(c, a, b)
+	return c
+}
+
+// MatMulInto computes C = A·B into c, which must be [m,n] and
+// zero-filled (the kernels accumulate). Lets callers with an arena
+// (nn.Tape reuse) avoid reallocating the output every step.
+func MatMulInto(c, a, b *Tensor) {
 	m, k := a.Shape[0], a.Shape[1]
 	k2, n := b.Shape[0], b.Shape[1]
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: matmul %v x %v", a.Shape, b.Shape))
 	}
-	c := New(m, n)
-	matmulInto(c.Data, a.Data, b.Data, m, k, n)
+	if c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: matmul out %v, want [%d %d]", c.Shape, m, n))
+	}
+	dispatch(m*k*n, m, n,
+		func(lo, hi int) { matmulRows(c.Data, a.Data, b.Data, lo, hi, k, n) },
+		func(lo, hi int) { matmulCols(c.Data, a.Data, b.Data, m, k, n, lo, hi) })
+}
+
+// MatMulATB computes C = Aᵀ·B for A [k,m] and B [k,n] → C [m,n],
+// sharded like MatMul.
+func MatMulATB(a, b *Tensor) *Tensor {
+	c := New(a.Shape[1], b.Shape[1])
+	MatMulATBInto(c, a, b)
 	return c
 }
 
-// matmulInto computes C += A·B with C pre-zeroed by the caller, using
-// an ikj loop order for cache-friendly access.
-func matmulInto(c, a, b []float32, m, k, n int) {
-	for i := 0; i < m; i++ {
-		ci := c[i*n : (i+1)*n]
-		ai := a[i*k : (i+1)*k]
-		for p := 0; p < k; p++ {
-			av := ai[p]
-			//tracelint:allow floateq — exact-zero sparse skip: av*x adds exactly 0, so skipping is lossless; an epsilon here would change results
-			if av == 0 {
-				continue
-			}
-			bp := b[p*n : (p+1)*n]
-			for j := range bp {
-				ci[j] += av * bp[j]
-			}
-		}
-	}
-}
-
-// MatMulATB computes C = Aᵀ·B for A [k,m] and B [k,n] → C [m,n].
-func MatMulATB(a, b *Tensor) *Tensor {
+// MatMulATBInto computes C = Aᵀ·B into a zero-filled c [m,n].
+func MatMulATBInto(c, a, b *Tensor) {
 	k, m := a.Shape[0], a.Shape[1]
 	k2, n := b.Shape[0], b.Shape[1]
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: matmulATB %v x %v", a.Shape, b.Shape))
 	}
-	c := New(m, n)
-	for p := 0; p < k; p++ {
-		ap := a.Data[p*m : (p+1)*m]
-		bp := b.Data[p*n : (p+1)*n]
-		for i, av := range ap {
-			//tracelint:allow floateq — exact-zero sparse skip, see matmulInto
-			if av == 0 {
-				continue
-			}
-			ci := c.Data[i*n : (i+1)*n]
-			for j, bv := range bp {
-				ci[j] += av * bv
-			}
-		}
+	if c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: matmulATB out %v, want [%d %d]", c.Shape, m, n))
 	}
+	dispatch(m*k*n, m, n,
+		func(lo, hi int) { matmulATBRows(c.Data, a.Data, b.Data, lo, hi, k, m, n) },
+		func(lo, hi int) { matmulATBCols(c.Data, a.Data, b.Data, k, m, n, lo, hi) })
+}
+
+// MatMulABT computes C = A·Bᵀ for A [m,k] and B [n,k] → C [m,n],
+// sharded like MatMul.
+func MatMulABT(a, b *Tensor) *Tensor {
+	c := New(a.Shape[0], b.Shape[0])
+	MatMulABTInto(c, a, b)
 	return c
 }
 
-// MatMulABT computes C = A·Bᵀ for A [m,k] and B [n,k] → C [m,n].
-func MatMulABT(a, b *Tensor) *Tensor {
+// MatMulABTInto computes C = A·Bᵀ into c [m,n]. Each element is an
+// overwriting dot product, so c need not be zeroed.
+func MatMulABTInto(c, a, b *Tensor) {
 	m, k := a.Shape[0], a.Shape[1]
 	n, k2 := b.Shape[0], b.Shape[1]
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: matmulABT %v x %v", a.Shape, b.Shape))
 	}
-	c := New(m, n)
-	for i := 0; i < m; i++ {
-		ai := a.Data[i*k : (i+1)*k]
-		ci := c.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			bj := b.Data[j*k : (j+1)*k]
-			var sum float32
-			for p := range ai {
-				sum += ai[p] * bj[p]
-			}
-			ci[j] = sum
-		}
+	if c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: matmulABT out %v, want [%d %d]", c.Shape, m, n))
 	}
-	return c
+	dispatch(m*k*n, m, n,
+		func(lo, hi int) { matmulABTRows(c.Data, a.Data, b.Data, lo, hi, k, n) },
+		func(lo, hi int) { matmulABTCols(c.Data, a.Data, b.Data, m, k, n, lo, hi) })
 }
