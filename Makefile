@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-json verify-determinism fuzz experiments examples clean
+.PHONY: all build test vet lint race bench bench-json bench-serve serve-smoke verify-determinism fuzz experiments examples clean
 
 all: build test
 
@@ -39,6 +39,18 @@ bench-json:
 	{ $(GO) test -run NONE -bench 'BenchmarkGenerationSpeed|BenchmarkDiffusionTrainStep|BenchmarkNprint' -benchmem -benchtime 2x . ; \
 	  $(GO) test -run NONE -bench . -benchmem ./internal/tensor ; } \
 	| $(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)" -out BENCH_kernels.json -append
+
+# Serving throughput/latency snapshot: trains a tiny synthesizer, loads
+# it with concurrent HTTP requests through the full traced pipeline, and
+# appends req/s + p50/p99 latency to BENCH_serve.json.
+bench-serve:
+	$(GO) run ./cmd/benchjson -suite serve -label "$(BENCH_LABEL)" -out BENCH_serve.json -append
+
+# Serving smoke test over the real binaries: tracegen -save writes a
+# checkpoint, traced serves it, concurrent clients get valid + seeded
+# byte-identical pcaps, overload gets 429, and SIGTERM drains cleanly.
+serve-smoke:
+	$(GO) test -run TestServeEndToEnd -count=1 -v .
 
 # End-to-end determinism guard: the tiny Table 2 experiment must print
 # byte-identical output at GOMAXPROCS=1 and GOMAXPROCS=4.

@@ -8,6 +8,13 @@
 // Usage:
 //
 //	go test -bench . -benchmem ./... | benchjson -label post-PR -out BENCH_kernels.json -append
+//
+// With -suite serve it runs a built-in end-to-end benchmark instead of
+// parsing stdin: a tiny synthesizer is trained in-process, served from
+// an ephemeral listener, and loaded with concurrent generate requests;
+// the record carries req/s, flows/s, and p50/p99 latency:
+//
+//	benchjson -suite serve -label post-PR -out BENCH_serve.json -append
 package main
 
 import (
@@ -48,9 +55,21 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	label := flag.String("label", "bench", "label for this run")
 	appendRun := flag.Bool("append", false, "append to an existing -out document instead of overwriting")
+	suite := flag.String("suite", "", "run a built-in suite instead of parsing stdin (serve)")
+	requests := flag.Int("requests", 64, "total requests for -suite serve")
+	clients := flag.Int("clients", 8, "concurrent clients for -suite serve")
 	flag.Parse()
 
-	run, err := parse(bufio.NewScanner(os.Stdin), *label)
+	var run *Run
+	var err error
+	switch *suite {
+	case "":
+		run, err = parse(bufio.NewScanner(os.Stdin), *label)
+	case "serve":
+		run, err = runServeSuite(*label, *requests, *clients)
+	default:
+		err = fmt.Errorf("unknown suite %q (want serve)", *suite)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"trafficdiff/internal/core"
+	"trafficdiff/internal/flow"
+	"trafficdiff/internal/serve"
+	"trafficdiff/internal/workload"
+)
+
+// runServeSuite is the built-in `-suite serve` benchmark: it trains a
+// tiny synthesizer in-process, serves it over a real TCP listener, and
+// drives concurrent seeded generation requests through the full HTTP →
+// queue → coalescer → sampler path. The Run it returns carries
+// throughput (req/s, flows/s) and latency percentiles (p50/p99 ms) in
+// the same Result shape the stdin parser produces, so serve records
+// append into a BENCH_serve.json document exactly like kernel records
+// append into BENCH_kernels.json.
+func runServeSuite(label string, requests, clients int) (*Run, error) {
+	synth, err := trainServeSynth()
+	if err != nil {
+		return nil, fmt.Errorf("training synthesizer: %w", err)
+	}
+	srv := serve.New(synth, serve.Config{QueueDepth: 256, MaxBatch: 8, Workers: runtime.NumCPU()})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		// Serve returns ErrServerClosed after Shutdown; the bench is
+		// already done measuring by then.
+		_ = srv.Serve(ln)
+	}()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		// All measured requests have completed; a drain failure here
+		// cannot invalidate the numbers already collected.
+		_ = srv.Shutdown(ctx)
+	}()
+
+	url := "http://" + ln.Addr().String() + "/v1/generate"
+	classes := synth.Classes()
+
+	// Warm up once per class so first-request costs don't skew p99.
+	for i, class := range classes {
+		if err := postOnce(url, class, uint64(i)+1); err != nil {
+			return nil, fmt.Errorf("warmup: %w", err)
+		}
+	}
+
+	const flowsPerRequest = 2
+	latencies := make([]time.Duration, requests)
+	errs := make([]error, clients)
+	var next sync.Mutex
+	cursor := 0
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				next.Lock()
+				i := cursor
+				cursor++
+				next.Unlock()
+				if i >= requests {
+					return
+				}
+				t0 := time.Now()
+				if err := postOnce(url, classes[i%len(classes)], uint64(1000+i)); err != nil {
+					errs[c] = fmt.Errorf("request %d: %w", i, err)
+					return
+				}
+				latencies[i] = time.Since(t0)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	var sum time.Duration
+	for _, d := range latencies {
+		sum += d
+	}
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	name := fmt.Sprintf("ServeGenerate/clients=%d/flows=%d", clients, flowsPerRequest)
+	return &Run{
+		Label: label,
+		CPU:   fmt.Sprintf("GOMAXPROCS=%d", runtime.GOMAXPROCS(0)),
+		Results: []Result{{
+			Name:       name,
+			Package:    "trafficdiff/internal/serve",
+			Iterations: int64(requests),
+			NsPerOp:    float64(sum) / float64(requests),
+			Custom: map[string]float64{
+				"req/s":   float64(requests) / elapsed.Seconds(),
+				"flows/s": float64(requests*flowsPerRequest) / elapsed.Seconds(),
+				"p50_ms":  float64(pct(0.50)) / float64(time.Millisecond),
+				"p99_ms":  float64(pct(0.99)) / float64(time.Millisecond),
+			},
+		}},
+	}, nil
+}
+
+// postOnce issues one seeded generate request and fully consumes the
+// response, failing on any non-200 status.
+func postOnce(url, class string, seed uint64) error {
+	body := fmt.Sprintf(`{"class":%q,"count":2,"seed":%d}`, class, seed)
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, data)
+	}
+	return nil
+}
+
+// trainServeSynth fine-tunes the same down-scaled pipeline the serve
+// tests use: big enough to exercise real sampling, small enough that
+// the bench measures serving overhead rather than training time.
+func trainServeSynth() (*core.Synthesizer, error) {
+	cfg := core.DefaultConfig()
+	cfg.Rows = 16
+	cfg.DownH = 2
+	cfg.DownW = 16
+	cfg.Hidden = 48
+	cfg.TimeSteps = 30
+	cfg.BaseSteps = 25
+	cfg.FineTuneSteps = 35
+	cfg.Batch = 8
+	cfg.DDIMSteps = 6
+	classes := []string{"amazon", "teams"}
+	s, err := core.New(cfg, classes)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := workload.Generate(workload.Config{
+		Seed: 11, FlowsPerClass: 4, Only: classes, MaxPacketsPerFlow: cfg.Rows,
+	})
+	if err != nil {
+		return nil, err
+	}
+	byClass := map[string][]*flow.Flow{}
+	for _, f := range ds.Flows {
+		byClass[f.Label] = append(byClass[f.Label], f)
+	}
+	if _, err := s.FineTune(byClass); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

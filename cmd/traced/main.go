@@ -1,0 +1,112 @@
+// Command traced serves on-demand trace generation over HTTP from a
+// saved synthesizer checkpoint — the "generate N flows of class X"
+// capability as a long-lived service instead of a batch CLI run.
+//
+// Produce a checkpoint once, then serve it:
+//
+//	tracegen -classes amazon,teams -save model.ckpt
+//	traced -model model.ckpt -addr :8080
+//	curl -d '{"class":"amazon","count":4,"seed":7}' localhost:8080/v1/generate > amazon.pcap
+//
+// Endpoints:
+//
+//	POST /v1/generate  {class, count, seed?, format?, timeout_ms?} → pcap or nprint CSV
+//	GET  /healthz      liveness
+//	GET  /readyz       readiness (503 while draining)
+//	GET  /metrics      expvar counters: queue depth, batching, latency
+//
+// Requests carrying a seed are replayable: the body is a pure function
+// of (checkpoint, class, count, seed), bit-identical on every replica.
+// Overload answers 429 with Retry-After (bounded admission queue);
+// SIGTERM/SIGINT drains in-flight work before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"trafficdiff/internal/core"
+	"trafficdiff/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("traced: ")
+	var (
+		model    = flag.String("model", "", "checkpoint written by tracegen -save (required)")
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (:0 picks an ephemeral port)")
+		queue    = flag.Int("queue", 64, "admission queue depth; overflow gets 429")
+		maxBatch = flag.Int("max-batch", 8, "max flows coalesced into one sampling call")
+		workers  = flag.Int("workers", 2, "concurrent generation workers")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-request deadline ceiling")
+		maxFlows = flag.Int("max-flows", 64, "max flows per request")
+		seedBase = flag.Uint64("seed-base", 1, "seed base for requests without an explicit seed")
+		drain    = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget")
+	)
+	flag.Parse()
+	cfg := serve.Config{
+		QueueDepth:         *queue,
+		MaxBatch:           *maxBatch,
+		Workers:            *workers,
+		RequestTimeout:     *timeout,
+		MaxFlowsPerRequest: *maxFlows,
+		SeedBase:           *seedBase,
+	}
+	if err := run(*model, *addr, cfg, *drain); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(model, addr string, cfg serve.Config, drain time.Duration) error {
+	if model == "" {
+		return fmt.Errorf("-model is required (produce one with: tracegen -save model.ckpt)")
+	}
+	f, err := os.Open(model)
+	if err != nil {
+		return err
+	}
+	synth, err := core.Load(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("loading checkpoint: %w", err)
+	}
+	log.Printf("loaded checkpoint %s (classes: %s)", model, strings.Join(synth.Classes(), ","))
+
+	srv := serve.New(synth, cfg)
+	srv.PublishExpvar("traced")
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// The e2e harness parses this line to find an ephemeral port.
+	log.Printf("listening on %s", ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case got := <-sig:
+		log.Printf("received %s; draining in-flight requests", got)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		log.Printf("drained cleanly")
+		return nil
+	}
+}

@@ -11,6 +11,20 @@
 // The diffusion generator emits pcaps (fine-grained raw packets); the
 // GAN baseline emits NetFlow-like CSV records, mirroring the
 // granularity gap the paper measures.
+//
+// # Train → save → serve
+//
+// tracegen is the checkpoint producer for the traced service: fine-tune
+// once, save the pipeline, then serve concurrent generation requests
+// from the frozen checkpoint without retraining:
+//
+//	tracegen -classes amazon,teams -save model.ckpt   # train + checkpoint
+//	traced -model model.ckpt -addr :8080              # load + serve
+//	curl -d '{"class":"amazon","count":4,"seed":7}' localhost:8080/v1/generate
+//
+// -save (alias -save-model) writes the checkpoint with Synthesizer.Save;
+// -load-model resumes from one instead of training, so the same
+// checkpoint replays identically in batch and serving mode.
 package main
 
 import (
@@ -45,11 +59,12 @@ func main() {
 		rows      = flag.Int("rows", 32, "packets per flow image")
 		steps     = flag.Int("steps", 300, "fine-tune steps")
 		keepReal  = flag.Bool("write-real", true, "also write the real training flows as pcaps")
-		saveModel = flag.String("save-model", "", "write the fine-tuned synthesizer to this path")
+		saveModel = flag.String("save-model", "", "write the fine-tuned checkpoint to this path (for traced -model)")
 		loadModel = flag.String("load-model", "", "load a saved synthesizer instead of training")
 		anonKey   = flag.String("anonymize-key", "", "prefix-preservingly anonymize real pcaps with this key")
 		stateful  = flag.Bool("stateful-repair", false, "rewrite generated TCP flows into valid conversations")
 	)
+	flag.StringVar(saveModel, "save", "", "alias for -save-model")
 	flag.Parse()
 
 	classes := workload.ClassNames()

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"trafficdiff/internal/controlnet"
@@ -117,7 +118,17 @@ func DefaultConfig() Config {
 }
 
 // Synthesizer is the trained text-to-traffic pipeline.
+//
+// Once training (FineTune or Load) has completed, Generate,
+// GenerateSeeded and GenerateWithFlowSeeds are safe for concurrent use:
+// sampling reads model parameters, templates and distributions without
+// mutating them, and the only post-construction config mutation
+// (SetDDIMSteps) synchronizes with generation through mu. FineTune
+// itself must not run concurrently with generation.
 type Synthesizer struct {
+	// mu guards cfg: SetDDIMSteps mutates it after construction, and
+	// every generation call snapshots it under the read lock.
+	mu      sync.RWMutex
 	cfg     Config
 	classes []string
 	index   map[string]int
@@ -135,6 +146,8 @@ type Synthesizer struct {
 	// realistic gaps from here instead of a fixed interval.
 	gapDists map[int]*heuristic.Empirical
 
+	// genCalls is accessed atomically; it sequences the batch seeds of
+	// unseeded Generate calls.
 	genCalls uint64
 }
 
@@ -408,31 +421,125 @@ type GenerateResult struct {
 	RawCellCompliance float64
 }
 
-// Generate synthesizes n flows of the given class: prompt-conditioned
-// sampling, color processing, constraint projection, back-transform.
-func (s *Synthesizer) Generate(class string, n int) (*GenerateResult, error) {
+// genEpoch is the fixed base timestamp stamped onto synthesized flows.
+var genEpoch = time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// lookupClass resolves a class name and checks the pipeline is trained.
+func (s *Synthesizer) lookupClass(class string) (int, error) {
 	ci, ok := s.index[class]
 	if !ok {
-		return nil, fmt.Errorf("core: unknown class %q", class)
+		return 0, fmt.Errorf("core: unknown class %q", class)
 	}
 	if !s.Trained() {
-		return nil, fmt.Errorf("core: synthesizer not fine-tuned")
+		return 0, fmt.Errorf("core: synthesizer not fine-tuned")
+	}
+	return ci, nil
+}
+
+// configSnapshot copies cfg under the read lock so generation works
+// from a consistent view even while SetDDIMSteps runs concurrently.
+func (s *Synthesizer) configSnapshot() Config {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cfg
+}
+
+// Generate synthesizes n flows of the given class: prompt-conditioned
+// sampling, color processing, constraint projection, back-transform.
+// Each call atomically advances an internal counter so successive
+// calls draw distinct batches; for replayable output use
+// GenerateSeeded instead.
+func (s *Synthesizer) Generate(class string, n int) (*GenerateResult, error) {
+	ci, err := s.lookupClass(class)
+	if err != nil {
+		return nil, err
 	}
 	if n <= 0 {
 		return nil, fmt.Errorf("core: n must be positive")
 	}
-	s.genCalls++
-	var control *tensor.Tensor
-	if s.cfg.UseControlNet {
-		control = s.controls[ci]
+	calls := atomic.AddUint64(&s.genCalls, 1)
+	cfg := s.configSnapshot()
+	scfg := diffusion.SampleConfig{N: n, Seed: cfg.Seed ^ (calls * 0x9e3779b97f4a7c15)}
+
+	// Timestamp gaps come from per-flow RNG streams split off
+	// sequentially before any worker starts (same discipline as
+	// rf.Train); flows in one batch start one second apart.
+	tsRoot := stats.NewRNG(cfg.Seed ^ calls ^ 0x7ad3c1)
+	tsRNGs := make([]*stats.RNG, n)
+	starts := make([]time.Time, n)
+	for i := range tsRNGs {
+		tsRNGs[i] = tsRoot.Split()
+		starts[i] = genEpoch.Add(time.Duration(i) * time.Second)
 	}
-	samples, err := diffusion.Sample(s.model(), s.sched, diffusion.SampleConfig{
-		Class: ci, N: n,
-		GuidanceScale: s.cfg.GuidanceScale,
-		DDIMSteps:     s.cfg.DDIMSteps,
-		Control:       control,
-		Seed:          s.cfg.Seed ^ (s.genCalls * 0x9e3779b97f4a7c15),
-	})
+	return s.generate(ci, class, cfg, scfg, tsRNGs, starts)
+}
+
+// DeriveFlowSeeds expands a request-level root seed into n per-flow
+// seeds. Flow i's seed depends only on (root, i), so equal root seeds
+// map to identical per-flow seeds on every replica.
+func DeriveFlowSeeds(root uint64, n int) []uint64 {
+	r := stats.NewRNG(root)
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = r.Uint64()
+	}
+	return seeds
+}
+
+// GenerateSeeded synthesizes n flows of the given class from an
+// explicit root seed. Unlike Generate it does not advance internal
+// state: the output is a pure function of (checkpoint, class, n, seed),
+// so the same request replays bit-identically on any replica serving
+// the same checkpoint.
+func (s *Synthesizer) GenerateSeeded(class string, n int, seed uint64) (*GenerateResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: n must be positive")
+	}
+	return s.GenerateWithFlowSeeds(class, DeriveFlowSeeds(seed, n))
+}
+
+// GenerateWithFlowSeeds synthesizes one flow per seed. Each flow is a
+// pure function of its own seed — independent of how flows are batched
+// — which lets a serving layer coalesce concurrent same-class requests
+// into a single diffusion sampling call and still answer every seeded
+// request with bit-identical bytes (see internal/serve).
+func (s *Synthesizer) GenerateWithFlowSeeds(class string, flowSeeds []uint64) (*GenerateResult, error) {
+	ci, err := s.lookupClass(class)
+	if err != nil {
+		return nil, err
+	}
+	n := len(flowSeeds)
+	if n == 0 {
+		return nil, fmt.Errorf("core: need at least one flow seed")
+	}
+	cfg := s.configSnapshot()
+	scfg := diffusion.SampleConfig{N: n, FlowSeeds: append([]uint64(nil), flowSeeds...)}
+	tsRNGs := make([]*stats.RNG, n)
+	starts := make([]time.Time, n)
+	for i, fs := range flowSeeds {
+		// The timestamp stream roots at a constant offset of the flow
+		// seed: independent of the noise stream, yet still a pure
+		// function of the flow seed. Every flow starts at the epoch so
+		// its bytes do not depend on batch position.
+		tsRNGs[i] = stats.NewRNG(fs ^ 0x7ad3c1)
+		starts[i] = genEpoch
+	}
+	return s.generate(ci, class, cfg, scfg, tsRNGs, starts)
+}
+
+// generate runs sampling plus post-processing for one class batch.
+// scfg carries N and the noise-seed layout; class/guidance/control are
+// filled in here. tsRNGs and starts give each flow its timestamp
+// stream and base time.
+func (s *Synthesizer) generate(ci int, class string, cfg Config, scfg diffusion.SampleConfig, tsRNGs []*stats.RNG, starts []time.Time) (*GenerateResult, error) {
+	n := scfg.N
+	scfg.Class = ci
+	scfg.GuidanceScale = cfg.GuidanceScale
+	scfg.DDIMSteps = cfg.DDIMSteps
+	if cfg.UseControlNet {
+		scfg.Control = s.controls[ci]
+	}
+	samples, err := diffusion.Sample(s.model(), s.sched, scfg)
 	if err != nil {
 		return nil, err
 	}
@@ -440,19 +547,10 @@ func (s *Synthesizer) Generate(class string, n int) (*GenerateResult, error) {
 	// Post-processing (upscale, quantize, projection, back-transform,
 	// timestamp stamping) is independent per flow: each worker owns one
 	// result slot, and the aggregation below runs sequentially in flow
-	// order, so the result is identical at any GOMAXPROCS. Timestamp
-	// gaps come from per-flow RNG streams split off sequentially before
-	// any worker starts (same discipline as rf.Train).
+	// order, so the result is identical at any GOMAXPROCS.
 	tpl := s.templates[ci]
 	h, w := s.ModelShape()
 	d := h * w
-	base := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
-
-	tsRoot := stats.NewRNG(s.cfg.Seed ^ s.genCalls ^ 0x7ad3c1)
-	tsRNGs := make([]*stats.RNG, n)
-	for i := range tsRNGs {
-		tsRNGs[i] = tsRoot.Split()
-	}
 
 	type flowResult struct {
 		m          *nprint.Matrix
@@ -474,7 +572,7 @@ func (s *Synthesizer) Generate(class string, n int) (*GenerateResult, error) {
 			defer func() { <-sem }()
 			slot := &slots[i]
 			im := &imagerep.Image{H: h, W: w, Pix: samples.Data[i*d : (i+1)*d]}
-			up, err := imagerep.Upscale(im, s.cfg.DownH, s.cfg.DownW)
+			up, err := imagerep.Upscale(im, cfg.DownH, cfg.DownW)
 			if err != nil {
 				slot.err = err
 				return
@@ -488,10 +586,10 @@ func (s *Synthesizer) Generate(class string, n int) (*GenerateResult, error) {
 			slot.compliance = tpl.ProtocolCompliance(m)
 			slot.cell = tpl.Compliance(m)
 			slot.repaired = tpl.Project(m)
-			if s.cfg.ConstantSnap {
+			if cfg.ConstantSnap {
 				slot.repaired += tpl.ProjectConstants(m)
 			}
-			start := base.Add(time.Duration(i) * time.Second)
+			start := starts[i]
 			pkts, skipped, err := nprint.ToPackets(m, nprint.DecodeOptions{
 				Repair:   true,
 				Start:    start,
@@ -572,7 +670,13 @@ func (s *Synthesizer) Template(class string) (*controlnet.Template, error) {
 
 // SetDDIMSteps adjusts the sampler's step budget after construction
 // (0 restores full DDPM ancestral sampling). Training is unaffected.
-func (s *Synthesizer) SetDDIMSteps(steps int) { s.cfg.DDIMSteps = steps }
+// Safe to call while other goroutines generate: in-flight calls keep
+// the snapshot they started with; later calls observe the new value.
+func (s *Synthesizer) SetDDIMSteps(steps int) {
+	s.mu.Lock()
+	s.cfg.DDIMSteps = steps
+	s.mu.Unlock()
+}
 
 // stampTimestamps rewrites the packets' timestamps with gaps sampled
 // from the class's fitted inter-arrival distribution. r is the flow's

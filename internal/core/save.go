@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -48,8 +49,15 @@ func (s *Synthesizer) Save(w io.Writer) error {
 
 // Load reconstructs a synthesizer saved with Save.
 func Load(r io.Reader) (*Synthesizer, error) {
+	// The stream holds two consecutive gob streams (snapshot, then
+	// params). gob.NewDecoder wraps readers that lack ReadByte in its
+	// own bufio.Reader, whose read-ahead would swallow the start of the
+	// second stream — loading from an *os.File then fails or not
+	// depending on where the refills land relative to the boundary.
+	// One shared ByteReader keeps every byte visible to both decoders.
+	br := bufio.NewReader(r)
 	var snap snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+	if err := gob.NewDecoder(br).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
 	}
 	if snap.Version != 1 {
@@ -71,7 +79,7 @@ func Load(r io.Reader) (*Synthesizer, error) {
 		rr := stats.NewRNG(snap.Config.Seed + 2)
 		s.adapted = lora.NewAdaptedMLP(rr, s.base, snap.Config.LoRARank, snap.Config.LoRAAlpha, len(snap.Classes))
 	}
-	if err := nn.LoadParams(r, s.allParams()); err != nil {
+	if err := nn.LoadParams(br, s.allParams()); err != nil {
 		return nil, err
 	}
 	return s, nil

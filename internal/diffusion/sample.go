@@ -29,6 +29,15 @@ type SampleConfig struct {
 	// [1,H,W] shared by every flow in the batch.
 	Control *tensor.Tensor
 	Seed    uint64
+	// FlowSeeds, when non-empty, must have length N and gives every
+	// flow its own independent RNG root, making each flow's output a
+	// pure function of its seed alone — independent of batch
+	// composition. This is the property that lets a serving layer
+	// coalesce concurrent requests into one batch while keeping
+	// seeded requests bit-identical across replicas. When empty, all
+	// streams derive from Seed by sequential Split (the batch-level
+	// layout used by training-time experiments).
+	FlowSeeds []uint64
 	// ExtraForward, when non-nil, replaces the plain model forward —
 	// the lora package uses it to route through adapters.
 	ExtraForward ForwardFunc
@@ -50,6 +59,9 @@ func Sample(model Denoiser, sched *Schedule, cfg SampleConfig) (*tensor.Tensor, 
 	if cfg.N <= 0 {
 		return nil, fmt.Errorf("diffusion: sample N must be positive")
 	}
+	if len(cfg.FlowSeeds) != 0 && len(cfg.FlowSeeds) != cfg.N {
+		return nil, fmt.Errorf("diffusion: %d flow seeds for N=%d", len(cfg.FlowSeeds), cfg.N)
+	}
 	if cfg.Class < 0 || cfg.Class >= model.NullClass() {
 		return nil, fmt.Errorf("diffusion: class %d out of range [0,%d)", cfg.Class, model.NullClass())
 	}
@@ -68,12 +80,21 @@ func Sample(model Denoiser, sched *Schedule, cfg SampleConfig) (*tensor.Tensor, 
 		control = cfg.Control.Reshape(1, 1, h, w)
 	}
 
-	// One private stream per flow, split off sequentially before any
-	// goroutine exists (same discipline as rf.Train).
-	root := stats.NewRNG(cfg.Seed)
+	// One private stream per flow. With FlowSeeds each stream roots at
+	// its own seed; otherwise streams split off sequentially from the
+	// batch seed before any goroutine exists (same discipline as
+	// rf.Train). Either way the draw sequence per flow is fixed before
+	// workers start, so output is bit-identical at any GOMAXPROCS.
 	rngs := make([]*stats.RNG, n)
-	for i := range rngs {
-		rngs[i] = root.Split()
+	if len(cfg.FlowSeeds) != 0 {
+		for i := range rngs {
+			rngs[i] = stats.NewRNG(cfg.FlowSeeds[i])
+		}
+	} else {
+		root := stats.NewRNG(cfg.Seed)
+		for i := range rngs {
+			rngs[i] = root.Split()
+		}
 	}
 
 	out := tensor.New(n, 1, h, w)

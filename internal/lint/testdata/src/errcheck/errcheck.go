@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 )
@@ -27,6 +28,22 @@ func drops() {
 	// want+2 `assigned to _ without a justifying comment`
 
 	_, _ = failPair()
+}
+
+// handler covers the http.Handler write shape the serving layer uses:
+// ResponseWriter.Write returns (int, error) like any io.Writer, so a
+// bare call or an uncommented blank assignment is still a dropped
+// error — the client may have hung up mid-body.
+func handler(w http.ResponseWriter, data []byte) {
+	w.Write(data) // want `error result of w.Write is silently discarded`
+
+	// want+2 `assigned to _ without a justifying comment`
+
+	_, _ = w.Write(data)
+
+	// Best-effort trailer: the status line is already on the wire, so
+	// there is no channel left to report a broken connection on.
+	_, _ = w.Write(data)
 }
 
 func checked() error {

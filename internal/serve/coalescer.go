@@ -1,0 +1,114 @@
+package serve
+
+// batch is a group of same-class requests executed as one sampling
+// call. Flow seeds make each request's slice of the batch independent
+// of its neighbours, so grouping is purely a throughput decision.
+type batch struct {
+	class string
+	reqs  []*request
+	flows int
+}
+
+// coalesceLoop forms batches from the admission queue until the queue
+// closes and drains. Dispatch over the unbuffered batches channel
+// blocks while all workers are busy — exactly the window in which the
+// queue accumulates requests for the next, larger batch. Requests
+// whose deadline already expired are dropped here (their handlers have
+// answered 504).
+func (s *Server) coalesceLoop() {
+	defer close(s.batches)
+	var held *request
+	for {
+		first := held
+		held = nil
+		if first == nil {
+			req, ok := <-s.q.ch
+			if !ok {
+				return
+			}
+			first = req
+		}
+		if first.ctx.Err() != nil {
+			continue
+		}
+		b := &batch{class: first.class, reqs: []*request{first}, flows: first.count}
+		qOpen := true
+	merge:
+		for b.flows < s.cfg.MaxBatch {
+			select {
+			case req, ok := <-s.q.ch:
+				switch {
+				case !ok:
+					qOpen = false
+					break merge
+				case req.ctx.Err() != nil:
+					// Expired while queued; handler already gave up.
+				case req.class == b.class && b.flows+req.count <= s.cfg.MaxBatch:
+					b.reqs = append(b.reqs, req)
+					b.flows += req.count
+				default:
+					// Different class (or would overflow): the batch
+					// closes and this request seeds the next one.
+					held = req
+					break merge
+				}
+			default:
+				// Queue momentarily empty: ship what we have rather
+				// than trade latency for batch size.
+				break merge
+			}
+		}
+		s.met.observeBatch(b)
+		s.batches <- b
+		if !qOpen {
+			if held != nil && held.ctx.Err() == nil {
+				hb := &batch{class: held.class, reqs: []*request{held}, flows: held.count}
+				s.met.observeBatch(hb)
+				s.batches <- hb
+			}
+			return
+		}
+	}
+}
+
+// workerLoop executes batches until the coalescer closes the channel
+// at the end of drain.
+func (s *Server) workerLoop() {
+	for b := range s.batches {
+		s.runBatch(b)
+	}
+}
+
+// runBatch concatenates the batch's per-request flow seeds into one
+// generation call and slices the results back out per request.
+func (s *Server) runBatch(b *batch) {
+	live := b.reqs[:0]
+	for _, req := range b.reqs {
+		if req.ctx.Err() == nil {
+			live = append(live, req)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	seeds := make([]uint64, 0, b.flows)
+	for _, req := range live {
+		seeds = append(seeds, req.flowSeeds...)
+	}
+	res, err := s.gen.GenerateWithFlowSeeds(b.class, seeds)
+	if err != nil {
+		for _, req := range live {
+			req.done <- result{err: err}
+		}
+		return
+	}
+	s.met.flowsGenerated.Add(int64(len(seeds)))
+	off := 0
+	for _, req := range live {
+		req.done <- result{
+			flows:    res.Flows[off : off+req.count],
+			matrices: res.Matrices[off : off+req.count],
+		}
+		off += req.count
+	}
+}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"expvar"
+	"sync/atomic"
+)
+
+// metrics is the server's expvar-backed instrumentation. Every counter
+// lives in vars, the map /metrics serializes; PublishExpvar can mirror
+// the same map into the process-wide expvar registry.
+type metrics struct {
+	vars *expvar.Map
+
+	// Admission and completion counters.
+	accepted  *expvar.Int // accepted_total
+	rejected  *expvar.Int // rejected_total (429 backpressure)
+	expired   *expvar.Int // deadline_expired_total (504)
+	completed *expvar.Int // completed_total
+	failed    *expvar.Int // failed_total (500)
+
+	// Coalescer and generation counters.
+	batches        *expvar.Int // batches_total
+	batchFlows     *expvar.Int // batch_flows_total
+	flowsGenerated *expvar.Int // flows_generated_total
+
+	// Latency counters: mean = sum/count; distributions come from the
+	// bench suite, not the live endpoint.
+	latencyMsSum *expvar.Float // latency_ms_sum
+	latencyCount *expvar.Int   // latency_ms_count
+
+	writeErrors *expvar.Int // response_write_errors_total
+
+	// batchMax tracks the largest coalesced batch (flows) seen; kept
+	// as a CAS-able atomic and exposed through an expvar.Func gauge.
+	batchMax atomic.Int64
+}
+
+func newMetrics(queueDepth func() int) *metrics {
+	m := &metrics{vars: new(expvar.Map).Init()}
+	newInt := func(name string) *expvar.Int {
+		v := new(expvar.Int)
+		m.vars.Set(name, v)
+		return v
+	}
+	m.accepted = newInt("accepted_total")
+	m.rejected = newInt("rejected_total")
+	m.expired = newInt("deadline_expired_total")
+	m.completed = newInt("completed_total")
+	m.failed = newInt("failed_total")
+	m.batches = newInt("batches_total")
+	m.batchFlows = newInt("batch_flows_total")
+	m.flowsGenerated = newInt("flows_generated_total")
+	m.latencyCount = newInt("latency_ms_count")
+	m.writeErrors = newInt("response_write_errors_total")
+	m.latencyMsSum = new(expvar.Float)
+	m.vars.Set("latency_ms_sum", m.latencyMsSum)
+	m.vars.Set("queue_depth", expvar.Func(func() any { return queueDepth() }))
+	m.vars.Set("batch_size_max", expvar.Func(func() any { return m.batchMax.Load() }))
+	return m
+}
+
+// observeBatch records one dispatched batch.
+func (m *metrics) observeBatch(b *batch) {
+	m.batches.Add(1)
+	m.batchFlows.Add(int64(b.flows))
+	for {
+		cur := m.batchMax.Load()
+		if int64(b.flows) <= cur || m.batchMax.CompareAndSwap(cur, int64(b.flows)) {
+			return
+		}
+	}
+}

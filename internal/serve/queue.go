@@ -1,0 +1,59 @@
+package serve
+
+import "sync"
+
+// pushOutcome is the admission decision for one request.
+type pushOutcome int
+
+const (
+	// pushOK: admitted; the pipeline will answer the request.
+	pushOK pushOutcome = iota
+	// pushFull: the bounded queue is at capacity — backpressure (429).
+	pushFull
+	// pushClosed: the server is draining — no new admissions (503).
+	pushClosed
+)
+
+// queue is the bounded admission queue. It is a buffered channel plus
+// the mutex that makes close-versus-push safe: tryPush can never send
+// on a closed channel, and close is idempotent.
+type queue struct {
+	mu     sync.Mutex
+	ch     chan *request
+	closed bool
+}
+
+func newQueue(depth int) *queue {
+	return &queue{ch: make(chan *request, depth)}
+}
+
+// tryPush admits req if there is room, without ever blocking the
+// handler: a full queue is an immediate backpressure signal, not a
+// wait.
+func (q *queue) tryPush(req *request) pushOutcome {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return pushClosed
+	}
+	select {
+	case q.ch <- req:
+		return pushOK
+	default:
+		return pushFull
+	}
+}
+
+// close stops admissions. Requests already buffered stay queued for
+// the coalescer to drain.
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+}
+
+// depth reports the number of queued requests (the queue_depth gauge).
+func (q *queue) depth() int { return len(q.ch) }

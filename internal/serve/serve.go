@@ -1,0 +1,397 @@
+// Package serve implements traced's batching, backpressured HTTP
+// trace-generation service over a saved core.Synthesizer checkpoint.
+//
+// The request path is a short pipeline:
+//
+//	handler → bounded admission queue → batch coalescer → worker pool
+//
+// The admission queue is a fixed-capacity buffer; when it is full the
+// handler answers 429 with a Retry-After header instead of letting
+// latency grow without bound. The coalescer merges concurrent
+// same-class requests into single diffusion sampling calls, sized by
+// worker availability: while every worker is busy the next batch keeps
+// absorbing queued requests up to MaxBatch flows. Each request carries
+// a deadline; requests that expire while queued are dropped by the
+// pipeline and answered 504 by their handler.
+//
+// Determinism across the network boundary: a request with an explicit
+// seed expands to per-flow seeds via core.DeriveFlowSeeds, and each
+// flow's bytes are a pure function of its own seed (see
+// diffusion.SampleConfig.FlowSeeds). Batch composition therefore never
+// leaks into the output — a seeded request returns bit-identical pcap
+// bytes on every replica serving the same checkpoint, no matter which
+// other requests it was coalesced with.
+//
+// Shutdown drains: the queue closes to new admissions, in-flight
+// batches run to completion and their handlers write full responses
+// before the HTTP server stops accepting.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trafficdiff/internal/core"
+	"trafficdiff/internal/flow"
+	"trafficdiff/internal/nprint"
+	"trafficdiff/internal/pcap"
+)
+
+// Generator is the slice of core.Synthesizer the service needs. The
+// implementation must be safe for concurrent use and must make each
+// flow a pure function of its seed (batch-composition independent).
+type Generator interface {
+	Classes() []string
+	GenerateWithFlowSeeds(class string, flowSeeds []uint64) (*core.GenerateResult, error)
+}
+
+// Config parameterizes a Server. Zero values take the defaults noted
+// on each field.
+type Config struct {
+	// QueueDepth bounds the admission queue; requests beyond it get
+	// 429 (default 64).
+	QueueDepth int
+	// MaxBatch caps the flows merged into one sampling call
+	// (default 8). A single request larger than MaxBatch still runs,
+	// as a batch of its own.
+	MaxBatch int
+	// Workers is the number of concurrent generation workers
+	// (default 2; sampling is CPU-bound and parallel internally).
+	Workers int
+	// RequestTimeout is the per-request deadline ceiling; a request's
+	// timeout_ms may shorten it but never extend it (default 60s).
+	RequestTimeout time.Duration
+	// MaxFlowsPerRequest bounds count per request (default 64).
+	MaxFlowsPerRequest int
+	// SeedBase seeds the derivation chain for requests that do not
+	// carry an explicit seed (default 1). Replicas that must differ on
+	// unseeded traffic should differ here.
+	SeedBase uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.MaxFlowsPerRequest <= 0 {
+		c.MaxFlowsPerRequest = 64
+	}
+	return c
+}
+
+// result is what the pipeline delivers back to a waiting handler.
+type result struct {
+	flows    []*flow.Flow
+	matrices []*nprint.Matrix
+	err      error
+}
+
+// request is one admitted generation request travelling the pipeline.
+type request struct {
+	class     string
+	count     int
+	seed      uint64
+	flowSeeds []uint64
+	ctx       context.Context
+	// done is buffered so the pipeline never blocks on a handler that
+	// already gave up (deadline expiry).
+	done chan result
+}
+
+// Server is the trace-generation service.
+type Server struct {
+	gen     Generator
+	cfg     Config
+	classes map[string]bool
+
+	q       *queue
+	batches chan *batch
+	met     *metrics
+
+	draining atomic.Bool
+	seedCtr  atomic.Uint64
+	pipeline sync.WaitGroup
+
+	httpSrv *http.Server
+}
+
+// New builds a Server over a trained generator and starts its
+// coalescer and worker pool. Callers must eventually Shutdown.
+func New(gen Generator, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		gen:     gen,
+		cfg:     cfg,
+		classes: map[string]bool{},
+		q:       newQueue(cfg.QueueDepth),
+		// Unbuffered on purpose: the coalescer blocks here while all
+		// workers are busy, which is exactly the window in which the
+		// next batch keeps coalescing queued requests.
+		batches: make(chan *batch),
+	}
+	for _, c := range gen.Classes() {
+		s.classes[c] = true
+	}
+	s.met = newMetrics(s.q.depth)
+	s.httpSrv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+
+	s.pipeline.Add(1)
+	go func() {
+		defer s.pipeline.Done()
+		s.coalesceLoop()
+	}()
+	for i := 0; i < cfg.Workers; i++ {
+		s.pipeline.Add(1)
+		go func() {
+			defer s.pipeline.Done()
+			s.workerLoop()
+		}()
+	}
+	return s
+}
+
+// Handler returns the service mux: POST /v1/generate plus /healthz,
+// /readyz and the expvar-backed /metrics.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/generate", s.handleGenerate)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// Serve accepts connections on ln until Shutdown. A clean shutdown
+// returns nil.
+func (s *Server) Serve(ln net.Listener) error {
+	err := s.httpSrv.Serve(ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// PublishExpvar registers the server's metrics map in the process-wide
+// expvar registry under name. Call at most once per name per process
+// (expvar forbids duplicate registration).
+func (s *Server) PublishExpvar(name string) {
+	expvar.Publish(name, s.met.vars)
+}
+
+// Shutdown drains the service: new requests are refused, queued and
+// in-flight batches run to completion, their handlers finish writing,
+// then the HTTP server (if Serve was used) stops. It returns ctx's
+// error if draining outlives the context.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.q.close()
+	drained := make(chan struct{})
+	go func() {
+		s.pipeline.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// generateRequest is the POST /v1/generate body.
+type generateRequest struct {
+	Class string `json:"class"`
+	// Count is the number of flows to synthesize (default 1).
+	Count int `json:"count"`
+	// Seed, when present, makes the response a pure function of
+	// (checkpoint, class, count, seed): bit-identical on every replica.
+	Seed *uint64 `json:"seed"`
+	// Format selects the body encoding: "pcap" (default) or "csv"
+	// (nprint bit matrices).
+	Format string `json:"format"`
+	// TimeoutMs shortens the server's per-request deadline.
+	TimeoutMs int `json:"timeout_ms"`
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	var gr generateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&gr); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if gr.Count == 0 {
+		gr.Count = 1
+	}
+	if gr.Count < 0 || gr.Count > s.cfg.MaxFlowsPerRequest {
+		http.Error(w, fmt.Sprintf("count must be in [1,%d]", s.cfg.MaxFlowsPerRequest), http.StatusBadRequest)
+		return
+	}
+	if !s.classes[gr.Class] {
+		http.Error(w, fmt.Sprintf("unknown class %q", gr.Class), http.StatusBadRequest)
+		return
+	}
+	format := gr.Format
+	if format == "" {
+		format = "pcap"
+	}
+	if format != "pcap" && format != "csv" {
+		http.Error(w, `format must be "pcap" or "csv"`, http.StatusBadRequest)
+		return
+	}
+
+	seed := s.deriveSeed(gr.Seed)
+	timeout := s.cfg.RequestTimeout
+	if gr.TimeoutMs > 0 {
+		if d := time.Duration(gr.TimeoutMs) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	req := &request{
+		class:     gr.Class,
+		count:     gr.Count,
+		seed:      seed,
+		flowSeeds: core.DeriveFlowSeeds(seed, gr.Count),
+		ctx:       ctx,
+		done:      make(chan result, 1),
+	}
+	start := time.Now()
+	switch s.q.tryPush(req) {
+	case pushOK:
+		s.met.accepted.Add(1)
+	case pushFull:
+		s.met.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "admission queue full", http.StatusTooManyRequests)
+		return
+	case pushClosed:
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+
+	select {
+	case res := <-req.done:
+		if res.err != nil {
+			s.met.failed.Add(1)
+			http.Error(w, "generation failed: "+res.err.Error(), http.StatusInternalServerError)
+			return
+		}
+		s.met.latencyMsSum.Add(float64(time.Since(start)) / float64(time.Millisecond))
+		s.met.latencyCount.Add(1)
+		s.writeBody(w, req, format, res)
+		s.met.completed.Add(1)
+	case <-ctx.Done():
+		s.met.expired.Add(1)
+		http.Error(w, "deadline exceeded before generation completed", http.StatusGatewayTimeout)
+	}
+}
+
+// deriveSeed picks the request's root seed: the client's, or the next
+// element of the server's derivation chain for unseeded requests.
+func (s *Server) deriveSeed(client *uint64) uint64 {
+	if client != nil {
+		return *client
+	}
+	// SplitMix64-style increment keeps successive unseeded requests on
+	// unrelated streams (same mixing discipline as stats.NewRNG).
+	return s.cfg.SeedBase ^ (s.seedCtr.Add(1) * 0x9e3779b97f4a7c15)
+}
+
+// writeBody encodes the generated flows and streams them out. The body
+// is buffered first so a failed generation can never leave a
+// half-written success response.
+func (s *Server) writeBody(w http.ResponseWriter, req *request, format string, res result) {
+	var buf bytes.Buffer
+	switch format {
+	case "csv":
+		for _, m := range res.matrices {
+			if err := nprint.WriteCSV(&buf, m); err != nil {
+				http.Error(w, "encoding csv: "+err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/csv")
+	default:
+		pw, err := pcap.NewWriter(&buf, pcap.LinkTypeEthernet)
+		if err != nil {
+			http.Error(w, "encoding pcap: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		for _, fl := range res.flows {
+			for _, p := range fl.Packets {
+				if err := pw.WritePacket(p.Timestamp, p.Data); err != nil {
+					http.Error(w, "encoding pcap: "+err.Error(), http.StatusInternalServerError)
+					return
+				}
+			}
+		}
+		w.Header().Set("Content-Type", "application/vnd.tcpdump.pcap")
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.Header().Set("X-Traced-Seed", strconv.FormatUint(req.seed, 10))
+	w.Header().Set("X-Traced-Flows", strconv.Itoa(len(res.flows)))
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		// The client went away mid-response; nothing to send it, but
+		// the failure is visible in /metrics.
+		s.met.writeErrors.Add(1)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeText(w, http.StatusOK, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeText(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	s.writeText(w, http.StatusOK, "ready")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write([]byte(s.met.vars.String())); err != nil {
+		s.met.writeErrors.Add(1)
+	}
+}
+
+// writeText writes a small plain-text response, routing write failures
+// to the metrics the way every handler here does.
+func (s *Server) writeText(w http.ResponseWriter, code int, body string) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(code)
+	if _, err := w.Write([]byte(body + "\n")); err != nil {
+		s.met.writeErrors.Add(1)
+	}
+}

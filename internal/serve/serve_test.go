@@ -1,0 +1,571 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"trafficdiff/internal/core"
+	"trafficdiff/internal/flow"
+	"trafficdiff/internal/nprint"
+	"trafficdiff/internal/packet"
+	"trafficdiff/internal/pcap"
+	"trafficdiff/internal/workload"
+)
+
+// fakeGen is a controllable Generator: an optional gate blocks each
+// generation call until the test releases it, and every call's seed
+// batch is recorded so tests can assert coalescing behaviour.
+type fakeGen struct {
+	classes  []string
+	gate     chan struct{}
+	delay    time.Duration
+	inFlight atomic.Int64
+
+	mu    sync.Mutex
+	calls [][]uint64
+}
+
+func (g *fakeGen) Classes() []string { return append([]string(nil), g.classes...) }
+
+func (g *fakeGen) GenerateWithFlowSeeds(class string, seeds []uint64) (*core.GenerateResult, error) {
+	g.inFlight.Add(1)
+	defer g.inFlight.Add(-1)
+	if g.gate != nil {
+		<-g.gate
+	}
+	if g.delay > 0 {
+		time.Sleep(g.delay)
+	}
+	g.mu.Lock()
+	g.calls = append(g.calls, append([]uint64(nil), seeds...))
+	g.mu.Unlock()
+	res := &core.GenerateResult{}
+	for _, s := range seeds {
+		data := make([]byte, 16)
+		binary.BigEndian.PutUint64(data, s)
+		res.Flows = append(res.Flows, &flow.Flow{
+			Label:   class,
+			Packets: []*packet.Packet{{Timestamp: time.Unix(0, 0).UTC(), Data: data}},
+		})
+		res.Matrices = append(res.Matrices, nprint.NewMatrix(1))
+	}
+	return res, nil
+}
+
+func (g *fakeGen) callSizes() []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	sizes := make([]int, len(g.calls))
+	for i, c := range g.calls {
+		sizes[i] = len(c)
+	}
+	return sizes
+}
+
+// post fires one generate request and returns status, body and header.
+func post(t *testing.T, url string, body string) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/generate", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cerr := resp.Body.Close(); cerr != nil {
+			t.Error(cerr)
+		}
+	}()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data, resp.Header
+}
+
+// metricsSnapshot fetches and parses /metrics.
+func metricsSnapshot(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cerr := resp.Body.Close(); cerr != nil {
+			t.Error(cerr)
+		}
+	}()
+	var raw map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]float64{}
+	for k, v := range raw {
+		if f, ok := v.(float64); ok {
+			out[k] = f
+		}
+	}
+	return out
+}
+
+// waitFor polls cond for up to 5 seconds.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func shutdownServer(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+func TestQueueTryPush(t *testing.T) {
+	q := newQueue(1)
+	ctx := context.Background()
+	if got := q.tryPush(&request{ctx: ctx}); got != pushOK {
+		t.Fatalf("first push = %v, want pushOK", got)
+	}
+	if got := q.tryPush(&request{ctx: ctx}); got != pushFull {
+		t.Fatalf("push beyond capacity = %v, want pushFull", got)
+	}
+	q.close()
+	q.close() // idempotent
+	if got := q.tryPush(&request{ctx: ctx}); got != pushClosed {
+		t.Fatalf("push after close = %v, want pushClosed", got)
+	}
+	if q.depth() != 1 {
+		t.Fatalf("depth = %d, want 1 (buffered request survives close)", q.depth())
+	}
+}
+
+// TestQueueFull429 drives the queue to capacity behind a blocked
+// worker and checks that the overflow request is refused immediately
+// with 429 + Retry-After while every admitted request still completes.
+func TestQueueFull429(t *testing.T) {
+	gate := make(chan struct{})
+	gen := &fakeGen{classes: []string{"amazon"}, gate: gate}
+	s := New(gen, Config{QueueDepth: 2, Workers: 1, MaxBatch: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer shutdownServer(t, s)
+	defer close(gate)
+
+	type reply struct {
+		code int
+	}
+	replies := make(chan reply, 16)
+	launch := func() {
+		go func() {
+			code, _, _ := post(t, ts.URL, `{"class":"amazon"}`)
+			replies <- reply{code}
+		}()
+	}
+	// First request occupies the worker (blocked on the gate).
+	launch()
+	waitFor(t, "worker to pick up first request", func() bool { return gen.inFlight.Load() == 1 })
+	// Second request is popped by the coalescer, which then blocks
+	// dispatching it; the rest fill the bounded queue.
+	launch()
+	for i := 0; i < 2; i++ {
+		launch()
+	}
+	waitFor(t, "queue to fill", func() bool { return s.q.depth() == 2 })
+
+	// The queue is now full: the next request must bounce, not block.
+	code, body, hdr := post(t, ts.URL, `{"class":"amazon"}`)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("overflow request: status %d body %q, want 429", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	m := metricsSnapshot(t, ts.URL)
+	if m["rejected_total"] < 1 {
+		t.Fatalf("rejected_total = %v, want >= 1", m["rejected_total"])
+	}
+
+	// Release the pipeline: every admitted request completes.
+	for i := 0; i < 4; i++ {
+		gate <- struct{}{}
+	}
+	for i := 0; i < 4; i++ {
+		r := <-replies
+		if r.code != http.StatusOK {
+			t.Fatalf("admitted request finished with %d, want 200", r.code)
+		}
+	}
+}
+
+// TestDeadlineExpiry checks that a request whose deadline passes while
+// the pipeline is busy gets 504 and is dropped without a generation
+// call.
+func TestDeadlineExpiry(t *testing.T) {
+	gate := make(chan struct{})
+	gen := &fakeGen{classes: []string{"amazon"}, gate: gate}
+	s := New(gen, Config{QueueDepth: 8, Workers: 1, MaxBatch: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer shutdownServer(t, s)
+	defer close(gate)
+
+	blocked := make(chan int, 1)
+	go func() {
+		code, _, _ := post(t, ts.URL, `{"class":"amazon"}`)
+		blocked <- code
+	}()
+	waitFor(t, "worker to block", func() bool { return gen.inFlight.Load() == 1 })
+
+	code, body, _ := post(t, ts.URL, `{"class":"amazon","count":2,"timeout_ms":50}`)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("expired request: status %d body %q, want 504", code, body)
+	}
+	m := metricsSnapshot(t, ts.URL)
+	if m["deadline_expired_total"] != 1 {
+		t.Fatalf("deadline_expired_total = %v, want 1", m["deadline_expired_total"])
+	}
+
+	gate <- struct{}{} // release the blocker
+	if c := <-blocked; c != http.StatusOK {
+		t.Fatalf("blocker finished with %d", c)
+	}
+	shutdownServer(t, s)
+	// Only the blocker generated; the expired request's seeds never
+	// reached the generator.
+	if sizes := gen.callSizes(); len(sizes) != 1 || sizes[0] != 1 {
+		t.Fatalf("generation calls = %v, want exactly [1]", sizes)
+	}
+}
+
+// TestBatchCoalescing stalls the single worker so four same-class
+// requests accumulate, then checks they execute as one merged
+// sampling call.
+func TestBatchCoalescing(t *testing.T) {
+	gate := make(chan struct{})
+	gen := &fakeGen{classes: []string{"amazon"}, gate: gate}
+	s := New(gen, Config{QueueDepth: 16, Workers: 1, MaxBatch: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer shutdownServer(t, s)
+	defer close(gate)
+
+	replies := make(chan int, 8)
+	launch := func(body string) {
+		go func() {
+			code, _, _ := post(t, ts.URL, body)
+			replies <- code
+		}()
+	}
+	// Blocker 1 occupies the worker; blocker 2 occupies the
+	// coalescer's dispatch slot. Only then do the next four requests
+	// pile up in the queue together.
+	launch(`{"class":"amazon"}`)
+	waitFor(t, "worker busy", func() bool { return gen.inFlight.Load() == 1 })
+	launch(`{"class":"amazon"}`)
+	waitFor(t, "coalescer holding a batch", func() bool {
+		return metricsSnapshot(t, ts.URL)["batches_total"] == 2
+	})
+	for i := 0; i < 4; i++ {
+		launch(`{"class":"amazon"}`)
+	}
+	waitFor(t, "four requests queued", func() bool { return s.q.depth() == 4 })
+
+	gate <- struct{}{} // finish blocker 1; worker takes blocker 2
+	waitFor(t, "blocker 2 generating", func() bool { return gen.inFlight.Load() == 1 })
+	gate <- struct{}{} // finish blocker 2; worker takes the merged batch
+	gate <- struct{}{} // finish the merged batch
+	for i := 0; i < 6; i++ {
+		if code := <-replies; code != http.StatusOK {
+			t.Fatalf("request finished with %d", code)
+		}
+	}
+
+	sizes := gen.callSizes()
+	if len(sizes) != 3 || sizes[0] != 1 || sizes[1] != 1 || sizes[2] != 4 {
+		t.Fatalf("generation call sizes = %v, want [1 1 4] (four requests coalesced)", sizes)
+	}
+	m := metricsSnapshot(t, ts.URL)
+	if m["batch_size_max"] != 4 {
+		t.Fatalf("batch_size_max = %v, want 4", m["batch_size_max"])
+	}
+	if m["batches_total"] != 3 {
+		t.Fatalf("batches_total = %v, want 3", m["batches_total"])
+	}
+}
+
+// TestDrainOnShutdown admits a burst of slow requests, then checks
+// Shutdown completes them all before returning and that the server
+// refuses new work while draining.
+func TestDrainOnShutdown(t *testing.T) {
+	gen := &fakeGen{classes: []string{"amazon"}, delay: 30 * time.Millisecond}
+	s := New(gen, Config{QueueDepth: 16, Workers: 2, MaxBatch: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 6
+	replies := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			code, _, _ := post(t, ts.URL, `{"class":"amazon"}`)
+			replies <- code
+		}()
+	}
+	waitFor(t, "all requests admitted", func() bool {
+		return metricsSnapshot(t, ts.URL)["accepted_total"] == n
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// Every admitted request completed during the drain.
+	for i := 0; i < n; i++ {
+		if code := <-replies; code != http.StatusOK {
+			t.Fatalf("in-flight request finished with %d during drain", code)
+		}
+	}
+	// New work is refused while draining.
+	code, _, hdr := post(t, ts.URL, `{"class":"amazon"}`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain request: status %d, want 503", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After header")
+	}
+	if rc, _, _ := get(t, ts.URL+"/readyz"); rc != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining = %d, want 503", rc)
+	}
+	if rc, _, _ := get(t, ts.URL+"/healthz"); rc != http.StatusOK {
+		t.Fatalf("healthz while draining = %d, want 200 (process is alive)", rc)
+	}
+	m := metricsSnapshot(t, ts.URL)
+	if m["completed_total"] != n {
+		t.Fatalf("completed_total = %v, want %d", m["completed_total"], n)
+	}
+	if m["latency_ms_count"] != n || m["latency_ms_sum"] <= 0 {
+		t.Fatalf("latency counters = %v/%v, want count %d with positive sum",
+			m["latency_ms_count"], m["latency_ms_sum"], n)
+	}
+}
+
+func get(t *testing.T, url string) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cerr := resp.Body.Close(); cerr != nil {
+			t.Error(cerr)
+		}
+	}()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data, resp.Header
+}
+
+// TestRequestValidation covers the 4xx surface.
+func TestRequestValidation(t *testing.T) {
+	gen := &fakeGen{classes: []string{"amazon"}}
+	s := New(gen, Config{MaxFlowsPerRequest: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer shutdownServer(t, s)
+
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{"class":"nope"}`, http.StatusBadRequest},
+		{`{"class":"amazon","count":5}`, http.StatusBadRequest},
+		{`{"class":"amazon","count":-1}`, http.StatusBadRequest},
+		{`{"class":"amazon","format":"exe"}`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if code, _, _ := post(t, ts.URL, c.body); code != c.want {
+			t.Errorf("body %q: status %d, want %d", c.body, code, c.want)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/generate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Error(cerr)
+	}
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/generate = %d, want 405", resp.StatusCode)
+	}
+}
+
+// trainSynth fine-tunes a synthesizer on the standard test workload.
+func trainSynth(cfg core.Config, classes []string) (*core.Synthesizer, error) {
+	s, err := core.New(cfg, classes)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := workload.Generate(workload.Config{
+		Seed: 11, FlowsPerClass: 4, Only: classes, MaxPacketsPerFlow: cfg.Rows,
+	})
+	if err != nil {
+		return nil, err
+	}
+	byClass := map[string][]*flow.Flow{}
+	for _, f := range ds.Flows {
+		byClass[f.Label] = append(byClass[f.Label], f)
+	}
+	if _, err := s.FineTune(byClass); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// trainedServer builds a server over a real (tiny) synthesizer; shared
+// across the contract tests below because training dominates runtime.
+var (
+	realOnce sync.Once
+	realGen  *core.Synthesizer
+	realErr  error
+)
+
+func realSynth(t *testing.T) *core.Synthesizer {
+	t.Helper()
+	realOnce.Do(func() {
+		cfg := core.DefaultConfig()
+		cfg.Rows = 16
+		cfg.DownH = 2
+		cfg.DownW = 16
+		cfg.Hidden = 48
+		cfg.TimeSteps = 30
+		cfg.BaseSteps = 25
+		cfg.FineTuneSteps = 35
+		cfg.Batch = 8
+		cfg.DDIMSteps = 6
+		realGen, realErr = trainSynth(cfg, []string{"amazon", "teams"})
+	})
+	if realErr != nil {
+		t.Fatal(realErr)
+	}
+	return realGen
+}
+
+// TestServeRealSynthesizerContract is the network-boundary determinism
+// contract over a real checkpoint: seeded requests are byte-identical,
+// unseeded requests differ, and both formats decode.
+func TestServeRealSynthesizerContract(t *testing.T) {
+	s := New(realSynth(t), Config{Workers: 2, MaxBatch: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer shutdownServer(t, s)
+
+	code, a, hdr := post(t, ts.URL, `{"class":"amazon","count":2,"seed":9}`)
+	if code != http.StatusOK {
+		t.Fatalf("seeded request: %d %s", code, a)
+	}
+	if got := hdr.Get("X-Traced-Seed"); got != "9" {
+		t.Fatalf("X-Traced-Seed = %q, want 9", got)
+	}
+	if len(a) < 4 || binary.LittleEndian.Uint32(a[:4]) != pcap.MagicMicroseconds {
+		t.Fatal("response does not start with the pcap magic number")
+	}
+	rd, err := pcap.NewReader(bytes.NewReader(a))
+	if err != nil {
+		t.Fatalf("response is not a structurally valid pcap: %v", err)
+	}
+	recs, err := rd.ReadAll()
+	if err != nil || len(recs) == 0 {
+		t.Fatalf("pcap records: %d, err %v", len(recs), err)
+	}
+
+	_, b, _ := post(t, ts.URL, `{"class":"amazon","count":2,"seed":9}`)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two requests with the same seed returned different bodies")
+	}
+	_, c, _ := post(t, ts.URL, `{"class":"amazon","count":2,"seed":10}`)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds returned identical bodies")
+	}
+	_, u1, _ := post(t, ts.URL, `{"class":"amazon","count":2}`)
+	_, u2, _ := post(t, ts.URL, `{"class":"amazon","count":2}`)
+	if bytes.Equal(u1, u2) {
+		t.Fatal("two unseeded requests returned identical bodies")
+	}
+
+	code, csvBody, hdr := post(t, ts.URL, `{"class":"teams","seed":3,"format":"csv"}`)
+	if code != http.StatusOK {
+		t.Fatalf("csv request: %d %s", code, csvBody)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "text/csv" {
+		t.Fatalf("csv content type = %q", ct)
+	}
+	m, err := nprint.ReadCSV(bytes.NewReader(csvBody))
+	if err != nil || m.NumRows == 0 {
+		t.Fatalf("csv body did not parse as an nprint matrix: rows %d err %v", m.NumRows, err)
+	}
+}
+
+// TestServeConcurrentMixedClasses hammers a real-synthesizer server
+// with concurrent requests across classes and checks every response is
+// a valid pcap of the right size.
+func TestServeConcurrentMixedClasses(t *testing.T) {
+	s := New(realSynth(t), Config{Workers: 2, MaxBatch: 4, QueueDepth: 64})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer shutdownServer(t, s)
+
+	const n = 12
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			class := []string{"amazon", "teams"}[i%2]
+			code, body, _ := post(t, ts.URL, fmt.Sprintf(`{"class":%q,"seed":%d}`, class, 100+i))
+			if code != http.StatusOK {
+				errs[i] = fmt.Errorf("request %d: status %d body %q", i, code, body)
+				return
+			}
+			rd, err := pcap.NewReader(bytes.NewReader(body))
+			if err != nil {
+				errs[i] = fmt.Errorf("request %d: %v", i, err)
+				return
+			}
+			if recs, err := rd.ReadAll(); err != nil || len(recs) == 0 {
+				errs[i] = fmt.Errorf("request %d: %d records, err %v", i, len(recs), err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := metricsSnapshot(t, ts.URL)
+	if m["flows_generated_total"] < n {
+		t.Fatalf("flows_generated_total = %v, want >= %d", m["flows_generated_total"], n)
+	}
+}
