@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-json bench-serve serve-smoke verify-determinism fuzz experiments examples clean
+.PHONY: all build test vet lint race bench bench-json bench-gate bench-serve serve-smoke verify-determinism fuzz experiments examples clean
 
 all: build test
 
@@ -37,8 +37,29 @@ bench:
 BENCH_LABEL ?= local
 bench-json:
 	{ $(GO) test -run NONE -bench 'BenchmarkGenerationSpeed|BenchmarkDiffusionTrainStep|BenchmarkNprint' -benchmem -benchtime 2x . ; \
+	  $(GO) test -run NONE -bench 'BenchmarkSampleBatched' -benchmem ./internal/diffusion ; \
 	  $(GO) test -run NONE -bench . -benchmem ./internal/tensor ; } \
 	| $(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)" -out BENCH_kernels.json -append
+
+# Bench regression gate: re-run the end-to-end generation benches, the
+# batched sampler benches, and the tensor micro-benches; snapshot them
+# to a temp JSON; fail (non-zero) if any benchmark's ns/op regressed
+# more than BENCH_THRESHOLD against the committed BENCH_BASELINE run in
+# BENCH_kernels.json. Benchmarks present on only one side are skipped,
+# so adding a benchmark never trips the gate.
+# Default benchtime (not the 2x bench-json uses): the gate needs enough
+# iterations that run-to-run noise stays under the threshold. The
+# benchjson default threshold is 10%; the gate runs wider (25%) because
+# shared-CPU runners jitter sub-2ms micro-benches by ~±10% — tighten it
+# on a quiet box with BENCH_THRESHOLD=0.10.
+BENCH_BASELINE ?= post-PR4-batched
+BENCH_THRESHOLD ?= 0.25
+bench-gate:
+	{ $(GO) test -run NONE -bench 'BenchmarkGenerationSpeed' -benchmem . ; \
+	  $(GO) test -run NONE -bench 'BenchmarkSampleBatched' -benchmem ./internal/diffusion ; \
+	  $(GO) test -run NONE -bench . -benchmem ./internal/tensor ; } \
+	| $(GO) run ./cmd/benchjson -label gate-candidate -out /tmp/bench_gate.json
+	$(GO) run ./cmd/benchjson -compare -old-label "$(BENCH_BASELINE)" -threshold "$(BENCH_THRESHOLD)" BENCH_kernels.json /tmp/bench_gate.json
 
 # Serving throughput/latency snapshot: trains a tiny synthesizer, loads
 # it with concurrent HTTP requests through the full traced pipeline, and

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// This file implements `benchjson -compare old.json new.json`: the
+// bench regression gate. It pairs benchmarks between one run from each
+// snapshot and fails (non-zero exit) when any benchmark's ns/op grew
+// past the threshold — the check that would have caught PR 2's silent
+// end-to-end generation regression before it landed.
+
+// delta is one benchmark's before/after comparison.
+type delta struct {
+	Name       string
+	OldNs      float64
+	NewNs      float64
+	Regression bool
+}
+
+// findRun selects the run to compare from a snapshot: the latest run
+// with the given label, or the last run overall when label is empty.
+func findRun(doc *Doc, label string) (*Run, error) {
+	if len(doc.Runs) == 0 {
+		return nil, fmt.Errorf("snapshot has no runs")
+	}
+	if label == "" {
+		return &doc.Runs[len(doc.Runs)-1], nil
+	}
+	for i := len(doc.Runs) - 1; i >= 0; i-- {
+		if doc.Runs[i].Label == label {
+			return &doc.Runs[i], nil
+		}
+	}
+	return nil, fmt.Errorf("no run labeled %q", label)
+}
+
+// compareRuns pairs benchmarks by package+name and marks a regression
+// wherever the new ns/op exceeds the old by more than threshold
+// (0.10 = 10%). Benchmarks present in only one run are skipped: adding
+// or retiring a benchmark is not a regression.
+func compareRuns(oldRun, newRun *Run, threshold float64) []delta {
+	key := func(r *Result) string { return r.Package + "/" + r.Name }
+	old := make(map[string]*Result, len(oldRun.Results))
+	for i := range oldRun.Results {
+		old[key(&oldRun.Results[i])] = &oldRun.Results[i]
+	}
+	var out []delta
+	for i := range newRun.Results {
+		nr := &newRun.Results[i]
+		or, ok := old[key(nr)]
+		if !ok || !(or.NsPerOp > 0) {
+			continue
+		}
+		out = append(out, delta{
+			Name:       key(nr),
+			OldNs:      or.NsPerOp,
+			NewNs:      nr.NsPerOp,
+			Regression: nr.NsPerOp > or.NsPerOp*(1+threshold),
+		})
+	}
+	return out
+}
+
+// runCompare loads both snapshots, compares the selected runs, writes
+// a report to w, and reports whether the gate passes.
+func runCompare(oldPath, newPath, oldLabel, newLabel string, threshold float64, w io.Writer) (bool, error) {
+	load := func(path string) (*Doc, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		doc := &Doc{}
+		if err := json.Unmarshal(data, doc); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return doc, nil
+	}
+	oldDoc, err := load(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newDoc, err := load(newPath)
+	if err != nil {
+		return false, err
+	}
+	oldRun, err := findRun(oldDoc, oldLabel)
+	if err != nil {
+		return false, fmt.Errorf("%s: %w", oldPath, err)
+	}
+	newRun, err := findRun(newDoc, newLabel)
+	if err != nil {
+		return false, fmt.Errorf("%s: %w", newPath, err)
+	}
+	deltas := compareRuns(oldRun, newRun, threshold)
+	if len(deltas) == 0 {
+		return false, fmt.Errorf("no comparable benchmarks between %q and %q", oldRun.Label, newRun.Label)
+	}
+	if _, err := fmt.Fprintf(w, "comparing %q -> %q (threshold %+.0f%%)\n", oldRun.Label, newRun.Label, threshold*100); err != nil {
+		return false, err
+	}
+	ok := true
+	for _, d := range deltas {
+		change := (d.NewNs - d.OldNs) / d.OldNs * 100
+		mark := "ok"
+		if d.Regression {
+			mark = "REGRESSION"
+			ok = false
+		}
+		if _, err := fmt.Fprintf(w, "  %-60s %14.0f -> %14.0f ns/op  %+7.1f%%  %s\n",
+			d.Name, d.OldNs, d.NewNs, change, mark); err != nil {
+			return false, err
+		}
+	}
+	return ok, nil
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func baselineRun() Run {
+	return Run{Label: "baseline", Results: []Result{
+		{Name: "BenchmarkGenerationSpeedDDPM", Package: "trafficdiff", NsPerOp: 200_000_000},
+		{Name: "BenchmarkGenerationSpeedDDIM", Package: "trafficdiff", NsPerOp: 30_000_000},
+		{Name: "BenchmarkMatMul/8x2176x128", Package: "trafficdiff/internal/tensor", NsPerOp: 1_000_000},
+	}}
+}
+
+func TestCompareDetectsInjectedRegression(t *testing.T) {
+	old := baselineRun()
+	injected := Run{Label: "candidate", Results: []Result{
+		// 8% slower: inside the 10% threshold.
+		{Name: "BenchmarkGenerationSpeedDDPM", Package: "trafficdiff", NsPerOp: 216_000_000},
+		// 50% slower: the synthetic regression the gate must catch.
+		{Name: "BenchmarkGenerationSpeedDDIM", Package: "trafficdiff", NsPerOp: 45_000_000},
+		{Name: "BenchmarkMatMul/8x2176x128", Package: "trafficdiff/internal/tensor", NsPerOp: 900_000},
+	}}
+	deltas := compareRuns(&old, &injected, 0.10)
+	if len(deltas) != 3 {
+		t.Fatalf("compared %d benchmarks, want 3", len(deltas))
+	}
+	byName := map[string]delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if byName["trafficdiff/BenchmarkGenerationSpeedDDPM"].Regression {
+		t.Error("8%% slowdown flagged as regression at 10%% threshold")
+	}
+	if !byName["trafficdiff/BenchmarkGenerationSpeedDDIM"].Regression {
+		t.Error("50%% slowdown not flagged as regression")
+	}
+	if byName["trafficdiff/internal/tensor/BenchmarkMatMul/8x2176x128"].Regression {
+		t.Error("speedup flagged as regression")
+	}
+}
+
+func TestCompareSkipsUnpairedBenchmarks(t *testing.T) {
+	old := baselineRun()
+	next := Run{Label: "next", Results: []Result{
+		{Name: "BenchmarkGenerationSpeedDDPM", Package: "trafficdiff", NsPerOp: 190_000_000},
+		{Name: "BenchmarkBrandNew", Package: "trafficdiff", NsPerOp: 5},
+	}}
+	deltas := compareRuns(&old, &next, 0.10)
+	if len(deltas) != 1 {
+		t.Fatalf("compared %d benchmarks, want 1 (new benchmark must be skipped)", len(deltas))
+	}
+	if deltas[0].Name != "trafficdiff/BenchmarkGenerationSpeedDDPM" {
+		t.Fatalf("compared %q", deltas[0].Name)
+	}
+}
+
+func TestFindRunByLabelAndDefault(t *testing.T) {
+	doc := &Doc{Runs: []Run{
+		{Label: "a"}, {Label: "b"}, {Label: "a"},
+	}}
+	r, err := findRun(doc, "")
+	if err != nil || r != &doc.Runs[2] {
+		t.Fatalf("default run = %v, %v; want last", r, err)
+	}
+	r, err = findRun(doc, "b")
+	if err != nil || r.Label != "b" {
+		t.Fatalf("labeled run = %v, %v", r, err)
+	}
+	if _, err := findRun(doc, "missing"); err == nil {
+		t.Error("missing label should error")
+	}
+	if _, err := findRun(&Doc{}, ""); err == nil {
+		t.Error("empty doc should error")
+	}
+}
+
+// TestRunCompareEndToEnd exercises the file-level path `make
+// bench-gate` uses: a candidate snapshot with an injected regression
+// against a committed baseline must fail the gate; a clean candidate
+// must pass.
+func TestRunCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, doc Doc) string {
+		data, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := write("old.json", Doc{Runs: []Run{baselineRun()}})
+
+	slow := baselineRun()
+	slow.Label = "regressed"
+	slow.Results[1].NsPerOp *= 2
+	slowPath := write("slow.json", Doc{Runs: []Run{slow}})
+
+	var report strings.Builder
+	ok, err := runCompare(oldPath, slowPath, "", "", 0.10, &report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("gate passed despite 2x regression")
+	}
+	if !strings.Contains(report.String(), "REGRESSION") {
+		t.Errorf("report does not mark the regression:\n%s", report.String())
+	}
+
+	fast := baselineRun()
+	fast.Label = "improved"
+	for i := range fast.Results {
+		fast.Results[i].NsPerOp *= 0.9
+	}
+	fastPath := write("fast.json", Doc{Runs: []Run{fast}})
+	ok, err = runCompare(oldPath, fastPath, "", "", 0.10, &report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("gate failed on an across-the-board speedup")
+	}
+}

@@ -15,6 +15,16 @@
 // the record carries req/s, flows/s, and p50/p99 latency:
 //
 //	benchjson -suite serve -label post-PR -out BENCH_serve.json -append
+//
+// With -compare it becomes a regression gate instead of a recorder:
+//
+//	benchjson -compare old.json new.json [-threshold 0.10]
+//
+// pairs benchmarks between the latest run of each snapshot (or the
+// runs picked by -old-label/-new-label, which may address two runs in
+// one file) and exits non-zero when any ns/op regressed past the
+// threshold. `make bench-gate` wires this against the committed
+// baseline.
 package main
 
 import (
@@ -22,6 +32,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -58,7 +71,34 @@ func main() {
 	suite := flag.String("suite", "", "run a built-in suite instead of parsing stdin (serve)")
 	requests := flag.Int("requests", 64, "total requests for -suite serve")
 	clients := flag.Int("clients", 8, "concurrent clients for -suite serve")
+	compare := flag.Bool("compare", false, "compare two snapshots: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 0.10, "per-benchmark ns/op regression threshold for -compare")
+	oldLabel := flag.String("old-label", "", "run label to compare from (default: last run in old.json)")
+	newLabel := flag.String("new-label", "", "run label to compare to (default: last run in new.json)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("benchjson: pprof: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two snapshot paths")
+			os.Exit(2)
+		}
+		ok, err := runCompare(flag.Arg(0), flag.Arg(1), *oldLabel, *newLabel, *threshold, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 
 	var run *Run
 	var err error

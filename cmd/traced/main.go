@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -50,8 +52,16 @@ func main() {
 		maxFlows = flag.Int("max-flows", 64, "max flows per request")
 		seedBase = flag.Uint64("seed-base", 1, "seed base for requests without an explicit seed")
 		drain    = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget")
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
 	)
 	flag.Parse()
+	if *pprofA != "" {
+		// Separate listener from the API so profiling is never exposed
+		// on the serving address by accident.
+		go func() {
+			log.Printf("pprof: %v", http.ListenAndServe(*pprofA, nil))
+		}()
+	}
 	cfg := serve.Config{
 		QueueDepth:         *queue,
 		MaxBatch:           *maxBatch,

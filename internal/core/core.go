@@ -530,7 +530,10 @@ func (s *Synthesizer) GenerateWithFlowSeeds(class string, flowSeeds []uint64) (*
 // generate runs sampling plus post-processing for one class batch.
 // scfg carries N and the noise-seed layout; class/guidance/control are
 // filled in here. tsRNGs and starts give each flow its timestamp
-// stream and base time.
+// stream and base time. diffusion.Sample runs its batched-timestep
+// path — one denoiser forward per step over all n flows — so larger
+// batches amortize per-step costs while each flow's bytes stay a pure
+// function of its seed.
 func (s *Synthesizer) generate(ci int, class string, cfg Config, scfg diffusion.SampleConfig, tsRNGs []*stats.RNG, starts []time.Time) (*GenerateResult, error) {
 	n := scfg.N
 	scfg.Class = ci

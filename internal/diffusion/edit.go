@@ -57,14 +57,12 @@ func Inpaint(model Denoiser, sched *Schedule, cfg InpaintConfig) (*tensor.Tensor
 	if cfg.Control != nil {
 		control = cfg.Control.Reshape(1, 1, h, w)
 	}
-	predict := func(x *tensor.Tensor, t int) *tensor.Tensor {
-		return predictGuided(model, x, t, cfg.Class, cfg.GuidanceScale, control)
-	}
+	p := newPredictor(model.Forward, model.NullClass(), 1, cfg.Class, cfg.GuidanceScale, control, h, w)
 
 	x := tensor.New(1, 1, h, w).Randn(r, 1)
 	for t := sched.T - 1; t >= 0; t-- {
 		// Standard reverse step on the whole image.
-		stepDDPMInPlace(x, sched, t, r, predict)
+		stepDDPMInPlace(x, sched, t, r, p)
 		// Overwrite the known region with q(x_{t-1} | x_0^known).
 		abPrev := 1.0
 		if t > 0 {
@@ -126,56 +124,25 @@ func Translate(model Denoiser, sched *Schedule, cfg TranslateConfig) (*tensor.Te
 	if cfg.Control != nil {
 		control = cfg.Control.Reshape(1, 1, h, w)
 	}
-	predict := func(x *tensor.Tensor, t int) *tensor.Tensor {
-		return predictGuided(model, x, t, cfg.TargetClass, cfg.GuidanceScale, control)
-	}
+	p := newPredictor(model.Forward, model.NullClass(), 1, cfg.TargetClass, cfg.GuidanceScale, control, h, w)
 
 	// Forward-noise the source to step t0, then denoise.
 	x := tensor.New(1, 1, h, w)
-	sa := math.Sqrt(sched.AlphaBar[t0])
-	sn := math.Sqrt(1 - sched.AlphaBar[t0])
+	sa := sched.SqrtAlphaBar[t0]
+	sn := sched.SqrtOneMinusAlphaBar[t0]
 	for i := 0; i < d; i++ {
 		x.Data[i] = float32(sa*float64(cfg.Source.Data[i]) + sn*r.NormFloat64())
 	}
 	for t := t0; t >= 0; t-- {
-		stepDDPMInPlace(x, sched, t, r, predict)
+		stepDDPMInPlace(x, sched, t, r, p)
 	}
 	return x.Reshape(1, h, w), nil
 }
 
-// predictGuided runs one classifier-free-guided ε prediction for a
-// single-sample batch using the plain model forward (see predictOne).
-func predictGuided(model Denoiser, x *tensor.Tensor, t, class int, guidance float64, control *tensor.Tensor) *tensor.Tensor {
-	return predictOne(model.Forward, model.NullClass(), x, t, class, guidance, control)
-}
-
 // stepDDPMInPlace applies one reverse DDPM step (with x0 clipping) to
-// x at timestep t.
-func stepDDPMInPlace(x *tensor.Tensor, sched *Schedule, t int, r *stats.RNG, predict func(*tensor.Tensor, int) *tensor.Tensor) {
-	eps := predict(x, t)
-	ab := sched.AlphaBar[t]
-	abPrev := 1.0
-	if t > 0 {
-		abPrev = sched.AlphaBar[t-1]
-	}
-	beta := sched.Beta[t]
-	sqrtAB := math.Sqrt(ab)
-	sqrt1AB := math.Sqrt(1 - ab)
-	coefX0 := math.Sqrt(abPrev) * beta / (1 - ab)
-	coefXt := math.Sqrt(sched.Alpha[t]) * (1 - abPrev) / (1 - ab)
-	sigma := math.Sqrt(sched.PosteriorVar[t])
-	for i := range x.Data {
-		x0 := (float64(x.Data[i]) - sqrt1AB*float64(eps.Data[i])) / sqrtAB
-		if x0 > 1.5 {
-			x0 = 1.5
-		}
-		if x0 < -1.5 {
-			x0 = -1.5
-		}
-		mean := coefX0*x0 + coefXt*float64(x.Data[i])
-		if t > 0 {
-			mean += sigma * r.NormFloat64()
-		}
-		x.Data[i] = float32(mean)
-	}
+// x at timestep t, drawing noise from r.
+func stepDDPMInPlace(x *tensor.Tensor, sched *Schedule, t int, r *stats.RNG, p *predictor) {
+	eps := p.predict(x, t)
+	ddpmUpdate(x.Data, eps.Data, sched, t, r)
+	p.endStep()
 }

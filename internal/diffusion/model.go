@@ -102,14 +102,14 @@ func (m *MLPDenoiser) Forward(tp *nn.Tape, xt *nn.V, steps []int, class []int, c
 	d := m.H * m.W
 	x2 := tp.Reshape(xt, n, d)
 
-	tfeat := nn.NewV(nn.SinusoidalEmbedding(steps, timeEmbedDim))
+	tfeat := tp.TimeEmbed(steps, timeEmbedDim)
 	h := m.xProj.Apply(tp, x2)
 	temb := m.timeProj.Apply(tp, tfeat)
 	h = tp.Add(h, temb)
 	cemb := m.classEmb.Apply(tp, class)
 	h = tp.Add(h, cemb)
 	if control != nil {
-		ctrl := nn.NewV(control.Reshape(n, d).Clone())
+		ctrl := tp.Input(control.Reshape(n, d))
 		h = tp.Add(h, m.ctrlProj.Apply(tp, ctrl))
 	}
 	h = tp.SiLU(m.norm1.Apply(tp, h))
@@ -220,7 +220,7 @@ func (u *UNetDenoiser) Params() []*nn.V {
 // Forward implements Denoiser.
 func (u *UNetDenoiser) Forward(tp *nn.Tape, xt *nn.V, steps []int, class []int, control *tensor.Tensor) *nn.V {
 	// Conditioning embedding shared by all stages.
-	tfeat := nn.NewV(nn.SinusoidalEmbedding(steps, timeEmbedDim))
+	tfeat := tp.TimeEmbed(steps, timeEmbedDim)
 	temb := u.timeProj.Apply(tp, tfeat)
 	cemb := u.classEmb.Apply(tp, class)
 	emb := tp.SiLU(tp.Add(temb, cemb)) // [N, embHidden]
@@ -230,7 +230,7 @@ func (u *UNetDenoiser) Forward(tp *nn.Tape, xt *nn.V, steps []int, class []int, 
 	h := tp.SiLU(u.stem.Apply(tp, xt))  // [N,C,H,W]
 	h = tp.AddChannelBroadcast(h, embC) // inject conditioning
 	if control != nil {
-		c := nn.NewV(control.Clone())
+		c := tp.Input(control)
 		cf := tp.SiLU(u.ctrlStem.Apply(tp, c))
 		h = tp.Add(h, u.ctrlZero.Apply(tp, cf)) // zero conv: starts as no-op
 	}

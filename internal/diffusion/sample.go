@@ -2,7 +2,6 @@ package diffusion
 
 import (
 	"fmt"
-	"math"
 	"runtime"
 	"sync"
 
@@ -49,52 +48,86 @@ type ForwardFunc func(tp *nn.Tape, xt *nn.V, steps []int, class []int, control *
 
 // Sample draws cfg.N images [N,1,H,W] from the model under sched.
 //
-// Flows in a diffusion batch are statistically independent, so they are
-// sampled concurrently, one goroutine-pool task per flow. Each flow
-// owns a private RNG stream derived by Split() from the seed root —
-// all streams are derived sequentially BEFORE any worker starts, so the
-// draw sequence per flow is a pure function of (Seed, flow index) and
-// the output is bit-identical at GOMAXPROCS=1 and GOMAXPROCS=N.
+// The loop is step-serial and batch-wide: each timestep runs ONE
+// forward over all N flows, so the denoiser sees [N,·] tensors big
+// enough for the parallel kernel layer instead of N batch-1 calls
+// below its work threshold (the PR 2 end-to-end regression). The
+// DDPM/DDIM update is then applied per flow from that flow's private
+// RNG stream.
+//
+// Determinism: every kernel computes each output row with an
+// accumulation order independent of the batch's row count, so the
+// batched forward's row i is bit-identical to a batch-1 forward of
+// flow i, and each flow's noise draws come only from its own stream —
+// the output equals SampleLegacy's exactly (enforced by
+// TestBatchedMatchesLegacy) and, with FlowSeeds, stays a pure
+// function of each flow's seed regardless of batch composition or
+// GOMAXPROCS.
+//
+// Steady-state allocation: one reuse-enabled no-grad tape plus
+// persistent step/class/ε buffers live across all timesteps, so after
+// the first step the loop allocates only small tensor headers.
 func Sample(model Denoiser, sched *Schedule, cfg SampleConfig) (*tensor.Tensor, error) {
-	if cfg.N <= 0 {
-		return nil, fmt.Errorf("diffusion: sample N must be positive")
-	}
-	if len(cfg.FlowSeeds) != 0 && len(cfg.FlowSeeds) != cfg.N {
-		return nil, fmt.Errorf("diffusion: %d flow seeds for N=%d", len(cfg.FlowSeeds), cfg.N)
-	}
-	if cfg.Class < 0 || cfg.Class >= model.NullClass() {
-		return nil, fmt.Errorf("diffusion: class %d out of range [0,%d)", cfg.Class, model.NullClass())
+	forward, err := sampleSetup(model, cfg)
+	if err != nil {
+		return nil, err
 	}
 	h, w := model.Shape()
 	n, d := cfg.N, h*w
+	rngs := flowStreams(cfg)
 
-	forward := cfg.ExtraForward
-	if forward == nil {
-		forward = model.Forward
+	// Tile the shared control image across the batch once.
+	var control *tensor.Tensor
+	if cfg.Control != nil {
+		control = tensor.New(n, 1, h, w)
+		for i := 0; i < n; i++ {
+			copy(control.Data[i*d:(i+1)*d], cfg.Control.Data[:d])
+		}
 	}
+
+	p := newPredictor(forward, model.NullClass(), n, cfg.Class, cfg.GuidanceScale, control, h, w)
+
+	// x_T ~ N(0, I): each flow's initial noise comes from its own
+	// stream, preserving the per-flow draw sequence of the legacy
+	// per-flow path.
+	x := tensor.New(n, 1, h, w)
+	for i, r := range rngs {
+		seg := x.Data[i*d : (i+1)*d]
+		for j := range seg {
+			seg[j] = float32(r.NormFloat64())
+		}
+	}
+
+	if cfg.DDIMSteps > 0 && cfg.DDIMSteps < sched.T {
+		sampleDDIM(x, sched, cfg.DDIMSteps, p)
+	} else {
+		batchDDPM(x, sched, rngs, p)
+	}
+	return x, nil
+}
+
+// SampleLegacy draws cfg.N images with the pre-batching orchestration:
+// flow-parallel, step-serial, one goroutine-pool task per flow running
+// batch-1 forwards. It is retained as the reference implementation for
+// the batched path's bit-identity property test and as a fallback for
+// callers that want per-flow latency over batch throughput. Each
+// worker's tensor ops run under tensor.Serial: the pool already owns
+// the CPUs, and intra-kernel sharding on top of it only adds dispatch
+// overhead and contention.
+func SampleLegacy(model Denoiser, sched *Schedule, cfg SampleConfig) (*tensor.Tensor, error) {
+	forward, err := sampleSetup(model, cfg)
+	if err != nil {
+		return nil, err
+	}
+	h, w := model.Shape()
+	n, d := cfg.N, h*w
 	nullClass := model.NullClass()
+	rngs := flowStreams(cfg)
 
 	// Control is read-only during sampling and shared by all workers.
 	var control *tensor.Tensor
 	if cfg.Control != nil {
 		control = cfg.Control.Reshape(1, 1, h, w)
-	}
-
-	// One private stream per flow. With FlowSeeds each stream roots at
-	// its own seed; otherwise streams split off sequentially from the
-	// batch seed before any goroutine exists (same discipline as
-	// rf.Train). Either way the draw sequence per flow is fixed before
-	// workers start, so output is bit-identical at any GOMAXPROCS.
-	rngs := make([]*stats.RNG, n)
-	if len(cfg.FlowSeeds) != 0 {
-		for i := range rngs {
-			rngs[i] = stats.NewRNG(cfg.FlowSeeds[i])
-		}
-	} else {
-		root := stats.NewRNG(cfg.Seed)
-		for i := range rngs {
-			rngs[i] = root.Split()
-		}
 	}
 
 	out := tensor.New(n, 1, h, w)
@@ -106,89 +139,209 @@ func Sample(model Denoiser, sched *Schedule, cfg SampleConfig) (*tensor.Tensor, 
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			r := rngs[i]
-			x := sampleOne(forward, nullClass, sched, cfg, h, w, r, control)
-			copy(out.Data[i*d:(i+1)*d], x.Data)
+			tensor.Serial(func() {
+				x := sampleOne(forward, nullClass, sched, cfg, h, w, rngs[i], control)
+				copy(out.Data[i*d:(i+1)*d], x.Data)
+			})
 		}(i)
 	}
 	wg.Wait()
 	return out, nil
 }
 
-// sampleOne draws a single flow image [1,1,H,W] from its private RNG
-// stream.
-func sampleOne(forward ForwardFunc, nullClass int, sched *Schedule, cfg SampleConfig, h, w int, r *stats.RNG, control *tensor.Tensor) *tensor.Tensor {
-	predict := func(x *tensor.Tensor, t int) *tensor.Tensor {
-		return predictOne(forward, nullClass, x, t, cfg.Class, cfg.GuidanceScale, control)
+// sampleSetup validates cfg and resolves the forward function.
+func sampleSetup(model Denoiser, cfg SampleConfig) (ForwardFunc, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("diffusion: sample N must be positive")
 	}
+	if len(cfg.FlowSeeds) != 0 && len(cfg.FlowSeeds) != cfg.N {
+		return nil, fmt.Errorf("diffusion: %d flow seeds for N=%d", len(cfg.FlowSeeds), cfg.N)
+	}
+	if cfg.Class < 0 || cfg.Class >= model.NullClass() {
+		return nil, fmt.Errorf("diffusion: class %d out of range [0,%d)", cfg.Class, model.NullClass())
+	}
+	if cfg.ExtraForward != nil {
+		return cfg.ExtraForward, nil
+	}
+	return model.Forward, nil
+}
+
+// flowStreams builds one private RNG stream per flow. With FlowSeeds
+// each stream roots at its own seed; otherwise streams split off
+// sequentially from the batch seed (same discipline as rf.Train).
+// Either way the draw sequence per flow is fixed up front, so output
+// is bit-identical at any GOMAXPROCS and, with FlowSeeds, independent
+// of batch composition.
+func flowStreams(cfg SampleConfig) []*stats.RNG {
+	rngs := make([]*stats.RNG, cfg.N)
+	if len(cfg.FlowSeeds) != 0 {
+		for i := range rngs {
+			rngs[i] = stats.NewRNG(cfg.FlowSeeds[i])
+		}
+	} else {
+		root := stats.NewRNG(cfg.Seed)
+		for i := range rngs {
+			rngs[i] = root.Split()
+		}
+	}
+	return rngs
+}
+
+// predictor runs classifier-free-guided ε predictions for a fixed
+// batch shape. The tape (reuse-enabled, no-grad), the step/class index
+// slices and the guidance-combination buffer all persist across calls,
+// so the per-timestep steady state allocates no new float32 storage.
+// The guidance comparison is evaluated once here, not per step (it
+// previously ran through stats.ApproxEqual on every predictOne call).
+type predictor struct {
+	forward ForwardFunc
+	tp      *nn.Tape
+	control *tensor.Tensor
+	steps   []int
+	classC  []int
+	classU  []int
+	guided  bool
+	wg      float32
+	eps     *tensor.Tensor // combined guidance output [n,1,h,w]
+}
+
+func newPredictor(forward ForwardFunc, nullClass, n, class int, guidance float64, control *tensor.Tensor, h, w int) *predictor {
+	p := &predictor{
+		forward: forward,
+		tp:      nn.NewTape(),
+		control: control,
+		steps:   make([]int, n),
+		classC:  make([]int, n),
+		classU:  make([]int, n),
+	}
+	p.tp.EnableReuse()
+	p.tp.SetNoGrad(true)
+	for i := 0; i < n; i++ {
+		p.classC[i] = class
+		p.classU[i] = nullClass
+	}
+	p.guided = !stats.ApproxEqual(guidance, 1, 1e-9)
+	if p.guided {
+		p.wg = float32(guidance)
+		p.eps = tensor.New(n, 1, h, w)
+	}
+	return p
+}
+
+// predict returns ε for x at timestep t. The returned tensor is owned
+// by the predictor and valid only until endStep.
+func (p *predictor) predict(x *tensor.Tensor, t int) *tensor.Tensor {
+	for i := range p.steps {
+		p.steps[i] = t
+	}
+	tp := p.tp
+	epsC := p.forward(tp, tp.Input(x), p.steps, p.classC, p.control)
+	out := epsC.X
+	if p.guided {
+		epsU := p.forward(tp, tp.Input(x), p.steps, p.classU, p.control)
+		wg := p.wg
+		for i := range p.eps.Data {
+			p.eps.Data[i] = epsU.X.Data[i] + wg*(epsC.X.Data[i]-epsU.X.Data[i])
+		}
+		out = p.eps
+	}
+	tp.Reset()
+	return out
+}
+
+// endStep returns the step's tape storage to the arena. Call after the
+// ε from predict has been fully consumed.
+func (p *predictor) endStep() { p.tp.Recycle() }
+
+// sampleOne draws a single flow image [1,1,H,W] from its private RNG
+// stream (the legacy per-flow path).
+func sampleOne(forward ForwardFunc, nullClass int, sched *Schedule, cfg SampleConfig, h, w int, r *stats.RNG, control *tensor.Tensor) *tensor.Tensor {
+	p := newPredictor(forward, nullClass, 1, cfg.Class, cfg.GuidanceScale, control, h, w)
 	// x_T ~ N(0, I).
 	x := tensor.New(1, 1, h, w).Randn(r, 1)
 	if cfg.DDIMSteps > 0 && cfg.DDIMSteps < sched.T {
-		return sampleDDIM(x, sched, cfg.DDIMSteps, predict)
+		return sampleDDIM(x, sched, cfg.DDIMSteps, p)
 	}
-	return sampleDDPM(x, sched, r, predict)
+	return sampleDDPM(x, sched, r, p)
 }
 
-// predictOne runs one classifier-free-guided ε prediction for a
-// single-sample batch. Shared by the batch sampler and the editing
-// tasks (Inpaint, Translate).
-func predictOne(forward ForwardFunc, nullClass int, x *tensor.Tensor, t, class int, guidance float64, control *tensor.Tensor) *tensor.Tensor {
-	tp := nn.NewTape()
-	epsC := forward(tp, nn.NewV(x.Clone()), []int{t}, []int{class}, control)
-	var eps *tensor.Tensor
-	if !stats.ApproxEqual(guidance, 1, 1e-9) {
-		epsU := forward(tp, nn.NewV(x.Clone()), []int{t}, []int{nullClass}, control)
-		eps = tensor.New(x.Shape...)
-		wg := float32(guidance)
-		for i := range eps.Data {
-			eps.Data[i] = epsU.X.Data[i] + wg*(epsC.X.Data[i]-epsU.X.Data[i])
+// ddpmUpdate applies one reverse DDPM step (with x0 clipping) to one
+// flow's elements from its private stream, reading the precomputed
+// coefficient tables. The predicted x₀ is clipped to the data range
+// before computing the posterior mean ("clip_denoised"), which keeps
+// an imperfect denoiser from diverging over many steps.
+func ddpmUpdate(xd, ed []float32, sched *Schedule, t int, r *stats.RNG) {
+	sqrtAB := sched.SqrtAlphaBar[t]
+	sqrt1AB := sched.SqrtOneMinusAlphaBar[t]
+	coefX0 := sched.PosteriorCoefX0[t]
+	coefXt := sched.PosteriorCoefXt[t]
+	sigma := sched.PosteriorSigma[t]
+	for j := range xd {
+		x0 := (float64(xd[j]) - sqrt1AB*float64(ed[j])) / sqrtAB
+		if x0 > 1.5 {
+			x0 = 1.5
 		}
-	} else {
-		eps = epsC.X
+		if x0 < -1.5 {
+			x0 = -1.5
+		}
+		mean := coefX0*x0 + coefXt*float64(xd[j])
+		if t > 0 {
+			mean += sigma * r.NormFloat64()
+		}
+		xd[j] = float32(mean)
 	}
-	tp.Reset()
-	return eps
 }
 
-// sampleDDPM runs full ancestral sampling: T model evaluations. The
-// predicted x₀ is clipped to the data range before computing the
-// posterior mean ("clip_denoised"), which keeps an imperfect denoiser
-// from diverging over many steps.
-func sampleDDPM(x *tensor.Tensor, sched *Schedule, r *stats.RNG, predict func(*tensor.Tensor, int) *tensor.Tensor) *tensor.Tensor {
+// ddimUpdate applies one deterministic DDIM step (with x0 clipping) to
+// the elements of xd.
+func ddimUpdate(xd, ed []float32, c DDIMCoeff) {
+	for j := range xd {
+		x0 := (float64(xd[j]) - c.Sqrt1AB*float64(ed[j])) / c.SqrtAB
+		// Clip x0 to the data range to stabilize few-step sampling.
+		if x0 > 1.5 {
+			x0 = 1.5
+		}
+		if x0 < -1.5 {
+			x0 = -1.5
+		}
+		xd[j] = float32(c.SqrtABPrev*x0 + c.Sqrt1ABPrev*float64(ed[j]))
+	}
+}
+
+// batchDDPM runs full ancestral sampling over the whole batch: T
+// batched model evaluations, then a per-flow update from each flow's
+// own stream.
+func batchDDPM(x *tensor.Tensor, sched *Schedule, rngs []*stats.RNG, p *predictor) {
+	d := x.Len() / len(rngs)
 	for t := sched.T - 1; t >= 0; t-- {
-		stepDDPMInPlace(x, sched, t, r, predict)
+		eps := p.predict(x, t)
+		for i, r := range rngs {
+			ddpmUpdate(x.Data[i*d:(i+1)*d], eps.Data[i*d:(i+1)*d], sched, t, r)
+		}
+		p.endStep()
+	}
+}
+
+// sampleDDPM runs full ancestral sampling for one flow: T model
+// evaluations.
+func sampleDDPM(x *tensor.Tensor, sched *Schedule, r *stats.RNG, p *predictor) *tensor.Tensor {
+	for t := sched.T - 1; t >= 0; t-- {
+		stepDDPMInPlace(x, sched, t, r, p)
 	}
 	return x
 }
 
 // sampleDDIM runs deterministic DDIM over an evenly spaced subsequence
 // of steps — the standard inference-speed optimization for diffusion
-// models (paper §4 "generative speed").
-func sampleDDIM(x *tensor.Tensor, sched *Schedule, steps int, predict func(*tensor.Tensor, int) *tensor.Tensor) *tensor.Tensor {
-	seq := ddimSequence(sched.T, steps)
+// models (paper §4 "generative speed"). The update coefficients are
+// shared by every flow and DDIM draws no noise, so the same sweep
+// serves a one-flow x and a whole batch.
+func sampleDDIM(x *tensor.Tensor, sched *Schedule, steps int, p *predictor) *tensor.Tensor {
+	seq, coef := sched.DDIMTable(steps)
 	for i := len(seq) - 1; i >= 0; i-- {
-		t := seq[i]
-		eps := predict(x, t)
-		ab := sched.AlphaBar[t]
-		abPrev := 1.0
-		if i > 0 {
-			abPrev = sched.AlphaBar[seq[i-1]]
-		}
-		sqrtAB := math.Sqrt(ab)
-		sqrt1AB := math.Sqrt(1 - ab)
-		sqrtABp := math.Sqrt(abPrev)
-		sqrt1ABp := math.Sqrt(1 - abPrev)
-		for j := range x.Data {
-			x0 := (float64(x.Data[j]) - sqrt1AB*float64(eps.Data[j])) / sqrtAB
-			// Clip x0 to the data range to stabilize few-step sampling.
-			if x0 > 1.5 {
-				x0 = 1.5
-			}
-			if x0 < -1.5 {
-				x0 = -1.5
-			}
-			x.Data[j] = float32(sqrtABp*x0 + sqrt1ABp*float64(eps.Data[j]))
-		}
+		eps := p.predict(x, seq[i])
+		ddimUpdate(x.Data, eps.Data, coef[i])
+		p.endStep()
 	}
 	return x
 }
@@ -216,8 +369,8 @@ func ddimSequence(T, steps int) []int {
 // for tests and diagnostics.
 func ForwardNoise(sched *Schedule, x0 *tensor.Tensor, t int, r *stats.RNG) *tensor.Tensor {
 	out := tensor.New(x0.Shape...)
-	sa := math.Sqrt(sched.AlphaBar[t])
-	sn := math.Sqrt(1 - sched.AlphaBar[t])
+	sa := sched.SqrtAlphaBar[t]
+	sn := sched.SqrtOneMinusAlphaBar[t]
 	for i, v := range x0.Data {
 		out.Data[i] = float32(sa*float64(v) + sn*r.NormFloat64())
 	}

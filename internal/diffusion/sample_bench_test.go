@@ -1,0 +1,85 @@
+package diffusion
+
+import (
+	"testing"
+
+	"trafficdiff/internal/stats"
+	"trafficdiff/internal/tensor"
+)
+
+// benchModel matches the end-to-end generation benchmarks' denoiser
+// scale (hidden width 128, T=80) so per-step costs are comparable.
+func benchModel(b *testing.B) (*MLPDenoiser, *Schedule) {
+	b.Helper()
+	r := stats.NewRNG(21)
+	m := NewMLPDenoiser(r, 8, 16, 128, 2)
+	m.OutLayer().W.X.Randn(r, 0.05)
+	return m, NewSchedule(ScheduleCosine, 80)
+}
+
+// BenchmarkSampleBatchedDDPM measures the batched-timestep ancestral
+// sampler: one guided forward pair per step over the whole batch.
+func BenchmarkSampleBatchedDDPM(b *testing.B) {
+	model, sched := benchModel(b)
+	const n = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sample(model, sched, SampleConfig{
+			Class: 0, N: n, GuidanceScale: 2, Seed: uint64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "flows/s")
+}
+
+// BenchmarkSampleBatchedDDIM measures the batched few-step sampler
+// (10 DDIM steps — the paper's generative-speed configuration).
+func BenchmarkSampleBatchedDDIM(b *testing.B) {
+	model, sched := benchModel(b)
+	const n = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sample(model, sched, SampleConfig{
+			Class: 0, N: n, GuidanceScale: 2, DDIMSteps: 10, Seed: uint64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "flows/s")
+}
+
+// TestSampleSteadyStateAllocs asserts the sampler's inner step is
+// allocation-free up to small tensor headers: after one warm-up step
+// primes the tape arena, a full guided predict + per-flow update +
+// recycle must stay under a few dozen allocations (Reshape headers in
+// the denoiser forward). Before the workspace refactor a single step
+// cost thousands of allocations (fresh tape, clones, embeddings).
+func TestSampleSteadyStateAllocs(t *testing.T) {
+	r := stats.NewRNG(23)
+	h, w := 8, 16
+	model := NewMLPDenoiser(r, h, w, 128, 2)
+	sched := NewSchedule(ScheduleCosine, 80)
+	const n = 8
+	p := newPredictor(model.Forward, model.NullClass(), n, 0, 2, nil, h, w)
+	rngs := make([]*stats.RNG, n)
+	for i := range rngs {
+		rngs[i] = stats.NewRNG(uint64(i + 1))
+	}
+	x := tensor.New(n, 1, h, w).Randn(r, 1)
+	step := func(t int) {
+		eps := p.predict(x, t)
+		d := h * w
+		for i, rr := range rngs {
+			ddpmUpdate(x.Data[i*d:(i+1)*d], eps.Data[i*d:(i+1)*d], sched, t, rr)
+		}
+		p.endStep()
+	}
+	step(sched.T - 1) // warm the arena
+	avg := testing.AllocsPerRun(20, func() { step(40) })
+	if avg > 48 {
+		t.Errorf("steady-state step allocates %.1f times, want <= 48", avg)
+	}
+}

@@ -13,6 +13,7 @@ package diffusion
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // ScheduleKind selects the β noise schedule.
@@ -48,6 +49,70 @@ type Schedule struct {
 	// PosteriorVar is the DDPM reverse-process variance
 	// β̃_t = β_t (1-ᾱ_{t-1})/(1-ᾱ_t).
 	PosteriorVar []float64
+
+	// Per-step sampler coefficient tables, precomputed so the reverse
+	// loops do no math.Sqrt work per step. Each entry is computed with
+	// the exact float64 expression the samplers previously evaluated
+	// inline, so sampler outputs stay bit-identical.
+	SqrtAlphaBar         []float64 // √ᾱ_t
+	SqrtOneMinusAlphaBar []float64 // √(1-ᾱ_t)
+	PosteriorCoefX0      []float64 // √ᾱ_{t-1}·β_t/(1-ᾱ_t)
+	PosteriorCoefXt      []float64 // √α_t·(1-ᾱ_{t-1})/(1-ᾱ_t)
+	PosteriorSigma       []float64 // √β̃_t
+
+	// DDIM step plans, memoized per step count. Schedules are shared
+	// across concurrently sampling goroutines, hence the lock; the
+	// tables above are written once in NewSchedule and read-only after.
+	ddimMu    sync.Mutex
+	ddimPlans map[int]*ddimPlan
+}
+
+// ddimPlan is the precomputed step subsequence and per-step update
+// coefficients for a DDIM run with a fixed step count.
+type ddimPlan struct {
+	seq  []int
+	coef []DDIMCoeff
+}
+
+// DDIMCoeff holds the four coefficients of one DDIM update
+// x ← √ᾱ_prev·x̂₀ + √(1-ᾱ_prev)·ε with x̂₀ = (x - √(1-ᾱ)·ε)/√ᾱ.
+type DDIMCoeff struct {
+	SqrtAB      float64 // √ᾱ_t
+	Sqrt1AB     float64 // √(1-ᾱ_t)
+	SqrtABPrev  float64 // √ᾱ_prev (1 for the final step)
+	Sqrt1ABPrev float64 // √(1-ᾱ_prev)
+}
+
+// DDIMTable returns the step subsequence ddimSequence(T, steps)
+// produces plus the update coefficients for each position, computing
+// and memoizing them on first use. Callers must not mutate the
+// returned slices.
+func (s *Schedule) DDIMTable(steps int) ([]int, []DDIMCoeff) {
+	s.ddimMu.Lock()
+	defer s.ddimMu.Unlock()
+	if s.ddimPlans == nil {
+		s.ddimPlans = make(map[int]*ddimPlan)
+	}
+	if p, ok := s.ddimPlans[steps]; ok {
+		return p.seq, p.coef
+	}
+	seq := ddimSequence(s.T, steps)
+	coef := make([]DDIMCoeff, len(seq))
+	for i, t := range seq {
+		ab := s.AlphaBar[t]
+		abPrev := 1.0
+		if i > 0 {
+			abPrev = s.AlphaBar[seq[i-1]]
+		}
+		coef[i] = DDIMCoeff{
+			SqrtAB:      math.Sqrt(ab),
+			Sqrt1AB:     math.Sqrt(1 - ab),
+			SqrtABPrev:  math.Sqrt(abPrev),
+			Sqrt1ABPrev: math.Sqrt(1 - abPrev),
+		}
+	}
+	s.ddimPlans[steps] = &ddimPlan{seq: seq, coef: coef}
+	return seq, coef
 }
 
 // NewSchedule precomputes a schedule with T steps.
@@ -62,6 +127,12 @@ func NewSchedule(kind ScheduleKind, T int) *Schedule {
 		Alpha:        make([]float64, T),
 		AlphaBar:     make([]float64, T),
 		PosteriorVar: make([]float64, T),
+
+		SqrtAlphaBar:         make([]float64, T),
+		SqrtOneMinusAlphaBar: make([]float64, T),
+		PosteriorCoefX0:      make([]float64, T),
+		PosteriorCoefXt:      make([]float64, T),
+		PosteriorSigma:       make([]float64, T),
 	}
 	switch kind {
 	case ScheduleLinear:
@@ -116,6 +187,18 @@ func NewSchedule(kind ScheduleKind, T int) *Schedule {
 			prevBar = s.AlphaBar[t-1]
 		}
 		s.PosteriorVar[t] = s.Beta[t] * (1 - prevBar) / (1 - abar)
+	}
+	for t := 0; t < T; t++ {
+		ab := s.AlphaBar[t]
+		abPrev := 1.0
+		if t > 0 {
+			abPrev = s.AlphaBar[t-1]
+		}
+		s.SqrtAlphaBar[t] = math.Sqrt(ab)
+		s.SqrtOneMinusAlphaBar[t] = math.Sqrt(1 - ab)
+		s.PosteriorCoefX0[t] = math.Sqrt(abPrev) * s.Beta[t] / (1 - ab)
+		s.PosteriorCoefXt[t] = math.Sqrt(s.Alpha[t]) * (1 - abPrev) / (1 - ab)
+		s.PosteriorSigma[t] = math.Sqrt(s.PosteriorVar[t])
 	}
 	return s
 }

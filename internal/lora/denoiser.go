@@ -62,13 +62,15 @@ func (a *AdaptedMLP) Forward(tp *nn.Tape, xt *nn.V, steps []int, class []int, co
 	d := h * w
 	x2 := tp.Reshape(xt, n, d)
 
+	// One sinusoidal embedding feeds both the time projection and the
+	// gate (it was previously computed twice per forward).
+	tfeat := tp.TimeEmbed(steps, diffusion.TimeEmbedDim())
 	hv := a.XProj.Apply(tp, a.Base.XProjLayer(), x2)
-	temb := tp.Linear(nn.NewV(nn.SinusoidalEmbedding(steps, diffusion.TimeEmbedDim())),
-		a.Base.TimeProjLayer().W, a.Base.TimeProjLayer().B)
+	temb := tp.Linear(tfeat, a.Base.TimeProjLayer().W, a.Base.TimeProjLayer().B)
 	hv = tp.Add(hv, temb)
 	hv = tp.Add(hv, a.ClassEmb.Apply(tp, class))
 	if control != nil {
-		ctrl := nn.NewV(control.Reshape(n, d).Clone())
+		ctrl := tp.Input(control.Reshape(n, d))
 		hv = tp.Add(hv, a.Base.CtrlProjLayer().Apply(tp, ctrl))
 	}
 	hv = tp.SiLU(a.Base.Norm1Layer().Apply(tp, hv))
@@ -76,8 +78,6 @@ func (a *AdaptedMLP) Forward(tp *nn.Tape, xt *nn.V, steps []int, class []int, co
 	hv = tp.Add(hv, h2)
 	eps := a.Out.Apply(tp, a.Base.OutLayer(), hv)
 	// Mirror the base model's time-gated input skip (frozen gate).
-	gateL := a.Base.GateLayer()
-	tfeat := nn.NewV(nn.SinusoidalEmbedding(steps, diffusion.TimeEmbedDim()))
-	eps = tp.Add(eps, tp.MulScalarBroadcast(x2, gateL.Apply(tp, tfeat)))
+	eps = tp.Add(eps, tp.MulScalarBroadcast(x2, a.Base.GateLayer().Apply(tp, tfeat)))
 	return tp.Reshape(eps, n, 1, h, w)
 }

@@ -88,14 +88,30 @@ func (e *EmbeddingLayer) Params() []*V { return []*V{e.Table} }
 // is a fixed encoding, not a parameter.
 func SinusoidalEmbedding(steps []int, dim int) *tensor.Tensor {
 	out := tensor.New(len(steps), dim)
+	sinusoidalInto(out.Data, steps, dim)
+	return out
+}
+
+// sinusoidalInto fills data (len(steps)*dim, fully overwritten) with
+// the sinusoidal features SinusoidalEmbedding describes.
+func sinusoidalInto(data []float32, steps []int, dim int) {
 	half := dim / 2
 	for r, s := range steps {
 		for j := 0; j < half; j++ {
 			freq := math.Exp(-math.Log(10000) * float64(j) / float64(half))
 			angle := float64(s) * freq
-			out.Data[r*dim+j] = float32(math.Sin(angle))
-			out.Data[r*dim+half+j] = float32(math.Cos(angle))
+			data[r*dim+j] = float32(math.Sin(angle))
+			data[r*dim+half+j] = float32(math.Cos(angle))
 		}
 	}
-	return out
+}
+
+// TimeEmbed is SinusoidalEmbedding as a tape value: the encoding is
+// written into an arena-recycled buffer, so samplers that embed the
+// same batch shape every timestep stop allocating for it. The node is
+// a constant — no gradient flows from it.
+func (t *Tape) TimeEmbed(steps []int, dim int) *V {
+	v := t.alloc(len(steps), dim)
+	sinusoidalInto(v.X.Data, steps, dim)
+	return v
 }

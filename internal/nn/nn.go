@@ -39,13 +39,35 @@ func (v *V) ZeroGrad() { v.G.Zero() }
 // enabled (EnableReuse) it also owns an arena of output tensors:
 // training loops whose shapes repeat every step can run Recycle()
 // after the optimizer step to return all tape-allocated values to the
-// pool instead of garbage-collecting them.
+// pool instead of garbage-collecting them. With no-grad mode on
+// (SetNoGrad) ops compute values only — no backward closures are
+// built, which makes a reuse-enabled tape's steady state essentially
+// allocation-free for inference loops whose shapes repeat every step
+// (the batched diffusion sampler).
 type Tape struct {
 	steps []func()
+
+	nograd bool
 
 	reuse bool
 	free  map[int][]*V // recycled values keyed by element count
 	taken []*V         // values handed out since the last Recycle
+	// scratch float32 buffers (activation caches like SiLU's sigmoid
+	// values) recycle through the same lifecycle as values.
+	sfree  map[int][][]float32
+	staken [][]float32
+	// view headers (Reshape results) recycle likewise: a reshape
+	// shares storage, so only its V/Tensor headers need pooling.
+	vfree  []*viewV
+	vtaken []*viewV
+}
+
+// viewV owns the headers of one pooled Reshape result: the V plus the
+// two Tensor headers it points at. The storage they view belongs to
+// the reshaped value.
+type viewV struct {
+	v      V
+	xt, gt tensor.Tensor
 }
 
 // NewTape returns an empty tape.
@@ -59,11 +81,28 @@ func (t *Tape) EnableReuse() {
 	t.reuse = true
 	if t.free == nil {
 		t.free = make(map[int][]*V)
+		t.sfree = make(map[int][][]float32)
 	}
 }
 
+// SetNoGrad toggles forward-only mode: while on, ops skip recording
+// backward closures (and skip building the captures they would need),
+// so Backward must not be called on values produced under it. Forward
+// values are unaffected — a no-grad pass is bit-identical to a normal
+// one. Samplers flip this on once and keep the tape for the whole
+// reverse process.
+func (t *Tape) SetNoGrad(on bool) { t.nograd = on }
+
+// grad reports whether ops should record backward closures. Each op
+// guards its closure construction with this so no-grad passes do not
+// pay the closure allocations.
+func (t *Tape) grad() bool { return !t.nograd }
+
 // alloc returns a zeroed graph value of the given shape, reusing a
-// recycled buffer of the same element count when the arena is on.
+// recycled buffer of the same element count when the arena is on. When
+// the recycled buffer's shape already matches (the steady state of a
+// loop with fixed shapes), the value is handed back as-is with no new
+// header allocations.
 func (t *Tape) alloc(shape ...int) *V {
 	if !t.reuse {
 		return NewV(tensor.New(shape...))
@@ -77,7 +116,10 @@ func (t *Tape) alloc(shape ...int) *V {
 		t.free[n] = vs[:len(vs)-1]
 		base.X.Zero()
 		base.G.Zero()
-		v := &V{X: base.X.Reshape(shape...), G: base.G.Reshape(shape...)}
+		v := base
+		if !shapeEq(base.X.Shape, shape) {
+			v = &V{X: base.X.Reshape(shape...), G: base.G.Reshape(shape...)}
+		}
 		t.taken = append(t.taken, v)
 		return v
 	}
@@ -86,12 +128,49 @@ func (t *Tape) alloc(shape ...int) *V {
 	return v
 }
 
+// shapeEq reports whether a tensor shape equals the requested dims.
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// scratch returns a float32 buffer of length n from the arena (or a
+// fresh one when reuse is off). The caller must fully overwrite it —
+// recycled buffers keep their old contents.
+func (t *Tape) scratch(n int) []float32 {
+	if !t.reuse {
+		return make([]float32, n)
+	}
+	if bs := t.sfree[n]; len(bs) > 0 {
+		b := bs[len(bs)-1]
+		t.sfree[n] = bs[:len(bs)-1]
+		t.staken = append(t.staken, b)
+		return b
+	}
+	b := make([]float32, n)
+	t.staken = append(t.staken, b)
+	return b
+}
+
 // cloneV allocates via the arena and copies src into the value.
 func (t *Tape) cloneV(src *tensor.Tensor) *V {
 	v := t.alloc(src.Shape...)
 	copy(v.X.Data, src.Data)
 	return v
 }
+
+// Input copies x into a tape-owned value: the graph node for a
+// constant network input (a control image, a fixed embedding). Unlike
+// NewV it participates in the arena, so loops that feed the same-shape
+// input every step stop allocating for it after the first step.
+func (t *Tape) Input(x *tensor.Tensor) *V { return t.cloneV(x) }
 
 // adopt wraps a tensor allocated elsewhere (e.g. by a fused kernel) as
 // a tape value so its storage still enters the arena on Recycle.
@@ -114,6 +193,12 @@ func (t *Tape) Recycle() {
 		t.free[n] = append(t.free[n], v)
 	}
 	t.taken = t.taken[:0]
+	for _, b := range t.staken {
+		t.sfree[len(b)] = append(t.sfree[len(b)], b)
+	}
+	t.staken = t.staken[:0]
+	t.vfree = append(t.vfree, t.vtaken...)
+	t.vtaken = t.vtaken[:0]
 }
 
 // record appends a backward closure.
@@ -143,10 +228,12 @@ func (t *Tape) Add(a, b *V) *V {
 	}
 	out := t.cloneV(a.X)
 	out.X.AddInto(b.X)
-	t.record(func() {
-		a.G.AddInto(out.G)
-		b.G.AddInto(out.G)
-	})
+	if t.grad() {
+		t.record(func() {
+			a.G.AddInto(out.G)
+			b.G.AddInto(out.G)
+		})
+	}
 	return out
 }
 
@@ -159,12 +246,14 @@ func (t *Tape) Sub(a, b *V) *V {
 	for i, v := range b.X.Data {
 		out.X.Data[i] -= v
 	}
-	t.record(func() {
-		a.G.AddInto(out.G)
-		for i, g := range out.G.Data {
-			b.G.Data[i] -= g
-		}
-	})
+	if t.grad() {
+		t.record(func() {
+			a.G.AddInto(out.G)
+			for i, g := range out.G.Data {
+				b.G.Data[i] -= g
+			}
+		})
+	}
 	return out
 }
 
@@ -177,12 +266,14 @@ func (t *Tape) Mul(a, b *V) *V {
 	for i := range out.X.Data {
 		out.X.Data[i] = a.X.Data[i] * b.X.Data[i]
 	}
-	t.record(func() {
-		for i, g := range out.G.Data {
-			a.G.Data[i] += g * b.X.Data[i]
-			b.G.Data[i] += g * a.X.Data[i]
-		}
-	})
+	if t.grad() {
+		t.record(func() {
+			for i, g := range out.G.Data {
+				a.G.Data[i] += g * b.X.Data[i]
+				b.G.Data[i] += g * a.X.Data[i]
+			}
+		})
+	}
 	return out
 }
 
@@ -192,11 +283,13 @@ func (t *Tape) Scale(a *V, s float32) *V {
 	for i, v := range a.X.Data {
 		out.X.Data[i] = s * v
 	}
-	t.record(func() {
-		for i, g := range out.G.Data {
-			a.G.Data[i] += s * g
-		}
-	})
+	if t.grad() {
+		t.record(func() {
+			for i, g := range out.G.Data {
+				a.G.Data[i] += s * g
+			}
+		})
+	}
 	return out
 }
 
@@ -206,15 +299,42 @@ func (t *Tape) AddConst(a *V, c float32) *V {
 	for i, v := range a.X.Data {
 		out.X.Data[i] = v + c
 	}
-	t.record(func() { a.G.AddInto(out.G) })
+	if t.grad() {
+		t.record(func() { a.G.AddInto(out.G) })
+	}
 	return out
 }
 
 // Reshape returns a view of a with a new shape. The gradient flows
-// back through the same view.
+// back through the same view (shared storage: no tape step needed).
+// With reuse on, the view's headers come from the tape's pool, so a
+// steady-state loop pays no header allocations for reshapes.
 func (t *Tape) Reshape(a *V, shape ...int) *V {
-	out := &V{X: a.X.Reshape(shape...), G: a.G.Reshape(shape...)}
-	return out // shared storage: no tape step needed
+	if !t.reuse {
+		return &V{X: a.X.Reshape(shape...), G: a.G.Reshape(shape...)}
+	}
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != a.X.Len() {
+		panic(fmt.Sprintf("tensor: reshape %v -> %v", a.X.Shape, shape))
+	}
+	var w *viewV
+	if len(t.vfree) > 0 {
+		w = t.vfree[len(t.vfree)-1]
+		t.vfree = t.vfree[:len(t.vfree)-1]
+	} else {
+		w = &viewV{}
+	}
+	t.vtaken = append(t.vtaken, w)
+	// X and G share one shape slice; shapes are read-only by convention.
+	w.xt.Shape = append(w.xt.Shape[:0], shape...)
+	w.xt.Data = a.X.Data
+	w.gt.Shape = w.xt.Shape
+	w.gt.Data = a.G.Data
+	w.v.X, w.v.G = &w.xt, &w.gt
+	return &w.v
 }
 
 // Concat0 concatenates along axis 0 (rows) for 2-D values with equal
@@ -227,15 +347,17 @@ func (t *Tape) Concat0(a, b *V) *V {
 	out := t.alloc(rows, a.X.Shape[1])
 	copy(out.X.Data, a.X.Data)
 	copy(out.X.Data[len(a.X.Data):], b.X.Data)
-	t.record(func() {
-		for i := range a.G.Data {
-			a.G.Data[i] += out.G.Data[i]
-		}
-		off := len(a.G.Data)
-		for i := range b.G.Data {
-			b.G.Data[i] += out.G.Data[off+i]
-		}
-	})
+	if t.grad() {
+		t.record(func() {
+			for i := range a.G.Data {
+				a.G.Data[i] += out.G.Data[i]
+			}
+			off := len(a.G.Data)
+			for i := range b.G.Data {
+				b.G.Data[i] += out.G.Data[off+i]
+			}
+		})
+	}
 	return out
 }
 
@@ -243,11 +365,13 @@ func (t *Tape) Concat0(a, b *V) *V {
 func (t *Tape) MatMul(a, b *V) *V {
 	out := t.alloc(a.X.Shape[0], b.X.Shape[1])
 	tensor.MatMulInto(out.X, a.X, b.X)
-	t.record(func() {
-		// da = dout·bᵀ ; db = aᵀ·dout
-		a.G.AddInto(tensor.MatMulABT(out.G, b.X))
-		b.G.AddInto(tensor.MatMulATB(a.X, out.G))
-	})
+	if t.grad() {
+		t.record(func() {
+			// da = dout·bᵀ ; db = aᵀ·dout
+			a.G.AddInto(tensor.MatMulABT(out.G, b.X))
+			b.G.AddInto(tensor.MatMulATB(a.X, out.G))
+		})
+	}
 	return out
 }
 
@@ -266,17 +390,19 @@ func (t *Tape) Linear(x, w, bias *V) *V {
 			row[o] += bias.X.Data[o]
 		}
 	}
-	t.record(func() {
-		// dx = dout·w ; dw = doutᵀ·x ; db = column sums of dout
-		x.G.AddInto(tensor.MatMul(out.G, w.X))
-		w.G.AddInto(tensor.MatMulATB(out.G, x.X))
-		for r := 0; r < n; r++ {
-			row := out.G.Data[r*outDim:]
-			for o := 0; o < outDim; o++ {
-				bias.G.Data[o] += row[o]
+	if t.grad() {
+		t.record(func() {
+			// dx = dout·w ; dw = doutᵀ·x ; db = column sums of dout
+			x.G.AddInto(tensor.MatMul(out.G, w.X))
+			w.G.AddInto(tensor.MatMulATB(out.G, x.X))
+			for r := 0; r < n; r++ {
+				row := out.G.Data[r*outDim:]
+				for o := 0; o < outDim; o++ {
+					bias.G.Data[o] += row[o]
+				}
 			}
-		}
-	})
+		})
+	}
 	return out
 }
 
@@ -293,15 +419,17 @@ func (t *Tape) AddRowBroadcast(a, b *V) *V {
 			row[j] += b.X.Data[j]
 		}
 	}
-	t.record(func() {
-		a.G.AddInto(out.G)
-		for r := 0; r < n; r++ {
-			row := out.G.Data[r*d:]
-			for j := 0; j < d; j++ {
-				b.G.Data[j] += row[j]
+	if t.grad() {
+		t.record(func() {
+			a.G.AddInto(out.G)
+			for r := 0; r < n; r++ {
+				row := out.G.Data[r*d:]
+				for j := 0; j < d; j++ {
+					b.G.Data[j] += row[j]
+				}
 			}
-		}
-	})
+		})
+	}
 	return out
 }
 
@@ -323,18 +451,20 @@ func (t *Tape) AddChannelBroadcast(a, b *V) *V {
 			}
 		}
 	}
-	t.record(func() {
-		a.G.AddInto(out.G)
-		for i := 0; i < n; i++ {
-			for ch := 0; ch < c; ch++ {
-				seg := out.G.Data[(i*c+ch)*spatial : (i*c+ch+1)*spatial]
-				var sum float32
-				for _, g := range seg {
-					sum += g
+	if t.grad() {
+		t.record(func() {
+			a.G.AddInto(out.G)
+			for i := 0; i < n; i++ {
+				for ch := 0; ch < c; ch++ {
+					seg := out.G.Data[(i*c+ch)*spatial : (i*c+ch+1)*spatial]
+					var sum float32
+					for _, g := range seg {
+						sum += g
+					}
+					b.G.Data[i*c+ch] += sum
 				}
-				b.G.Data[i*c+ch] += sum
 			}
-		}
-	})
+		})
+	}
 	return out
 }

@@ -9,19 +9,21 @@ import (
 // SiLU applies x*sigmoid(x) elementwise (the denoiser's activation).
 func (t *Tape) SiLU(a *V) *V {
 	out := t.alloc(a.X.Shape...)
-	sig := make([]float32, len(a.X.Data))
+	sig := t.scratch(len(a.X.Data))
 	for i, v := range a.X.Data {
 		s := float32(1 / (1 + math.Exp(-float64(v))))
 		sig[i] = s
 		out.X.Data[i] = v * s
 	}
-	t.record(func() {
-		for i, g := range out.G.Data {
-			s := sig[i]
-			v := a.X.Data[i]
-			a.G.Data[i] += g * (s + v*s*(1-s))
-		}
-	})
+	if t.grad() {
+		t.record(func() {
+			for i, g := range out.G.Data {
+				s := sig[i]
+				v := a.X.Data[i]
+				a.G.Data[i] += g * (s + v*s*(1-s))
+			}
+		})
+	}
 	return out
 }
 
@@ -31,12 +33,14 @@ func (t *Tape) Tanh(a *V) *V {
 	for i, v := range a.X.Data {
 		out.X.Data[i] = float32(math.Tanh(float64(v)))
 	}
-	t.record(func() {
-		for i, g := range out.G.Data {
-			y := out.X.Data[i]
-			a.G.Data[i] += g * (1 - y*y)
-		}
-	})
+	if t.grad() {
+		t.record(func() {
+			for i, g := range out.G.Data {
+				y := out.X.Data[i]
+				a.G.Data[i] += g * (1 - y*y)
+			}
+		})
+	}
 	return out
 }
 
@@ -46,12 +50,14 @@ func (t *Tape) Sigmoid(a *V) *V {
 	for i, v := range a.X.Data {
 		out.X.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
 	}
-	t.record(func() {
-		for i, g := range out.G.Data {
-			y := out.X.Data[i]
-			a.G.Data[i] += g * y * (1 - y)
-		}
-	})
+	if t.grad() {
+		t.record(func() {
+			for i, g := range out.G.Data {
+				y := out.X.Data[i]
+				a.G.Data[i] += g * y * (1 - y)
+			}
+		})
+	}
 	return out
 }
 
@@ -65,15 +71,17 @@ func (t *Tape) LeakyReLU(a *V, alpha float32) *V {
 			out.X.Data[i] = alpha * v
 		}
 	}
-	t.record(func() {
-		for i, g := range out.G.Data {
-			if a.X.Data[i] >= 0 {
-				a.G.Data[i] += g
-			} else {
-				a.G.Data[i] += alpha * g
+	if t.grad() {
+		t.record(func() {
+			for i, g := range out.G.Data {
+				if a.X.Data[i] >= 0 {
+					a.G.Data[i] += g
+				} else {
+					a.G.Data[i] += alpha * g
+				}
 			}
-		}
-	})
+		})
+	}
 	return out
 }
 
@@ -83,8 +91,8 @@ func (t *Tape) LayerNorm(x, gamma, beta *V) *V {
 	n, d := x.X.Shape[0], x.X.Shape[1]
 	const eps = 1e-5
 	out := t.alloc(n, d)
-	xhat := make([]float32, n*d)
-	invStd := make([]float32, n)
+	xhat := t.scratch(n * d)
+	invStd := t.scratch(n)
 	for r := 0; r < n; r++ {
 		row := x.X.Data[r*d : (r+1)*d]
 		var mean float64
@@ -105,25 +113,27 @@ func (t *Tape) LayerNorm(x, gamma, beta *V) *V {
 			out.X.Data[r*d+j] = h*gamma.X.Data[j] + beta.X.Data[j]
 		}
 	}
-	t.record(func() {
-		for r := 0; r < n; r++ {
-			var sumG, sumGH float32
-			gRow := out.G.Data[r*d : (r+1)*d]
-			for j, g := range gRow {
-				gg := g * gamma.X.Data[j]
-				sumG += gg
-				sumGH += gg * xhat[r*d+j]
-				gamma.G.Data[j] += g * xhat[r*d+j]
-				beta.G.Data[j] += g
+	if t.grad() {
+		t.record(func() {
+			for r := 0; r < n; r++ {
+				var sumG, sumGH float32
+				gRow := out.G.Data[r*d : (r+1)*d]
+				for j, g := range gRow {
+					gg := g * gamma.X.Data[j]
+					sumG += gg
+					sumGH += gg * xhat[r*d+j]
+					gamma.G.Data[j] += g * xhat[r*d+j]
+					beta.G.Data[j] += g
+				}
+				is := invStd[r]
+				for j, g := range gRow {
+					gg := g * gamma.X.Data[j]
+					h := xhat[r*d+j]
+					x.G.Data[r*d+j] += is * (gg - sumG/float32(d) - h*sumGH/float32(d))
+				}
 			}
-			is := invStd[r]
-			for j, g := range gRow {
-				gg := g * gamma.X.Data[j]
-				h := xhat[r*d+j]
-				x.G.Data[r*d+j] += is * (gg - sumG/float32(d) - h*sumGH/float32(d))
-			}
-		}
-	})
+		})
+	}
 	return out
 }
 
@@ -133,12 +143,14 @@ func (t *Tape) Conv2D(x, w, b *V, s tensor.ConvSpec) *V {
 	n, h, wd := x.X.Shape[0], x.X.Shape[2], x.X.Shape[3]
 	y, cols := tensor.Conv2D(x.X, w.X, b.X, s)
 	out := t.adopt(y)
-	t.record(func() {
-		dx, dw, db := tensor.Conv2DBackward(out.G, cols, w.X, s, n, h, wd)
-		x.G.AddInto(dx)
-		w.G.AddInto(dw)
-		b.G.AddInto(db)
-	})
+	if t.grad() {
+		t.record(func() {
+			dx, dw, db := tensor.Conv2DBackward(out.G, cols, w.X, s, n, h, wd)
+			x.G.AddInto(dx)
+			w.G.AddInto(dw)
+			b.G.AddInto(db)
+		})
+	}
 	return out
 }
 
@@ -156,17 +168,19 @@ func (t *Tape) UpsampleNearest2x(x *V) *V {
 			}
 		}
 	}
-	t.record(func() {
-		for i := 0; i < n*c; i++ {
-			dg := out.G.Data[i*4*h*w:]
-			sg := x.G.Data[i*h*w:]
-			for y := 0; y < 2*h; y++ {
-				for xx := 0; xx < 2*w; xx++ {
-					sg[(y/2)*w+xx/2] += dg[y*2*w+xx]
+	if t.grad() {
+		t.record(func() {
+			for i := 0; i < n*c; i++ {
+				dg := out.G.Data[i*4*h*w:]
+				sg := x.G.Data[i*h*w:]
+				for y := 0; y < 2*h; y++ {
+					for xx := 0; xx < 2*w; xx++ {
+						sg[(y/2)*w+xx/2] += dg[y*2*w+xx]
+					}
 				}
 			}
-		}
-	})
+		})
+	}
 	return out
 }
 
@@ -178,17 +192,19 @@ func (t *Tape) Gather(table *V, idx []int) *V {
 	for r, id := range idx {
 		copy(out.X.Data[r*d:(r+1)*d], table.X.Data[id*d:(id+1)*d])
 	}
-	// Capture a copy: callers may reuse their index slice.
-	ids := append([]int(nil), idx...)
-	t.record(func() {
-		for r, id := range ids {
-			dst := table.G.Data[id*d : (id+1)*d]
-			src := out.G.Data[r*d : (r+1)*d]
-			for j := range dst {
-				dst[j] += src[j]
+	if t.grad() {
+		// Capture a copy: callers may reuse their index slice.
+		ids := append([]int(nil), idx...)
+		t.record(func() {
+			for r, id := range ids {
+				dst := table.G.Data[id*d : (id+1)*d]
+				src := out.G.Data[r*d : (r+1)*d]
+				for j := range dst {
+					dst[j] += src[j]
+				}
 			}
-		}
-	})
+		})
+	}
 	return out
 }
 
@@ -201,12 +217,14 @@ func (t *Tape) Mean(a *V) *V {
 	}
 	n := float32(len(a.X.Data))
 	out.X.Data[0] = float32(sum) / n
-	t.record(func() {
-		g := out.G.Data[0] / n
-		for i := range a.G.Data {
-			a.G.Data[i] += g
-		}
-	})
+	if t.grad() {
+		t.record(func() {
+			g := out.G.Data[0] / n
+			for i := range a.G.Data {
+				a.G.Data[i] += g
+			}
+		})
+	}
 	return out
 }
 
@@ -224,12 +242,14 @@ func (t *Tape) MSE(pred *V, target *tensor.Tensor) *V {
 	}
 	n := float32(len(pred.X.Data))
 	out.X.Data[0] = float32(sum) / n
-	t.record(func() {
-		g := out.G.Data[0] * 2 / n
-		for i := range pred.G.Data {
-			pred.G.Data[i] += g * (pred.X.Data[i] - target.Data[i])
-		}
-	})
+	if t.grad() {
+		t.record(func() {
+			g := out.G.Data[0] * 2 / n
+			for i := range pred.G.Data {
+				pred.G.Data[i] += g * (pred.X.Data[i] - target.Data[i])
+			}
+		})
+	}
 	return out
 }
 
@@ -248,13 +268,15 @@ func (t *Tape) BCEWithLogits(logits *V, target *tensor.Tensor) *V {
 	}
 	n := float32(len(logits.X.Data))
 	out.X.Data[0] = float32(sum) / n
-	t.record(func() {
-		g := out.G.Data[0] / n
-		for i, z := range logits.X.Data {
-			s := float32(1 / (1 + math.Exp(-float64(z))))
-			logits.G.Data[i] += g * (s - target.Data[i])
-		}
-	})
+	if t.grad() {
+		t.record(func() {
+			g := out.G.Data[0] / n
+			for i, z := range logits.X.Data {
+				s := float32(1 / (1 + math.Exp(-float64(z))))
+				logits.G.Data[i] += g * (s - target.Data[i])
+			}
+		})
+	}
 	return out
 }
 
@@ -274,18 +296,20 @@ func (t *Tape) MulScalarBroadcast(a, s *V) *V {
 			dst[j] = v * sv
 		}
 	}
-	t.record(func() {
-		for r := 0; r < n; r++ {
-			sv := s.X.Data[r]
-			var acc float32
-			for j := 0; j < d; j++ {
-				g := out.G.Data[r*d+j]
-				a.G.Data[r*d+j] += g * sv
-				acc += g * a.X.Data[r*d+j]
+	if t.grad() {
+		t.record(func() {
+			for r := 0; r < n; r++ {
+				sv := s.X.Data[r]
+				var acc float32
+				for j := 0; j < d; j++ {
+					g := out.G.Data[r*d+j]
+					a.G.Data[r*d+j] += g * sv
+					acc += g * a.X.Data[r*d+j]
+				}
+				s.G.Data[r] += acc
 			}
-			s.G.Data[r] += acc
-		}
-	})
+		})
+	}
 	return out
 }
 
@@ -308,20 +332,22 @@ func (t *Tape) MulChannelBroadcast(a, b *V) *V {
 			}
 		}
 	}
-	t.record(func() {
-		for i := 0; i < n; i++ {
-			for ch := 0; ch < c; ch++ {
-				bv := b.X.Data[i*c+ch]
-				var acc float32
-				for j := 0; j < spatial; j++ {
-					g := out.G.Data[(i*c+ch)*spatial+j]
-					a.G.Data[(i*c+ch)*spatial+j] += g * bv
-					acc += g * a.X.Data[(i*c+ch)*spatial+j]
+	if t.grad() {
+		t.record(func() {
+			for i := 0; i < n; i++ {
+				for ch := 0; ch < c; ch++ {
+					bv := b.X.Data[i*c+ch]
+					var acc float32
+					for j := 0; j < spatial; j++ {
+						g := out.G.Data[(i*c+ch)*spatial+j]
+						a.G.Data[(i*c+ch)*spatial+j] += g * bv
+						acc += g * a.X.Data[(i*c+ch)*spatial+j]
+					}
+					b.G.Data[i*c+ch] += acc
 				}
-				b.G.Data[i*c+ch] += acc
 			}
-		}
-	})
+		})
+	}
 	return out
 }
 
@@ -334,13 +360,15 @@ func (t *Tape) Transpose2D(a *V) *V {
 			out.X.Data[j*m+i] = a.X.Data[i*n+j]
 		}
 	}
-	t.record(func() {
-		for i := 0; i < m; i++ {
-			for j := 0; j < n; j++ {
-				a.G.Data[i*n+j] += out.G.Data[j*m+i]
+	if t.grad() {
+		t.record(func() {
+			for i := 0; i < m; i++ {
+				for j := 0; j < n; j++ {
+					a.G.Data[i*n+j] += out.G.Data[j*m+i]
+				}
 			}
-		}
-	})
+		})
+	}
 	return out
 }
 
@@ -369,20 +397,22 @@ func (t *Tape) SoftmaxRows(a *V) *V {
 			dst[j] *= inv
 		}
 	}
-	t.record(func() {
-		for i := 0; i < m; i++ {
-			y := out.X.Data[i*n : (i+1)*n]
-			gy := out.G.Data[i*n : (i+1)*n]
-			var dot float32
-			for j := range y {
-				dot += y[j] * gy[j]
+	if t.grad() {
+		t.record(func() {
+			for i := 0; i < m; i++ {
+				y := out.X.Data[i*n : (i+1)*n]
+				gy := out.G.Data[i*n : (i+1)*n]
+				var dot float32
+				for j := range y {
+					dot += y[j] * gy[j]
+				}
+				ga := a.G.Data[i*n : (i+1)*n]
+				for j := range y {
+					ga[j] += y[j] * (gy[j] - dot)
+				}
 			}
-			ga := a.G.Data[i*n : (i+1)*n]
-			for j := range y {
-				ga[j] += y[j] * (gy[j] - dot)
-			}
-		}
-	})
+		})
+	}
 	return out
 }
 
@@ -395,11 +425,13 @@ func (t *Tape) SliceRows(a *V, lo, hi int) *V {
 	}
 	out := t.alloc(hi-lo, d)
 	copy(out.X.Data, a.X.Data[lo*d:hi*d])
-	t.record(func() {
-		dst := a.G.Data[lo*d : hi*d]
-		for i, g := range out.G.Data {
-			dst[i] += g
-		}
-	})
+	if t.grad() {
+		t.record(func() {
+			dst := a.G.Data[lo*d : hi*d]
+			for i, g := range out.G.Data {
+				dst[i] += g
+			}
+		})
+	}
 	return out
 }

@@ -2,7 +2,10 @@ package serve
 
 // batch is a group of same-class requests executed as one sampling
 // call. Flow seeds make each request's slice of the batch independent
-// of its neighbours, so grouping is purely a throughput decision.
+// of its neighbours, so grouping is purely a throughput decision — and
+// since the sampler runs one batched denoiser forward per timestep,
+// every request merged here widens that forward's matrices instead of
+// queuing another serial pass, which is where coalescing pays off.
 type batch struct {
 	class string
 	reqs  []*request

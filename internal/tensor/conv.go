@@ -31,7 +31,7 @@ func Im2Col(x *Tensor, s ConvSpec) *Tensor {
 	rowLen := c * s.KH * s.KW
 	cols := New(rows, rowLen)
 	kernel := func(lo, hi int) { im2colRows(cols.Data, x.Data, s, c, h, w, oh, ow, lo, hi) }
-	if rows*rowLen < minParallelWork || workers() <= 1 {
+	if !parallelOK(rows * rowLen) {
 		kernel(0, rows)
 	} else {
 		shard(rows, kernel)
@@ -76,7 +76,7 @@ func Col2Im(cols *Tensor, s ConvSpec, n, h, w int) *Tensor {
 	oh, ow := s.OutSize(h, w)
 	x := New(n, c, h, w)
 	kernel := func(blo, bhi int) { col2imBatches(x.Data, cols.Data, s, c, h, w, oh, ow, blo, bhi) }
-	if n*oh*ow*c*s.KH*s.KW < minParallelWork || workers() <= 1 || n == 1 {
+	if !parallelOK(n*oh*ow*c*s.KH*s.KW) || n == 1 {
 		kernel(0, n)
 	} else {
 		shard(n, kernel)
@@ -135,7 +135,7 @@ func Conv2D(x, w, b *Tensor, s ConvSpec) (y, cols *Tensor) {
 	kernel := func(lo, hi int) {
 		convEpilogueRows(y.Data, cols.Data, w.Data, b.Data, s.OutC, spatial, rowLen, lo, hi)
 	}
-	if rows*s.OutC*rowLen < minParallelWork || workers() <= 1 {
+	if !parallelOK(rows * s.OutC * rowLen) {
 		kernel(0, rows)
 	} else {
 		shard(rows, kernel)
@@ -181,7 +181,7 @@ func Conv2DBackward(dy, cols, w *Tensor, s ConvSpec, n, h, wd int) (dx, dw, db *
 			}
 		}
 	}
-	if n*s.OutC*spatial < minParallelWork || workers() <= 1 {
+	if !parallelOK(n * s.OutC * spatial) {
 		relayout(0, n)
 	} else {
 		shard(n, relayout)

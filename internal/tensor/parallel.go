@@ -3,6 +3,7 @@ package tensor
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // This file is the parallel kernel layer: every heavy kernel (matrix
@@ -34,9 +35,33 @@ const kBlock = 256
 // workers returns the shard count for parallel kernels.
 func workers() int { return runtime.GOMAXPROCS(0) }
 
+// serialDepth counts active serial regions: explicit Serial() calls
+// plus kernels currently executing sharded workers. While it is
+// non-zero, dispatch runs every kernel on the calling goroutine —
+// code that is already inside a parallel region (a shard worker, or a
+// caller-owned worker pool wrapped in Serial) never spawns a second
+// layer of goroutines to contend with the first. The flag is advisory
+// and process-wide; it changes only how work is scheduled, never what
+// any kernel computes, so results stay bit-identical either way.
+var serialDepth atomic.Int32
+
+// Serial runs fn with the parallel kernel layer disabled: every tensor
+// kernel invoked while any Serial region is active executes on its
+// calling goroutine. Wrap the per-item body of a caller-owned worker
+// pool in Serial when each item's tensor ops are small — the pool
+// already saturates the CPUs, and intra-kernel sharding on top of it
+// only adds dispatch overhead and contention (the PR 2 regression).
+func Serial(fn func()) {
+	serialDepth.Add(1)
+	defer serialDepth.Add(-1)
+	fn()
+}
+
 // shard splits [0, n) into one contiguous block per worker and runs fn
 // on each block concurrently, blocking until all complete. fn must
-// write only state owned by its block.
+// write only state owned by its block. While workers run, nested
+// kernel calls (e.g. a fused epilogue invoking a matmul) see a
+// non-zero serialDepth and stay on their worker goroutine.
 func shard(n int, fn func(lo, hi int)) {
 	w := workers()
 	if w > n {
@@ -46,6 +71,8 @@ func shard(n int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
+	serialDepth.Add(1)
+	defer serialDepth.Add(-1)
 	chunk := (n + w - 1) / w
 	var wg sync.WaitGroup
 	for lo := 0; lo < n; lo += chunk {
@@ -62,13 +89,22 @@ func shard(n int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
+// parallelOK reports whether a kernel costing work multiply-adds
+// should shard: the op is large enough to amortize goroutine dispatch,
+// more than one worker exists, and no Serial region or enclosing
+// sharded kernel is active.
+func parallelOK(work int) bool {
+	return work >= minParallelWork && workers() > 1 && serialDepth.Load() == 0
+}
+
 // dispatch runs a kernel over an output of rows x cols elements costing
-// work multiply-adds: serially when small, sharded over rows when there
+// work multiply-adds: serially when small (or when a Serial region /
+// enclosing sharded kernel is active), sharded over rows when there
 // are enough of them to feed every worker, and sharded over columns
 // otherwise (the batch-1 inference shape: one row, wide output). Both
 // kernels must produce bit-identical elements; only the split differs.
 func dispatch(work, rows, cols int, rowKernel, colKernel func(lo, hi int)) {
-	if work < minParallelWork || workers() <= 1 {
+	if !parallelOK(work) {
 		rowKernel(0, rows)
 		return
 	}

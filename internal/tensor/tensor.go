@@ -131,6 +131,12 @@ func MatMulInto(c, a, b *Tensor) {
 	if c.Shape[0] != m || c.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: matmul out %v, want [%d %d]", c.Shape, m, n))
 	}
+	// Serial fast path before any closure is built: the kernel closure
+	// pair heap-allocates, which an inference loop pays every step.
+	if !parallelOK(m * k * n) {
+		matmulRows(c.Data, a.Data, b.Data, 0, m, k, n)
+		return
+	}
 	dispatch(m*k*n, m, n,
 		func(lo, hi int) { matmulRows(c.Data, a.Data, b.Data, lo, hi, k, n) },
 		func(lo, hi int) { matmulCols(c.Data, a.Data, b.Data, m, k, n, lo, hi) })
@@ -153,6 +159,10 @@ func MatMulATBInto(c, a, b *Tensor) {
 	}
 	if c.Shape[0] != m || c.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: matmulATB out %v, want [%d %d]", c.Shape, m, n))
+	}
+	if !parallelOK(m * k * n) {
+		matmulATBRows(c.Data, a.Data, b.Data, 0, m, k, m, n)
+		return
 	}
 	dispatch(m*k*n, m, n,
 		func(lo, hi int) { matmulATBRows(c.Data, a.Data, b.Data, lo, hi, k, m, n) },
@@ -177,6 +187,10 @@ func MatMulABTInto(c, a, b *Tensor) {
 	}
 	if c.Shape[0] != m || c.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: matmulABT out %v, want [%d %d]", c.Shape, m, n))
+	}
+	if !parallelOK(m * k * n) {
+		matmulABTRows(c.Data, a.Data, b.Data, 0, m, k, n)
+		return
 	}
 	dispatch(m*k*n, m, n,
 		func(lo, hi int) { matmulABTRows(c.Data, a.Data, b.Data, lo, hi, k, n) },
