@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-json bench-gate bench-serve serve-smoke verify-determinism fuzz experiments examples clean
+.PHONY: all build test vet lint race bench bench-json bench-gate bench-serve serve-smoke resume-smoke verify-determinism fuzz experiments examples clean
 
 all: build test
 
@@ -73,14 +73,25 @@ bench-serve:
 serve-smoke:
 	$(GO) test -run TestServeEndToEnd -count=1 -v .
 
+# Crash-safety smoke test over the real binary: tracegen is SIGKILLed
+# after its first mid-run training checkpoint, restarted with -resume,
+# and must emit synthetic pcaps byte-identical to an uninterrupted run.
+resume-smoke:
+	$(GO) test -run TestResumeEndToEnd -count=1 -v .
+
 # End-to-end determinism guard: the tiny Table 2 experiment must print
-# byte-identical output at GOMAXPROCS=1 and GOMAXPROCS=4.
+# byte-identical output at GOMAXPROCS=1 and GOMAXPROCS=4, and the
+# kill-at-step-k resume property must hold across every combination of
+# kill step, batch size, EMA mode and LoRA/full-training mode.
 verify-determinism:
 	$(GO) build -o /tmp/traceval-det ./cmd/traceval
 	GOMAXPROCS=1 /tmp/traceval-det -fast table2 > /tmp/det_p1.txt
 	GOMAXPROCS=4 /tmp/traceval-det -fast table2 > /tmp/det_p4.txt
 	diff /tmp/det_p1.txt /tmp/det_p4.txt
 	@echo "determinism OK: GOMAXPROCS=1 and 4 outputs identical"
+	$(GO) test -run 'TestTrainerResumeBitIdentity' -count=1 ./internal/diffusion
+	$(GO) test -run 'TestFineTuneResumeEquivalence|TestCheckpointedTrainingMatchesPlain' -count=1 ./internal/core
+	@echo "determinism OK: resumed training is bit-identical to uninterrupted training"
 
 # Short fuzzing pass over the binary-format decoders.
 fuzz:

@@ -13,6 +13,12 @@
 // one 1088-bit row (it does not split by flow; use tracegen for
 // per-flow datasets). The reverse direction back-transforms rows into
 // replayable packets with recomputed lengths and checksums.
+//
+// Reconstructed packets are stamped starting from a fixed epoch
+// (2024-01-01T00:00:00Z, the same base timestamp the synthesis
+// pipeline uses) so converting the same input twice yields
+// byte-identical pcaps — the repo-wide determinism contract. Use
+// -epoch to override the base timestamp (RFC3339).
 package main
 
 import (
@@ -35,17 +41,27 @@ func main() {
 	in := flag.String("in", "", "input file (.pcap or .csv)")
 	out := flag.String("out", "", "output file (.csv, .png or .pcap)")
 	maxPkts := flag.Int("max", nprint.MaxPacketsPerFlow, "maximum packets to convert")
+	epochIn := flag.String("epoch", defaultEpoch, "base RFC3339 timestamp stamped on reconstructed packets")
 	flag.Parse()
 	if *in == "" || *out == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *out, *maxPkts); err != nil {
+	epoch, err := time.Parse(time.RFC3339, *epochIn)
+	if err != nil {
+		log.Fatalf("invalid -epoch %q: %v", *epochIn, err)
+	}
+	if err := run(*in, *out, *maxPkts, epoch); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(in, out string, maxPkts int) error {
+// defaultEpoch is the fixed base timestamp for reconstructed packets.
+// A wall-clock default (the old time.Now().UTC()) made the same
+// conversion produce different pcaps on every invocation.
+const defaultEpoch = "2024-01-01T00:00:00Z"
+
+func run(in, out string, maxPkts int, epoch time.Time) error {
 	switch filepath.Ext(in) {
 	case ".pcap":
 		m, err := pcapToMatrix(in, maxPkts)
@@ -85,7 +101,7 @@ func run(in, out string, maxPkts int) error {
 			return err
 		}
 		pkts, skipped, err := nprint.ToPackets(m, nprint.DecodeOptions{
-			Repair: true, Start: time.Now().UTC(), Interval: time.Millisecond,
+			Repair: true, Start: epoch, Interval: time.Millisecond,
 		})
 		if err != nil {
 			return err

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"trafficdiff/internal/packet"
+	"trafficdiff/internal/pcap"
+)
+
+// writeTestPcap writes a small capture of TCP packets.
+func writeTestPcap(t *testing.T, path string) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w, err := pcap.NewWriter(f, pcap.LinkTypeEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Date(2023, 11, 28, 10, 0, 0, 0, time.UTC)
+	var b packet.Builder
+	for i := 0; i < 3; i++ {
+		ip := packet.IPv4{TTL: 64, SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 0, 0, 2}, ID: uint16(40 + i)}
+		tcp := packet.TCP{SrcPort: 443, DstPort: 50123, Seq: uint32(100 * i), Flags: packet.FlagACK, Window: 29200}
+		p := b.BuildTCP(ts.Add(time.Duration(i)*time.Millisecond), ip, tcp, make([]byte, i))
+		if err := w.WritePacket(p.Timestamp, p.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRunDeterministicEpoch is the regression test for the
+// time.Now().UTC() bug: converting the same CSV twice must yield
+// byte-identical pcaps, and the first reconstructed packet must carry
+// the fixed default epoch rather than the wall clock.
+func TestRunDeterministicEpoch(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.pcap")
+	csv := filepath.Join(dir, "flow.csv")
+	writeTestPcap(t, in)
+
+	epoch, err := time.Parse(time.RFC3339, defaultEpoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, csv, 0, epoch); err != nil {
+		t.Fatal(err)
+	}
+
+	outA := filepath.Join(dir, "a.pcap")
+	outB := filepath.Join(dir, "b.pcap")
+	if err := run(csv, outA, 0, epoch); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(csv, outB, 0, epoch); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(outA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(outB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("converting the same CSV twice produced different pcaps")
+	}
+
+	// The first reconstructed packet is stamped with the epoch itself.
+	f, err := os.Open(outA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := pcap.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("reconstructed %d packets, want 3", len(recs))
+	}
+	if !recs[0].Timestamp.Equal(epoch) {
+		t.Fatalf("first packet stamped %v, want %v", recs[0].Timestamp, epoch)
+	}
+}
+
+// TestRunCustomEpoch checks that -epoch moves the reconstructed
+// timestamps.
+func TestRunCustomEpoch(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.pcap")
+	csv := filepath.Join(dir, "flow.csv")
+	out := filepath.Join(dir, "out.pcap")
+	writeTestPcap(t, in)
+
+	custom := time.Date(2030, 6, 15, 12, 0, 0, 0, time.UTC)
+	if err := run(in, csv, 0, custom); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(csv, out, 0, custom); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := pcap.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || !recs[0].Timestamp.Equal(custom) {
+		t.Fatalf("custom epoch not applied: first packet at %v", recs[0].Timestamp)
+	}
+}

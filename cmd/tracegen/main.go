@@ -25,6 +25,22 @@
 // -save (alias -save-model) writes the checkpoint with Synthesizer.Save;
 // -load-model resumes from one instead of training, so the same
 // checkpoint replays identically in batch and serving mode.
+//
+// # Crash-safe training
+//
+// -checkpoint-every K writes an atomic mid-run training checkpoint
+// (optimizer moments, EMA shadow, RNG position, loss curve) every K
+// steps, and -resume continues a killed run from it — bit-identically
+// to a run that was never interrupted:
+//
+//	tracegen -classes amazon,teams -checkpoint-every 25 -out synthetic
+//	# ...killed mid-train...
+//	tracegen -classes amazon,teams -checkpoint-every 25 -out synthetic \
+//	    -resume synthetic/train.ckpt
+//
+// The resume run must use the same data and model flags; a mismatched
+// config is refused. -progress-every N logs loss/grad-norm/steps per
+// second during training.
 package main
 
 import (
@@ -63,6 +79,10 @@ func main() {
 		loadModel = flag.String("load-model", "", "load a saved synthesizer instead of training")
 		anonKey   = flag.String("anonymize-key", "", "prefix-preservingly anonymize real pcaps with this key")
 		stateful  = flag.Bool("stateful-repair", false, "rewrite generated TCP flows into valid conversations")
+		ckptPath  = flag.String("checkpoint", "", "mid-run training checkpoint path (default <out>/train.ckpt when checkpointing is on)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "write a crash-safe training checkpoint every K steps (0 disables)")
+		resume    = flag.String("resume", "", "resume fine-tuning from a mid-run checkpoint (requires the same data flags as the original run)")
+		progressN = flag.Int("progress-every", 25, "log training progress every N steps (0 disables)")
 	)
 	flag.StringVar(saveModel, "save", "", "alias for -save-model")
 	flag.Parse()
@@ -76,6 +96,7 @@ func main() {
 		generator: *generator, seed: *seed, rows: *rows, steps: *steps,
 		keepReal: *keepReal, saveModel: *saveModel, loadModel: *loadModel,
 		anonKey: *anonKey, stateful: *stateful,
+		ckptPath: *ckptPath, ckptEvery: *ckptEvery, resume: *resume, progressN: *progressN,
 	}
 	if err := run(opts); err != nil {
 		log.Fatal(err)
@@ -96,6 +117,10 @@ type runOpts struct {
 	loadModel string
 	anonKey   string
 	stateful  bool
+	ckptPath  string
+	ckptEvery int
+	resume    string
+	progressN int
 }
 
 func run(o runOpts) error {
@@ -165,8 +190,28 @@ func run(o runOpts) error {
 			if err != nil {
 				return err
 			}
+			ft := core.FineTuneOptions{
+				CheckpointEvery: o.ckptEvery,
+				ResumeFrom:      o.resume,
+				Progress:        progressLogger(o.progressN),
+			}
+			// Checkpointing turns on whenever an interval or a resume
+			// source is given; the file defaults next to the outputs.
+			if o.ckptEvery > 0 || o.resume != "" {
+				ft.CheckpointPath = o.ckptPath
+				if ft.CheckpointPath == "" {
+					if o.resume != "" {
+						ft.CheckpointPath = o.resume
+					} else {
+						ft.CheckpointPath = filepath.Join(outDir, "train.ckpt")
+					}
+				}
+			}
+			if o.resume != "" {
+				log.Printf("resuming fine-tune from %s", o.resume)
+			}
 			log.Printf("fine-tuning diffusion pipeline on %d flows (%d classes)...", len(ds.Flows), len(classes))
-			report, err := synth.FineTune(byClass)
+			report, err := synth.FineTuneWithOptions(byClass, ft)
 			if err != nil {
 				return err
 			}
@@ -283,6 +328,22 @@ func writeNetflowCSV(path string, feats [][]float64, labels []int, micro *eval.L
 		fmt.Fprintln(&b)
 	}
 	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// progressLogger returns a FineTune progress hook that logs loss,
+// gradient norm and step rate every n steps plus at each phase's last
+// step; n <= 0 disables logging.
+func progressLogger(n int) func(core.TrainProgress) {
+	if n <= 0 {
+		return nil
+	}
+	return func(p core.TrainProgress) {
+		if (p.Step+1)%n != 0 && p.Step+1 != p.TotalSteps {
+			return
+		}
+		log.Printf("%s step %d/%d: loss %.4f, grad norm %.3f, %.1f steps/s",
+			p.Phase, p.Step+1, p.TotalSteps, p.Loss, p.GradNorm, p.StepsPerSec)
+	}
 }
 
 func logLossCurve(name string, losses []float64) {

@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -31,6 +32,7 @@ import (
 	"trafficdiff/internal/heuristic"
 	"trafficdiff/internal/imagerep"
 	"trafficdiff/internal/lora"
+	"trafficdiff/internal/nn"
 	"trafficdiff/internal/nprint"
 	"trafficdiff/internal/packet"
 	"trafficdiff/internal/stats"
@@ -249,10 +251,54 @@ func (s *Synthesizer) EncodeFlow(f *flow.Flow) (*tensor.Tensor, error) {
 	return tensor.FromSlice(down.Pix, 1, down.H, down.W), nil
 }
 
+// TrainProgress is the per-step fine-tuning report passed to a
+// FineTuneOptions.Progress hook.
+type TrainProgress struct {
+	// Phase is "base" during base-model training and "finetune" during
+	// LoRA adapter training.
+	Phase string
+	// Step is the 0-based step just completed within the phase;
+	// TotalSteps is the phase's step budget.
+	Step, TotalSteps int
+	Loss, GradNorm   float64
+	StepsPerSec      float64
+}
+
+// FineTuneOptions controls crash-safety and observability of a
+// fine-tuning run. The zero value trains exactly like FineTune always
+// has: no checkpoints, no resume, no progress reports.
+type FineTuneOptions struct {
+	// CheckpointPath, when non-empty, periodically writes a crash-safe
+	// mid-run training checkpoint to this path (atomic
+	// write-temp-then-rename), every CheckpointEvery steps and once at
+	// each phase boundary. A run killed at any step can be resumed
+	// from the file with ResumeFrom and will converge to bit-identical
+	// final weights.
+	CheckpointPath string
+	// CheckpointEvery is the step interval between checkpoints; values
+	// <= 0 default to 50.
+	CheckpointEvery int
+	// ResumeFrom, when non-empty, restores the mid-run checkpoint at
+	// this path and continues training from its captured step. The
+	// synthesizer must have been built with the same config and
+	// classes, and the training flows must be the same.
+	ResumeFrom string
+	// Progress, when non-nil, is called after every optimizer step.
+	// Reporting-only: it does not affect the training trajectory or
+	// checkpoint bytes.
+	Progress func(TrainProgress)
+}
+
 // FineTune trains the pipeline on labeled flows. Every class in the
 // vocabulary must have at least one flow (its one-shot ControlNet
 // template comes from the first).
 func (s *Synthesizer) FineTune(flowsByClass map[string][]*flow.Flow) (*TrainReport, error) {
+	return s.FineTuneWithOptions(flowsByClass, FineTuneOptions{})
+}
+
+// FineTuneWithOptions is FineTune with crash-safe checkpointing,
+// resume, and per-step progress reporting. See FineTuneOptions.
+func (s *Synthesizer) FineTuneWithOptions(flowsByClass map[string][]*flow.Flow, opts FineTuneOptions) (*TrainReport, error) {
 	// Per-class preparation (template derivation, control tensors, flow
 	// encoding, gap fitting) touches only that class's flows, so classes
 	// fan out across a worker pool into indexed slots; the merge below
@@ -338,35 +384,61 @@ func (s *Synthesizer) FineTune(flowsByClass map[string][]*flow.Flow) (*TrainRepo
 		controls = s.controls
 	}
 
-	if s.cfg.Arch == ArchUNet {
-		losses, err := diffusion.Train(s.unet, s.sched, set, diffusion.TrainConfig{
+	// A resume checkpoint's envelope decides which phase the trainer
+	// state belongs to; the shared reader is then handed to exactly
+	// that phase's trainer. Completed earlier phases are skipped —
+	// their effect on the weights is part of the checkpoint.
+	var env *trainEnvelope
+	var resumeR io.Reader
+	if opts.ResumeFrom != "" {
+		e, br, closeCkpt, err := openTrainCheckpoint(opts.ResumeFrom)
+		if err != nil {
+			return nil, err
+		}
+		defer closeCkpt()
+		if err := s.validateResume(e); err != nil {
+			return nil, err
+		}
+		env, resumeR = e, br
+	}
+	phaseRestore := func(phase int) io.Reader {
+		if env != nil && env.Phase == phase {
+			return resumeR
+		}
+		return nil
+	}
+
+	if s.cfg.Arch == ArchUNet || !s.cfg.UseLoRA {
+		model := diffusion.Denoiser(s.base)
+		if s.cfg.Arch == ArchUNet {
+			model = s.unet
+		}
+		losses, err := s.trainPhase(model, set, diffusion.TrainConfig{
 			Steps: s.cfg.BaseSteps + s.cfg.FineTuneSteps, Batch: s.cfg.Batch,
 			LR: s.cfg.LR, DropCond: s.cfg.DropCond, ClipNorm: s.cfg.ClipNorm,
 			Seed: s.cfg.Seed + 1, Controls: controls, EMADecay: s.cfg.EMADecay,
-		})
+		}, phaseBase, "base", nil, opts, phaseRestore(phaseBase))
 		report.BaseLosses = losses
 		return report, err
 	}
 
-	if !s.cfg.UseLoRA {
-		losses, err := diffusion.Train(s.base, s.sched, set, diffusion.TrainConfig{
-			Steps: s.cfg.BaseSteps + s.cfg.FineTuneSteps, Batch: s.cfg.Batch,
-			LR: s.cfg.LR, DropCond: s.cfg.DropCond, ClipNorm: s.cfg.ClipNorm,
-			Seed: s.cfg.Seed + 1, Controls: controls, EMADecay: s.cfg.EMADecay,
-		})
-		report.BaseLosses = losses
-		return report, err
-	}
-
-	// Phase 1: unconditional base training (the "pretrained base
-	// model" analog — it learns generic traffic-image structure with
-	// no class vocabulary).
-	if s.cfg.BaseSteps > 0 {
-		losses, err := diffusion.Train(s.base, s.sched, set, diffusion.TrainConfig{
+	if env != nil && env.Phase == phaseFineTune {
+		// The base phase completed before the checkpoint was taken; its
+		// final weights ride along in the checkpoint instead of being
+		// retrained.
+		if err := nn.LoadParams(resumeR, s.base.Params()); err != nil {
+			return nil, fmt.Errorf("core: restoring base weights: %w", err)
+		}
+		report.BaseLosses = env.BaseLosses
+	} else if s.cfg.BaseSteps > 0 {
+		// Phase 1: unconditional base training (the "pretrained base
+		// model" analog — it learns generic traffic-image structure with
+		// no class vocabulary).
+		losses, err := s.trainPhase(s.base, set, diffusion.TrainConfig{
 			Steps: s.cfg.BaseSteps, Batch: s.cfg.Batch,
 			LR: s.cfg.LR, DropCond: 1.0, // always unconditional
 			ClipNorm: s.cfg.ClipNorm, Seed: s.cfg.Seed + 1, Controls: controls,
-		})
+		}, phaseBase, "base", nil, opts, phaseRestore(phaseBase))
 		report.BaseLosses = losses
 		if err != nil {
 			return report, err
@@ -376,14 +448,66 @@ func (s *Synthesizer) FineTune(flowsByClass map[string][]*flow.Flow) (*TrainRepo
 	// Phase 2: LoRA adapters + fresh class embeddings, base frozen.
 	r := stats.NewRNG(s.cfg.Seed + 2)
 	s.adapted = lora.NewAdaptedMLP(r, s.base, s.cfg.LoRARank, s.cfg.LoRAAlpha, len(s.classes))
-	losses, err := diffusion.Train(s.adapted, s.sched, set, diffusion.TrainConfig{
+	losses, err := s.trainPhase(s.adapted, set, diffusion.TrainConfig{
 		Steps: s.cfg.FineTuneSteps, Batch: s.cfg.Batch,
 		LR: s.cfg.LR, DropCond: s.cfg.DropCond, ClipNorm: s.cfg.ClipNorm,
 		Seed: s.cfg.Seed + 3, FreezeBase: true, ExtraParams: s.adapted.Params(),
 		Controls: controls, EMADecay: s.cfg.EMADecay,
-	})
+	}, phaseFineTune, "finetune", report.BaseLosses, opts, phaseRestore(phaseFineTune))
 	report.FineTuneLosses = losses
 	return report, err
+}
+
+// trainPhase runs one training phase step-by-step through a
+// diffusion.Trainer, optionally restoring mid-run state first and
+// writing a crash-safe checkpoint every opts.CheckpointEvery steps
+// plus once at the phase boundary. baseLosses is the prior phase's
+// completed loss curve, carried into each checkpoint's envelope so a
+// resumed run still reports full history.
+func (s *Synthesizer) trainPhase(model diffusion.Denoiser, set *diffusion.TrainSet, tcfg diffusion.TrainConfig, phase int, phaseName string, baseLosses []float64, opts FineTuneOptions, restore io.Reader) ([]float64, error) {
+	if opts.Progress != nil {
+		hook, total := opts.Progress, tcfg.Steps
+		tcfg.Progress = func(p diffusion.Progress) {
+			hook(TrainProgress{
+				Phase: phaseName, Step: p.Step, TotalSteps: total,
+				Loss: p.Loss, GradNorm: p.GradNorm, StepsPerSec: p.StepsPerSec,
+			})
+		}
+	}
+	tr, err := diffusion.NewTrainer(model, s.sched, set, tcfg)
+	if err != nil {
+		return nil, err
+	}
+	if restore != nil {
+		if err := tr.Restore(restore); err != nil {
+			return nil, fmt.Errorf("core: restoring %s-phase trainer: %w", phaseName, err)
+		}
+	}
+	every := opts.CheckpointEvery
+	if every <= 0 {
+		every = defaultCheckpointEvery
+	}
+	checkpointing := opts.CheckpointPath != ""
+	for !tr.Done() {
+		if err := tr.Step(); err != nil {
+			return tr.Losses(), err
+		}
+		if checkpointing && !tr.Done() && tr.StepCount()%every == 0 {
+			if err := s.writeTrainCheckpoint(opts.CheckpointPath, phase, baseLosses, tr); err != nil {
+				return tr.Losses(), err
+			}
+		}
+	}
+	if checkpointing {
+		// The phase-boundary checkpoint: taken before Finish (EMA
+		// install), so resuming from it re-enters here with Done()
+		// already true and proceeds straight to the next phase.
+		if err := s.writeTrainCheckpoint(opts.CheckpointPath, phase, baseLosses, tr); err != nil {
+			return tr.Losses(), err
+		}
+	}
+	tr.Finish()
+	return tr.Losses(), nil
 }
 
 // model returns the denoiser used for sampling.

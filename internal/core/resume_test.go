@@ -1,0 +1,292 @@
+package core
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// resumeConfig is fastConfig shrunk further: resume tests retrain the
+// pipeline once per stashed checkpoint.
+func resumeConfig() Config {
+	cfg := fastConfig()
+	cfg.Hidden = 32
+	cfg.BaseSteps = 6
+	cfg.FineTuneSteps = 9
+	cfg.Batch = 4
+	cfg.EMADecay = 0.98
+	return cfg
+}
+
+// flatParams flattens every model parameter for bitwise comparison.
+func flatParams(s *Synthesizer) []float32 {
+	var flat []float32
+	for _, p := range s.allParams() {
+		flat = append(flat, p.X.Data...)
+	}
+	return flat
+}
+
+// TestFineTuneResumeEquivalence simulates a crash at every checkpoint
+// boundary of a two-phase (base + LoRA, EMA on) fine-tune: the full
+// run writes periodic checkpoints, each distinct on-disk state the run
+// passed through is stashed, and a fresh synthesizer resumed from each
+// stash must converge to the same final checkpoint file byte-for-byte
+// and the same model weights bit-for-bit.
+func TestFineTuneResumeEquivalence(t *testing.T) {
+	classes := []string{"amazon", "teams"}
+	flows := trainingFlows(t, classes, 3)
+	cfg := resumeConfig()
+	dir := t.TempDir()
+	fullPath := filepath.Join(dir, "full.ckpt")
+
+	// Full uninterrupted run. The progress hook snapshots the
+	// checkpoint file at every step boundary: each distinct content is
+	// exactly the state a killed run would have found on disk.
+	full, err := New(cfg, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stashes [][]byte
+	seen := map[string]bool{}
+	capture := func(TrainProgress) {
+		data, err := os.ReadFile(fullPath)
+		if err != nil || seen[string(data)] {
+			return
+		}
+		seen[string(data)] = true
+		stashes = append(stashes, data)
+	}
+	fullReport, err := full.FineTuneWithOptions(flows, FineTuneOptions{
+		CheckpointPath: fullPath, CheckpointEvery: 2, Progress: capture,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFinal, err := os.ReadFile(fullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture(TrainProgress{}) // stash the final checkpoint too
+	wantParams := flatParams(full)
+	if len(stashes) < 4 {
+		t.Fatalf("expected several checkpoint states, got %d", len(stashes))
+	}
+
+	for i, stash := range stashes {
+		resumeFile := filepath.Join(dir, "stash.ckpt")
+		if err := os.WriteFile(resumeFile, stash, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		resumedPath := filepath.Join(dir, "resumed.ckpt")
+		s, err := New(cfg, classes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		report, err := s.FineTuneWithOptions(flows, FineTuneOptions{
+			CheckpointPath: resumedPath, CheckpointEvery: 2, ResumeFrom: resumeFile,
+		})
+		if err != nil {
+			t.Fatalf("resume from stash %d: %v", i, err)
+		}
+		gotFinal, err := os.ReadFile(resumedPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(gotFinal) != string(wantFinal) {
+			t.Fatalf("stash %d: final checkpoint differs from uninterrupted run", i)
+		}
+		gotParams := flatParams(s)
+		if len(gotParams) != len(wantParams) {
+			t.Fatalf("stash %d: param count %d, want %d", i, len(gotParams), len(wantParams))
+		}
+		for j := range wantParams {
+			if math.Float32bits(gotParams[j]) != math.Float32bits(wantParams[j]) {
+				t.Fatalf("stash %d: param elem %d differs after resume", i, j)
+			}
+		}
+		// The training history is reconstructed in full: the base curve
+		// rides along in fine-tune-phase checkpoints.
+		if len(report.BaseLosses)+len(report.FineTuneLosses) != len(fullReport.BaseLosses)+len(fullReport.FineTuneLosses) {
+			t.Fatalf("stash %d: loss history %d+%d, want %d+%d", i,
+				len(report.BaseLosses), len(report.FineTuneLosses),
+				len(fullReport.BaseLosses), len(fullReport.FineTuneLosses))
+		}
+	}
+}
+
+// TestFineTuneResumeSinglePhase covers the UseLoRA=false path, where
+// the whole run is one conditional training phase.
+func TestFineTuneResumeSinglePhase(t *testing.T) {
+	classes := []string{"amazon"}
+	flows := trainingFlows(t, classes, 3)
+	cfg := resumeConfig()
+	cfg.UseLoRA = false
+	cfg.BaseSteps = 4
+	cfg.FineTuneSteps = 4
+	dir := t.TempDir()
+	fullPath := filepath.Join(dir, "full.ckpt")
+
+	full, err := New(cfg, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stash []byte
+	capture := func(p TrainProgress) {
+		if p.Step == 3 { // after the step-3 hook the file holds the step-2 checkpoint
+			if data, err := os.ReadFile(fullPath); err == nil {
+				stash = data
+			}
+		}
+	}
+	if _, err := full.FineTuneWithOptions(flows, FineTuneOptions{
+		CheckpointPath: fullPath, CheckpointEvery: 2, Progress: capture,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if stash == nil {
+		t.Fatal("no mid-run checkpoint captured")
+	}
+	wantFinal, err := os.ReadFile(fullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantParams := flatParams(full)
+
+	resumeFile := filepath.Join(dir, "stash.ckpt")
+	if err := os.WriteFile(resumeFile, stash, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resumedPath := filepath.Join(dir, "resumed.ckpt")
+	s, err := New(cfg, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.FineTuneWithOptions(flows, FineTuneOptions{
+		CheckpointPath: resumedPath, CheckpointEvery: 2, ResumeFrom: resumeFile,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	gotFinal, err := os.ReadFile(resumedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotFinal) != string(wantFinal) {
+		t.Fatal("single-phase resume: final checkpoint differs")
+	}
+	got := flatParams(s)
+	for j := range wantParams {
+		if math.Float32bits(got[j]) != math.Float32bits(wantParams[j]) {
+			t.Fatalf("single-phase resume: param elem %d differs", j)
+		}
+	}
+}
+
+// TestResumeRejectsMismatch checks the refuse-to-resume guards:
+// resuming under a different config or class vocabulary must error
+// rather than silently train a different model.
+func TestResumeRejectsMismatch(t *testing.T) {
+	classes := []string{"amazon", "teams"}
+	flows := trainingFlows(t, classes, 2)
+	cfg := resumeConfig()
+	cfg.BaseSteps = 2
+	cfg.FineTuneSteps = 2
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "train.ckpt")
+
+	s, err := New(cfg, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.FineTuneWithOptions(flows, FineTuneOptions{
+		CheckpointPath: ckpt, CheckpointEvery: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different config.
+	other := cfg
+	other.LR = cfg.LR * 2
+	s2, err := New(other, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.FineTuneWithOptions(flows, FineTuneOptions{ResumeFrom: ckpt}); err == nil {
+		t.Error("resume under a different config should fail")
+	}
+
+	// Different class vocabulary. The checkpoint's config is identical,
+	// so only the class list trips the guard.
+	s3, err := New(cfg, []string{"amazon", "meet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows3 := trainingFlows(t, []string{"amazon", "meet"}, 2)
+	if _, err := s3.FineTuneWithOptions(flows3, FineTuneOptions{ResumeFrom: ckpt}); err == nil {
+		t.Error("resume under different classes should fail")
+	}
+
+	// Garbage file.
+	bad := filepath.Join(dir, "bad.ckpt")
+	if err := os.WriteFile(bad, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s4, err := New(cfg, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s4.FineTuneWithOptions(flows, FineTuneOptions{ResumeFrom: bad}); err == nil {
+		t.Error("resume from garbage should fail")
+	}
+
+	// Missing file.
+	s5, err := New(cfg, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s5.FineTuneWithOptions(flows, FineTuneOptions{ResumeFrom: filepath.Join(dir, "absent.ckpt")}); err == nil {
+		t.Error("resume from a missing file should fail")
+	}
+}
+
+// TestCheckpointedTrainingMatchesPlain confirms that turning
+// checkpointing on does not change the training trajectory: a run
+// with CheckpointPath set produces bit-identical weights to a plain
+// FineTune.
+func TestCheckpointedTrainingMatchesPlain(t *testing.T) {
+	classes := []string{"amazon"}
+	flows := trainingFlows(t, classes, 2)
+	cfg := resumeConfig()
+	cfg.BaseSteps = 3
+	cfg.FineTuneSteps = 3
+
+	plain, err := New(cfg, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.FineTune(flows); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	ckpt, err := New(cfg, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ckpt.FineTuneWithOptions(flows, FineTuneOptions{
+		CheckpointPath: filepath.Join(dir, "train.ckpt"), CheckpointEvery: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := flatParams(plain), flatParams(ckpt)
+	if len(a) != len(b) {
+		t.Fatal("param layouts differ")
+	}
+	for j := range a {
+		if math.Float32bits(a[j]) != math.Float32bits(b[j]) {
+			t.Fatalf("param elem %d differs when checkpointing is on", j)
+		}
+	}
+}

@@ -2,12 +2,29 @@ package diffusion
 
 import (
 	"fmt"
+	"io"
 	"math"
+	"time"
 
 	"trafficdiff/internal/nn"
 	"trafficdiff/internal/stats"
 	"trafficdiff/internal/tensor"
 )
+
+// Progress is the per-step training report passed to a progress hook:
+// the 0-based step just completed, its loss, the pre-clip global
+// gradient norm, and the instantaneous step rate (0 on the first step
+// — there is no previous step to measure against). The hook observes
+// training; it must not mutate the model or the trainer.
+type Progress struct {
+	Step        int
+	Loss        float64
+	GradNorm    float64
+	StepsPerSec float64
+}
+
+// ProgressFunc receives one Progress report after every optimizer step.
+type ProgressFunc func(Progress)
 
 // TrainConfig controls DDPM training.
 type TrainConfig struct {
@@ -32,6 +49,35 @@ type TrainConfig struct {
 	// the trained parameters and installs it when training finishes —
 	// the standard DDPM sampling-quality practice (typical 0.995).
 	EMADecay float64
+	// Progress, when non-nil, is called after every optimizer step.
+	// The hook is reporting-only: it does not participate in the
+	// trainer's deterministic state, so checkpoints taken with and
+	// without a hook are byte-identical.
+	Progress ProgressFunc
+}
+
+// validate rejects configurations that would train incorrectly rather
+// than fail loudly: a non-positive or non-finite learning rate
+// silently trains away from (or never toward) the minimum, and a
+// conditioning-drop probability outside [0,1] skews the
+// classifier-free-guidance mix.
+func (cfg *TrainConfig) validate() error {
+	if cfg.Batch <= 0 || cfg.Steps <= 0 {
+		return fmt.Errorf("diffusion: non-positive Steps/Batch")
+	}
+	if math.IsNaN(cfg.LR) || math.IsInf(cfg.LR, 0) || cfg.LR <= 0 {
+		return fmt.Errorf("diffusion: LR must be positive and finite, got %v", cfg.LR)
+	}
+	if math.IsNaN(cfg.DropCond) || cfg.DropCond < 0 || cfg.DropCond > 1 {
+		return fmt.Errorf("diffusion: DropCond must be in [0,1], got %v", cfg.DropCond)
+	}
+	if math.IsNaN(cfg.ClipNorm) || cfg.ClipNorm < 0 {
+		return fmt.Errorf("diffusion: ClipNorm must be >= 0, got %v", cfg.ClipNorm)
+	}
+	if math.IsNaN(cfg.EMADecay) || cfg.EMADecay >= 1 {
+		return fmt.Errorf("diffusion: EMADecay must be in (0,1)")
+	}
+	return nil
 }
 
 // TrainSet is the training data: images [1,H,W] each with a class id.
@@ -59,18 +105,60 @@ func (ts *TrainSet) Validate(h, w, k int) error {
 	return nil
 }
 
-// Train runs DDPM training of model on set under sched and returns the
-// per-step loss curve. Training minimizes E‖ε − ε_θ(√ᾱ x₀ + √(1−ᾱ) ε, t, c)‖².
-func Train(model Denoiser, sched *Schedule, set *TrainSet, cfg TrainConfig) ([]float64, error) {
+// Trainer runs DDPM training one optimizer step at a time over
+// explicit state, which is what makes mid-run checkpointing possible:
+// everything the loop touches — the trained parameters, the Adam
+// moments and update count, the EMA shadow, the minibatch RNG
+// position, the loss curve, and the step counter — is either held
+// here or reachable through Checkpoint/Restore. A Trainer restored
+// from a checkpoint continues the exact same training trajectory: the
+// final weights are bit-identical to an uninterrupted run.
+//
+// A Trainer is single-goroutine; it owns reusable minibatch and tape
+// buffers that make the steady-state step allocation-free.
+type Trainer struct {
+	model Denoiser
+	sched *Schedule
+	set   *TrainSet
+	cfg   TrainConfig
+
+	params []*nn.V
+	opt    *nn.Adam
+	ema    *nn.EMA
+	rng    *stats.RNG
+
+	losses   []float64
+	step     int
+	finished bool
+
+	// Minibatch buffers are allocated once and refilled every step, and
+	// the tape's output arena recycles the forward pass's intermediate
+	// tensors across steps — shapes repeat, so after the first step the
+	// training loop is allocation-free on the hot path.
+	n, d     int
+	xt       *tensor.Tensor
+	noise    *tensor.Tensor
+	stepIDs  []int
+	classIDs []int
+	control  *tensor.Tensor
+	xv       *nn.V
+	tp       *nn.Tape
+
+	// prevStepEnd times the previous Step for the progress hook's
+	// steps/s; wall-clock never feeds back into training state.
+	prevStepEnd time.Time
+}
+
+// NewTrainer validates cfg and builds a Trainer positioned at step 0.
+func NewTrainer(model Denoiser, sched *Schedule, set *TrainSet, cfg TrainConfig) (*Trainer, error) {
 	h, w := model.Shape()
 	kReal := model.NullClass()
 	if err := set.Validate(h, w, kReal); err != nil {
 		return nil, err
 	}
-	if cfg.Batch <= 0 || cfg.Steps <= 0 {
-		return nil, fmt.Errorf("diffusion: non-positive Steps/Batch")
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
-	r := stats.NewRNG(cfg.Seed)
 
 	params := cfg.ExtraParams
 	if !cfg.FreezeBase {
@@ -83,81 +171,218 @@ func Train(model Denoiser, sched *Schedule, set *TrainSet, cfg TrainConfig) ([]f
 	opt.ClipNorm = cfg.ClipNorm
 	var ema *nn.EMA
 	if cfg.EMADecay > 0 {
-		if cfg.EMADecay >= 1 {
-			return nil, fmt.Errorf("diffusion: EMADecay must be in (0,1)")
-		}
 		ema = nn.NewEMA(cfg.EMADecay, params)
 	}
 
-	losses := make([]float64, 0, cfg.Steps)
 	n := cfg.Batch
-	d := h * w
-
-	// Minibatch buffers are allocated once and refilled every step, and
-	// the tape's output arena recycles the forward pass's intermediate
-	// tensors across steps — shapes repeat, so after the first step the
-	// training loop is allocation-free on the hot path.
-	xt := tensor.New(n, 1, h, w)
-	noise := tensor.New(n, 1, h, w)
-	steps := make([]int, n)
-	class := make([]int, n)
-	var control *tensor.Tensor
-	if cfg.Controls != nil {
-		control = tensor.New(n, 1, h, w)
+	tr := &Trainer{
+		model: model, sched: sched, set: set, cfg: cfg,
+		params: params, opt: opt, ema: ema,
+		rng:    stats.NewRNG(cfg.Seed),
+		losses: make([]float64, 0, cfg.Steps),
+		n:      n, d: h * w,
+		xt:       tensor.New(n, 1, h, w),
+		noise:    tensor.New(n, 1, h, w),
+		stepIDs:  make([]int, n),
+		classIDs: make([]int, n),
+		tp:       nn.NewTape(),
 	}
-	xv := nn.NewV(xt)
-	tp := nn.NewTape()
-	tp.EnableReuse()
+	if cfg.Controls != nil {
+		tr.control = tensor.New(n, 1, h, w)
+	}
+	tr.xv = nn.NewV(tr.xt)
+	tr.tp.EnableReuse()
+	return tr, nil
+}
 
-	for step := 0; step < cfg.Steps; step++ {
-		for i := 0; i < n; i++ {
-			idx := r.Intn(len(set.Images))
-			x0 := set.Images[idx]
-			t := r.Intn(sched.T)
-			steps[i] = t
-			class[i] = set.Labels[idx]
-			if cfg.DropCond > 0 && r.Bool(cfg.DropCond) {
-				class[i] = model.NullClass()
-			}
-			sa := float32(math.Sqrt(sched.AlphaBar[t]))
-			sn := float32(math.Sqrt(1 - sched.AlphaBar[t]))
-			for j := 0; j < d; j++ {
-				e := float32(r.NormFloat64())
-				noise.Data[i*d+j] = e
-				xt.Data[i*d+j] = sa*x0.Data[j] + sn*e
-			}
-			if control != nil {
-				if ctrl, ok := cfg.Controls[set.Labels[idx]]; ok {
-					copy(control.Data[i*d:(i+1)*d], ctrl.Data)
-				} else {
-					ctrlRow := control.Data[i*d : (i+1)*d]
-					for j := range ctrlRow {
-						ctrlRow[j] = 0
-					}
+// StepCount returns the number of completed optimizer steps.
+func (tr *Trainer) StepCount() int { return tr.step }
+
+// Done reports whether the configured step budget is exhausted.
+func (tr *Trainer) Done() bool { return tr.step >= tr.cfg.Steps }
+
+// Losses returns the per-step loss curve so far. The slice is the
+// trainer's own; callers must not mutate it.
+func (tr *Trainer) Losses() []float64 { return tr.losses }
+
+// Step runs one optimizer step: draw a minibatch, noise it to random
+// timesteps, predict the noise, backpropagate the MSE, and update.
+// A non-finite loss aborts with an error and leaves the loss curve at
+// its last finite entry; EMA weights are never installed on that path.
+func (tr *Trainer) Step() error {
+	if tr.finished {
+		return fmt.Errorf("diffusion: Step after Finish")
+	}
+	if tr.Done() {
+		return fmt.Errorf("diffusion: Step beyond configured %d steps", tr.cfg.Steps)
+	}
+	n, d := tr.n, tr.d
+	cfg, r, sched := &tr.cfg, tr.rng, tr.sched
+	for i := 0; i < n; i++ {
+		idx := r.Intn(len(tr.set.Images))
+		x0 := tr.set.Images[idx]
+		t := r.Intn(sched.T)
+		tr.stepIDs[i] = t
+		tr.classIDs[i] = tr.set.Labels[idx]
+		if cfg.DropCond > 0 && r.Bool(cfg.DropCond) {
+			tr.classIDs[i] = tr.model.NullClass()
+		}
+		// The schedule's precomputed √ᾱ_t / √(1-ᾱ_t) tables hold the
+		// exact float64 values this loop previously computed inline, so
+		// the noising is bit-identical to the pre-table code.
+		sa := float32(sched.SqrtAlphaBar[t])
+		sn := float32(sched.SqrtOneMinusAlphaBar[t])
+		for j := 0; j < d; j++ {
+			e := float32(r.NormFloat64())
+			tr.noise.Data[i*d+j] = e
+			tr.xt.Data[i*d+j] = sa*x0.Data[j] + sn*e
+		}
+		if tr.control != nil {
+			if ctrl, ok := cfg.Controls[tr.set.Labels[idx]]; ok {
+				copy(tr.control.Data[i*d:(i+1)*d], ctrl.Data)
+			} else {
+				ctrlRow := tr.control.Data[i*d : (i+1)*d]
+				for j := range ctrlRow {
+					ctrlRow[j] = 0
 				}
 			}
 		}
+	}
 
-		xv.ZeroGrad()
-		pred := model.Forward(tp, xv, steps, class, control)
-		loss := tp.MSE(pred, noise)
-		lv := float64(loss.X.Data[0])
-		if math.IsNaN(lv) || math.IsInf(lv, 0) {
-			return losses, fmt.Errorf("diffusion: non-finite loss at step %d", step)
-		}
-		losses = append(losses, lv)
-		tp.Backward(loss)
-		opt.Step()
-		if ema != nil {
-			ema.Update()
-		}
-		// All tape outputs from this step are dead now; hand their
-		// storage back for the next step.
-		tp.Recycle()
+	tr.xv.ZeroGrad()
+	pred := tr.model.Forward(tr.tp, tr.xv, tr.stepIDs, tr.classIDs, tr.control)
+	loss := tr.tp.MSE(pred, tr.noise)
+	lv := float64(loss.X.Data[0])
+	if math.IsNaN(lv) || math.IsInf(lv, 0) {
+		return fmt.Errorf("diffusion: non-finite loss at step %d", tr.step)
 	}
-	if ema != nil {
+	tr.losses = append(tr.losses, lv)
+	tr.tp.Backward(loss)
+	var gradNorm float64
+	if cfg.Progress != nil {
+		gradNorm = tr.opt.GradNorm()
+	}
+	tr.opt.Step()
+	if tr.ema != nil {
+		tr.ema.Update()
+	}
+	// All tape outputs from this step are dead now; hand their
+	// storage back for the next step.
+	tr.tp.Recycle()
+	tr.step++
+
+	if cfg.Progress != nil {
+		now := time.Now()
+		sps := 0.0
+		if !tr.prevStepEnd.IsZero() {
+			if dt := now.Sub(tr.prevStepEnd).Seconds(); dt > 0 {
+				sps = 1 / dt
+			}
+		}
+		tr.prevStepEnd = now
+		cfg.Progress(Progress{Step: tr.step - 1, Loss: lv, GradNorm: gradNorm, StepsPerSec: sps})
+	}
+	return nil
+}
+
+// Finish completes training: when EMA is enabled, the averaged
+// weights are installed on the model (the standard DDPM sampling
+// practice). Idempotent; the trainer accepts no further Steps or
+// Checkpoints afterwards.
+func (tr *Trainer) Finish() {
+	if tr.finished {
+		return
+	}
+	tr.finished = true
+	if tr.ema != nil {
 		// Install the averaged weights for sampling.
-		ema.Swap()
+		tr.ema.Swap()
 	}
-	return losses, nil
+}
+
+// Run steps the trainer to completion and finishes it — the classic
+// Train loop. On a non-finite loss it returns the partial loss curve
+// with the error; EMA weights are not installed in that case.
+func (tr *Trainer) Run() ([]float64, error) {
+	for !tr.Done() {
+		if err := tr.Step(); err != nil {
+			return tr.losses, err
+		}
+	}
+	tr.Finish()
+	return tr.losses, nil
+}
+
+// Checkpoint serializes the trainer's complete mid-run state — the
+// trained parameter values plus the Adam moments, EMA shadow, RNG
+// position, loss curve and step counter — as a Version-2 nn
+// checkpoint. A Trainer built with the same model/set/config and
+// restored from this stream continues training bit-identically.
+// Checkpointing a finished trainer is an error: Finish may have
+// swapped the EMA average into the live parameters, which is not a
+// resumable state.
+func (tr *Trainer) Checkpoint(w io.Writer) error {
+	if tr.finished {
+		return fmt.Errorf("diffusion: cannot checkpoint a finished trainer")
+	}
+	astep, m, v := tr.opt.State()
+	st := &nn.TrainerState{
+		Step:     tr.step,
+		AdamStep: astep,
+		AdamM:    m,
+		AdamV:    v,
+		RNG:      tr.rng.State(),
+		Losses:   tr.losses,
+	}
+	if tr.ema != nil {
+		st.EMA = tr.ema.Shadow()
+	}
+	return nn.SaveTraining(w, tr.params, st)
+}
+
+// Restore loads a checkpoint written by Checkpoint into this trainer,
+// which must have been built with the same model, training set and
+// config. The trainer resumes from the captured step.
+func (tr *Trainer) Restore(r io.Reader) error {
+	if tr.finished {
+		return fmt.Errorf("diffusion: cannot restore into a finished trainer")
+	}
+	st, err := nn.LoadTraining(r, tr.params)
+	if err != nil {
+		return err
+	}
+	if st.Step < 0 || st.Step > tr.cfg.Steps {
+		return fmt.Errorf("diffusion: checkpoint at step %d outside configured %d steps", st.Step, tr.cfg.Steps)
+	}
+	if len(st.Losses) != st.Step {
+		return fmt.Errorf("diffusion: checkpoint has %d losses for %d steps", len(st.Losses), st.Step)
+	}
+	if (st.EMA != nil) != (tr.ema != nil) {
+		return fmt.Errorf("diffusion: checkpoint EMA state (%t) does not match config (%t)", st.EMA != nil, tr.ema != nil)
+	}
+	if err := tr.opt.SetState(st.AdamStep, st.AdamM, st.AdamV); err != nil {
+		return err
+	}
+	if tr.ema != nil {
+		if err := tr.ema.SetShadow(st.EMA); err != nil {
+			return err
+		}
+	}
+	if err := tr.rng.SetState(st.RNG); err != nil {
+		return err
+	}
+	tr.losses = append(tr.losses[:0], st.Losses...)
+	tr.step = st.Step
+	return nil
+}
+
+// Train runs DDPM training of model on set under sched and returns the
+// per-step loss curve. Training minimizes E‖ε − ε_θ(√ᾱ x₀ + √(1−ᾱ) ε, t, c)‖².
+// It is the single-shot form of the step-wise Trainer.
+func Train(model Denoiser, sched *Schedule, set *TrainSet, cfg TrainConfig) ([]float64, error) {
+	tr, err := NewTrainer(model, sched, set, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return tr.Run()
 }

@@ -1,6 +1,9 @@
 package nn
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Adam implements the Adam optimizer with optional gradient clipping
 // by global norm.
@@ -67,6 +70,36 @@ func (a *Adam) Step() {
 	}
 }
 
+// State exposes the optimizer's serializable state: the update count
+// and the first/second moment estimates, one slice per parameter in
+// Params order. The returned slices alias the optimizer's own storage;
+// callers must treat them as read-only (checkpoint writers encode them
+// synchronously, so no copy is needed).
+func (a *Adam) State() (step int, m, v [][]float32) { return a.step, a.m, a.v }
+
+// SetState restores state captured by State (possibly in another
+// process) into this optimizer. The moment shapes must match the
+// parameter set exactly; values are copied in.
+func (a *Adam) SetState(step int, m, v [][]float32) error {
+	if step < 0 {
+		return fmt.Errorf("nn: negative Adam step %d", step)
+	}
+	if len(m) != len(a.params) || len(v) != len(a.params) {
+		return fmt.Errorf("nn: Adam state has %d/%d moment slices, optimizer has %d params", len(m), len(v), len(a.params))
+	}
+	for i, p := range a.params {
+		if len(m[i]) != len(p.X.Data) || len(v[i]) != len(p.X.Data) {
+			return fmt.Errorf("nn: Adam state param %d has %d/%d moments, want %d", i, len(m[i]), len(v[i]), len(p.X.Data))
+		}
+	}
+	a.step = step
+	for i := range a.params {
+		copy(a.m[i], m[i])
+		copy(a.v[i], v[i])
+	}
+	return nil
+}
+
 // ZeroGrads clears all parameter gradients without stepping.
 func (a *Adam) ZeroGrads() {
 	for _, p := range a.params {
@@ -101,6 +134,28 @@ func (e *EMA) Update() {
 			s[j] = d*s[j] + (1-d)*v
 		}
 	}
+}
+
+// Shadow exposes the averaged weights, one slice per parameter in the
+// constructor's param order. The slices alias the EMA's own storage;
+// callers must treat them as read-only.
+func (e *EMA) Shadow() [][]float32 { return e.shadow }
+
+// SetShadow restores averaged weights captured by Shadow. The shapes
+// must match the parameter set exactly; values are copied in.
+func (e *EMA) SetShadow(shadow [][]float32) error {
+	if len(shadow) != len(e.params) {
+		return fmt.Errorf("nn: EMA shadow has %d slices, want %d", len(shadow), len(e.params))
+	}
+	for i, p := range e.params {
+		if len(shadow[i]) != len(p.X.Data) {
+			return fmt.Errorf("nn: EMA shadow param %d has %d values, want %d", i, len(shadow[i]), len(p.X.Data))
+		}
+	}
+	for i := range e.shadow {
+		copy(e.shadow[i], shadow[i])
+	}
+	return nil
 }
 
 // Swap exchanges the live parameters with the averaged ones. Calling

@@ -7,7 +7,10 @@
 // experiment harness rely on.
 package stats
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // RNG is a small, fast, deterministic pseudo-random number generator
 // (xoshiro256** by Blackman and Vigna). It is not safe for concurrent
@@ -33,6 +36,23 @@ func NewRNG(seed uint64) *RNG {
 
 // Split derives an independent generator from r, advancing r.
 func (r *RNG) Split() *RNG { return NewRNG(r.Uint64()) }
+
+// State returns the generator's internal state. A generator restored
+// with SetState continues the exact stream from the capture point,
+// which is what makes mid-run training checkpoints resumable.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState restores a state previously captured by State. The
+// all-zero state is a fixed point of xoshiro256** (the stream would be
+// constant zero), so it is rejected; State never returns it for a
+// generator built by NewRNG.
+func (r *RNG) SetState(s [4]uint64) error {
+	if s == [4]uint64{} {
+		return fmt.Errorf("stats: refusing all-zero RNG state")
+	}
+	r.s = s
+	return nil
+}
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 

@@ -151,3 +151,60 @@ func TestShuffleKeepsElements(t *testing.T) {
 		t.Fatalf("shuffle lost elements: %v", xs)
 	}
 }
+
+func TestRNGStateRoundTrip(t *testing.T) {
+	r := NewRNG(42)
+	// Burn an arbitrary prefix so the captured state is mid-stream.
+	for i := 0; i < 137; i++ {
+		r.Uint64()
+	}
+	st := r.State()
+	want := make([]uint64, 50)
+	for i := range want {
+		want[i] = r.Uint64()
+	}
+	// A different generator restored to st continues the same stream.
+	r2 := NewRNG(7)
+	if err := r2.SetState(st); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got := r2.Uint64(); got != want[i] {
+			t.Fatalf("draw %d after SetState: got %d want %d", i, got, want[i])
+		}
+	}
+}
+
+func TestRNGSetStateRejectsZero(t *testing.T) {
+	r := NewRNG(1)
+	if err := r.SetState([4]uint64{}); err == nil {
+		t.Fatal("all-zero state should be rejected")
+	}
+	// The generator keeps working after the rejected call.
+	if a, b := r.Uint64(), r.Uint64(); a == 0 && b == 0 {
+		t.Fatal("generator corrupted by rejected SetState")
+	}
+}
+
+func TestRNGStateCapturesNormTail(t *testing.T) {
+	// NormFloat64's rejection loop consumes a variable number of
+	// uniforms; State/SetState must still resume mid-sequence exactly.
+	r := NewRNG(3)
+	for i := 0; i < 9; i++ {
+		r.NormFloat64()
+	}
+	st := r.State()
+	want := make([]float64, 20)
+	for i := range want {
+		want[i] = r.NormFloat64()
+	}
+	r2 := NewRNG(1000)
+	if err := r2.SetState(st); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got := r2.NormFloat64(); math.Float64bits(got) != math.Float64bits(want[i]) {
+			t.Fatalf("normal draw %d differs after restore", i)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package trafficdiff
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestResumeEndToEnd kills a real tracegen training run after its first
+// crash-safe checkpoint lands on disk, restarts it with -resume, and
+// checks that the interrupted-and-resumed pipeline emits synthetic
+// pcaps byte-identical to an uninterrupted run with the same flags.
+// `make resume-smoke` runs exactly this test.
+func TestResumeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resume e2e in -short mode")
+	}
+	dir := t.TempDir()
+	tracegen := filepath.Join(dir, "tracegen")
+	if out, err := exec.Command("go", "build", "-o", tracegen, "./cmd/tracegen").CombinedOutput(); err != nil {
+		t.Fatalf("building tracegen: %v\n%s", err, out)
+	}
+
+	baseArgs := func(out string) []string {
+		return []string{
+			"-classes", "amazon,teams", "-train", "4", "-per-class", "1",
+			"-steps", "60", "-rows", "16", "-write-real=false",
+			"-progress-every", "0", "-out", out,
+		}
+	}
+
+	// Uninterrupted reference run (checkpointing on, never killed —
+	// periodic checkpoints must not change the outputs).
+	refDir := filepath.Join(dir, "ref")
+	refCmd := exec.Command(tracegen, append(baseArgs(refDir), "-checkpoint-every", "2")...)
+	if out, err := refCmd.CombinedOutput(); err != nil {
+		t.Fatalf("reference run: %v\n%s", err, out)
+	}
+
+	// Interrupted run: SIGKILL as soon as the first checkpoint exists.
+	killDir := filepath.Join(dir, "killed")
+	ckpt := filepath.Join(killDir, "train.ckpt")
+	killCmd := exec.Command(tracegen, append(baseArgs(killDir), "-checkpoint-every", "2")...)
+	var killOut bytes.Buffer
+	killCmd.Stdout = &killOut
+	killCmd.Stderr = &killOut
+	if err := killCmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if st, err := os.Stat(ckpt); err == nil && st.Size() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			_ = killCmd.Process.Kill()
+			t.Fatalf("no checkpoint appeared within 60s; output:\n%s", killOut.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := killCmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = killCmd.Wait() // killed: a non-zero exit is the point
+
+	// Resume from the mid-run checkpoint with the same data flags.
+	resumeCmd := exec.Command(tracegen, append(baseArgs(killDir), "-checkpoint-every", "2", "-resume", ckpt)...)
+	out, err := resumeCmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("resume run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "resuming fine-tune from") {
+		t.Fatalf("resume run did not report resuming; output:\n%s", out)
+	}
+
+	for _, class := range []string{"amazon", "teams"} {
+		name := "synthetic_" + class + ".pcap"
+		want, err := os.ReadFile(filepath.Join(refDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(killDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("%s differs between uninterrupted and killed-then-resumed runs", name)
+		}
+	}
+}
