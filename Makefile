@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-json bench-gate bench-serve serve-smoke resume-smoke verify-determinism fuzz experiments examples clean
+.PHONY: all build test vet lint lint-fast race bench bench-json bench-gate bench-serve serve-smoke resume-smoke verify-determinism fuzz experiments examples clean
 
 all: build test
 
@@ -12,12 +12,20 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Static analysis: go vet plus the project's own tracelint pass, which
-# enforces the determinism invariants (seeded RNG only, no RNG sharing
-# across goroutines, no float ==, no dropped errors, no library
-# panics). See DESIGN.md "Static analysis & determinism invariants".
+# Static analysis: go vet plus the project's own tracelint pass — all
+# nine analyzers (determinism, concurrency, wall-clock, hot-path
+# allocations) run in parallel over one shared type-checked load. The
+# run fails on any finding not recorded in the committed baseline, and
+# always writes the machine-readable report (CI uploads it as an
+# artifact). See DESIGN.md "Static analysis & determinism invariants".
 lint: vet
-	$(GO) run ./cmd/tracelint
+	$(GO) run ./cmd/tracelint -baseline .tracelint-baseline.json -out tracelint-findings.json
+
+# Quick pre-commit loop: skip go vet and the module-wide call-graph
+# analyzer (hotalloc dominates single-package edits the least but costs
+# the most), keep everything per-package.
+lint-fast:
+	$(GO) run ./cmd/tracelint -disable hotalloc -baseline .tracelint-baseline.json
 
 test:
 	$(GO) test ./...

@@ -1,16 +1,21 @@
 // Command tracelint runs the project's domain-specific static analysis
-// over the whole module and exits nonzero on findings.
+// over the whole module and exits nonzero on non-baselined findings.
 //
 // Usage:
 //
-//	tracelint              # analyze the module containing the cwd
-//	tracelint -json        # machine-readable findings
-//	tracelint -list        # list analyzers and what they enforce
-//	tracelint -root DIR    # analyze the module rooted at DIR
+//	tracelint                       # run every analyzer on the module containing the cwd
+//	tracelint -list                 # list analyzers and what they enforce
+//	tracelint -enable walltime,lockguard
+//	tracelint -disable hotalloc     # all analyzers except these
+//	tracelint -json                 # machine-readable report on stdout
+//	tracelint -out findings.json    # write the JSON report to a file (always, even on failure)
+//	tracelint -baseline .tracelint-baseline.json   # subtract accepted findings
+//	tracelint -write-baseline .tracelint-baseline.json  # snapshot current findings and exit 0
+//	tracelint -root DIR             # analyze the module rooted at DIR
 //
-// The analyzers enforce the determinism and robustness invariants the
-// reproduction depends on; see internal/lint for the catalogue and
-// DESIGN.md for the rationale.
+// The analyzers enforce the determinism, concurrency and allocation
+// invariants the reproduction depends on; see internal/lint for the
+// catalogue and DESIGN.md for the rationale and annotation grammar.
 package main
 
 import (
@@ -24,18 +29,38 @@ import (
 	"trafficdiff/internal/lint"
 )
 
+// report is the machine-readable output shape: one object, so CI can
+// read counts without jq gymnastics and the artifact is self-describing.
+type report struct {
+	Module    string         `json:"module"`
+	Packages  int            `json:"packages"`
+	Analyzers []string       `json:"analyzers"`
+	Findings  []lint.Finding `json:"findings"`
+	// Baselined counts findings absorbed by the baseline file.
+	Baselined int `json:"baselined"`
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tracelint: ")
 	var (
-		asJSON = flag.Bool("json", false, "emit findings as a JSON array")
-		list   = flag.Bool("list", false, "list analyzers and exit")
-		root   = flag.String("root", "", "module root (default: nearest go.mod above cwd)")
+		asJSON        = flag.Bool("json", false, "emit the report as JSON on stdout")
+		outPath       = flag.String("out", "", "also write the JSON report to this file (written even when findings fail the run)")
+		list          = flag.Bool("list", false, "list analyzers and exit")
+		root          = flag.String("root", "", "module root (default: nearest go.mod above cwd)")
+		enable        = flag.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable       = flag.String("disable", "", "comma-separated analyzers to skip")
+		baselinePath  = flag.String("baseline", "", "baseline file of accepted findings to subtract")
+		writeBaseline = flag.String("write-baseline", "", "write current findings to this baseline file and exit 0")
 	)
 	flag.Parse()
 
+	analyzers, err := lint.Select(*enable, *disable)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *list {
-		for _, a := range lint.All() {
+		for _, a := range analyzers {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
@@ -43,7 +68,6 @@ func main() {
 
 	dir := *root
 	if dir == "" {
-		var err error
 		dir, err = findModuleRoot()
 		if err != nil {
 			log.Fatal(err)
@@ -57,26 +81,79 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	findings := lint.RunAnalyzers(loader.ModuleRoot(), loader.ModulePath(), pkgs, lint.All())
+	findings := lint.RunAnalyzers(loader.ModuleRoot(), loader.ModulePath(), pkgs, analyzers)
 
-	if *asJSON {
-		if findings == nil {
-			findings = []lint.Finding{}
+	if *writeBaseline != "" {
+		if err := lint.WriteBaseline(*writeBaseline, findings); err != nil {
+			log.Fatal(err)
 		}
+		log.Printf("wrote %d finding(s) to baseline %s", len(findings), *writeBaseline)
+		return
+	}
+
+	baselined := 0
+	if *baselinePath != "" {
+		b, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		findings, baselined = b.Apply(findings)
+	}
+	if findings == nil {
+		findings = []lint.Finding{}
+	}
+
+	rep := report{
+		Module:    loader.ModulePath(),
+		Packages:  len(pkgs),
+		Analyzers: analyzerNames(analyzers),
+		Findings:  findings,
+		Baselined: baselined,
+	}
+	if *outPath != "" {
+		if err := writeReport(*outPath, &rep); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(findings); err != nil {
+		if err := enc.Encode(&rep); err != nil {
 			log.Fatal(err)
 		}
 	} else {
 		for _, f := range findings {
 			fmt.Println(f)
 		}
-		fmt.Printf("tracelint: %d packages, %d findings\n", len(pkgs), len(findings))
+		fmt.Printf("tracelint: %d packages, %d analyzers, %d findings (%d baselined)\n",
+			rep.Packages, len(rep.Analyzers), len(findings), baselined)
 	}
 	if len(findings) > 0 {
 		os.Exit(1)
 	}
+}
+
+func analyzerNames(analyzers []*lint.Analyzer) []string {
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// writeReport writes the JSON report to path, creating parent
+// directories as needed so `-out artifacts/findings.json` works in CI.
+func writeReport(path string, rep *report) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // findModuleRoot walks upward from the cwd to the nearest go.mod.

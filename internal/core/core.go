@@ -128,9 +128,12 @@ func DefaultConfig() Config {
 // (SetDDIMSteps) synchronizes with generation through mu. FineTune
 // itself must not run concurrently with generation.
 type Synthesizer struct {
-	// mu guards cfg: SetDDIMSteps mutates it after construction, and
-	// every generation call snapshots it under the read lock.
-	mu      sync.RWMutex
+	mu sync.RWMutex
+	// ddimSteps is the only piece of configuration that mutates after
+	// construction (SetDDIMSteps); every generation call merges it into
+	// its config snapshot under the read lock.
+	ddimSteps int // guarded by mu
+	// cfg is immutable once New returns; read it freely.
 	cfg     Config
 	classes []string
 	index   map[string]int
@@ -191,6 +194,7 @@ func New(cfg Config, classes []string) (*Synthesizer, error) {
 
 	s := &Synthesizer{
 		cfg:       cfg,
+		ddimSteps: cfg.DDIMSteps,
 		classes:   append([]string(nil), classes...),
 		index:     map[string]int{},
 		sched:     diffusion.NewSchedule(cfg.Schedule, cfg.TimeSteps),
@@ -560,12 +564,15 @@ func (s *Synthesizer) lookupClass(class string) (int, error) {
 	return ci, nil
 }
 
-// configSnapshot copies cfg under the read lock so generation works
-// from a consistent view even while SetDDIMSteps runs concurrently.
+// configSnapshot copies cfg with the live DDIM budget merged in under
+// the read lock, so generation works from a consistent view even while
+// SetDDIMSteps runs concurrently.
 func (s *Synthesizer) configSnapshot() Config {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.cfg
+	cfg := s.cfg
+	cfg.DDIMSteps = s.ddimSteps
+	return cfg
 }
 
 // Generate synthesizes n flows of the given class: prompt-conditioned
@@ -801,7 +808,7 @@ func (s *Synthesizer) Template(class string) (*controlnet.Template, error) {
 // the snapshot they started with; later calls observe the new value.
 func (s *Synthesizer) SetDDIMSteps(steps int) {
 	s.mu.Lock()
-	s.cfg.DDIMSteps = steps
+	s.ddimSteps = steps
 	s.mu.Unlock()
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"trafficdiff/internal/diffusion"
@@ -63,7 +64,7 @@ func (s *Synthesizer) Deblur(f *flow.Flow, class string, missing []FieldMask) (*
 	}
 	mask := s.pixelMask(missing)
 
-	s.genCalls++
+	calls := atomic.AddUint64(&s.genCalls, 1)
 	var control *tensor.Tensor
 	if s.cfg.UseControlNet {
 		control = s.controls[ci]
@@ -73,12 +74,12 @@ func (s *Synthesizer) Deblur(f *flow.Flow, class string, missing []FieldMask) (*
 		Mask:  mask,
 		Class: ci, GuidanceScale: s.cfg.GuidanceScale,
 		Control: control,
-		Seed:    s.cfg.Seed ^ (s.genCalls * 0x9e3779b97f4a7c15),
+		Seed:    s.cfg.Seed ^ (calls * 0x9e3779b97f4a7c15),
 	})
 	if err != nil {
 		return nil, err
 	}
-	return s.postprocess(img, ci, class)
+	return s.postprocess(img, ci, class, calls)
 }
 
 // pixelMask maps full-resolution column masks to the model's
@@ -123,7 +124,7 @@ func (s *Synthesizer) Translate(f *flow.Flow, targetClass string, strength float
 	if err != nil {
 		return nil, err
 	}
-	s.genCalls++
+	calls := atomic.AddUint64(&s.genCalls, 1)
 	var control *tensor.Tensor
 	if s.cfg.UseControlNet {
 		control = s.controls[ci]
@@ -133,17 +134,19 @@ func (s *Synthesizer) Translate(f *flow.Flow, targetClass string, strength float
 		TargetClass: ci, Strength: strength,
 		GuidanceScale: s.cfg.GuidanceScale,
 		Control:       control,
-		Seed:          s.cfg.Seed ^ (s.genCalls * 0x9e3779b97f4a7c15),
+		Seed:          s.cfg.Seed ^ (calls * 0x9e3779b97f4a7c15),
 	})
 	if err != nil {
 		return nil, err
 	}
-	return s.postprocess(img, ci, targetClass)
+	return s.postprocess(img, ci, targetClass, calls)
 }
 
 // postprocess runs the shared color-process / project / back-transform
-// tail on a single sampled image [1,h,w].
-func (s *Synthesizer) postprocess(img *tensor.Tensor, ci int, label string) (*GenerateResult, error) {
+// tail on a single sampled image [1,h,w]. calls is the generation
+// counter value the caller drew atomically; it seeds the timestamp RNG
+// so concurrent edits never share a stream.
+func (s *Synthesizer) postprocess(img *tensor.Tensor, ci int, label string, calls uint64) (*GenerateResult, error) {
 	h, w := s.ModelShape()
 	im := &imagerep.Image{H: h, W: w, Pix: img.Data}
 	up, err := imagerep.Upscale(im, s.cfg.DownH, s.cfg.DownW)
@@ -172,7 +175,7 @@ func (s *Synthesizer) postprocess(img *tensor.Tensor, ci int, label string) (*Ge
 		return nil, fmt.Errorf("core: back-transform: %w", err)
 	}
 	s.stampTimestamps(pkts, ci, time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC),
-		stats.NewRNG(s.cfg.Seed^s.genCalls^0x7ad3c1))
+		stats.NewRNG(s.cfg.Seed^calls^0x7ad3c1))
 	res.SkippedRows = skipped
 	res.Matrices = []*nprint.Matrix{m}
 	res.Flows = []*flow.Flow{{Label: label, Packets: pkts}}

@@ -33,7 +33,9 @@ func (s *Synthesizer) Save(w io.Writer) error {
 		return fmt.Errorf("core: cannot save an untrained synthesizer")
 	}
 	snap := snapshot{
-		Version: 1, Config: s.cfg, Classes: s.classes,
+		// configSnapshot, not s.cfg: the saved config must carry the live
+		// DDIM budget if SetDDIMSteps changed it since construction.
+		Version: 1, Config: s.configSnapshot(), Classes: s.classes,
 		Templates: s.templates, Controls: s.controls,
 		GapValues: map[int][]float64{},
 		HasLoRA:   s.adapted != nil,

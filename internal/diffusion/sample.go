@@ -230,6 +230,8 @@ func newPredictor(forward ForwardFunc, nullClass, n, class int, guidance float64
 
 // predict returns ε for x at timestep t. The returned tensor is owned
 // by the predictor and valid only until endStep.
+//
+//tracelint:hotpath
 func (p *predictor) predict(x *tensor.Tensor, t int) *tensor.Tensor {
 	for i := range p.steps {
 		p.steps[i] = t
@@ -270,6 +272,8 @@ func sampleOne(forward ForwardFunc, nullClass int, sched *Schedule, cfg SampleCo
 // coefficient tables. The predicted x₀ is clipped to the data range
 // before computing the posterior mean ("clip_denoised"), which keeps
 // an imperfect denoiser from diverging over many steps.
+//
+//tracelint:hotpath
 func ddpmUpdate(xd, ed []float32, sched *Schedule, t int, r *stats.RNG) {
 	sqrtAB := sched.SqrtAlphaBar[t]
 	sqrt1AB := sched.SqrtOneMinusAlphaBar[t]
@@ -294,6 +298,8 @@ func ddpmUpdate(xd, ed []float32, sched *Schedule, t int, r *stats.RNG) {
 
 // ddimUpdate applies one deterministic DDIM step (with x0 clipping) to
 // the elements of xd.
+//
+//tracelint:hotpath
 func ddimUpdate(xd, ed []float32, c DDIMCoeff) {
 	for j := range xd {
 		x0 := (float64(xd[j]) - c.Sqrt1AB*float64(ed[j])) / c.SqrtAB
@@ -311,6 +317,8 @@ func ddimUpdate(xd, ed []float32, c DDIMCoeff) {
 // batchDDPM runs full ancestral sampling over the whole batch: T
 // batched model evaluations, then a per-flow update from each flow's
 // own stream.
+//
+//tracelint:hotpath
 func batchDDPM(x *tensor.Tensor, sched *Schedule, rngs []*stats.RNG, p *predictor) {
 	d := x.Len() / len(rngs)
 	for t := sched.T - 1; t >= 0; t-- {
@@ -336,6 +344,8 @@ func sampleDDPM(x *tensor.Tensor, sched *Schedule, r *stats.RNG, p *predictor) *
 // models (paper §4 "generative speed"). The update coefficients are
 // shared by every flow and DDIM draws no noise, so the same sweep
 // serves a one-flow x and a whole batch.
+//
+//tracelint:hotpath
 func sampleDDIM(x *tensor.Tensor, sched *Schedule, steps int, p *predictor) *tensor.Tensor {
 	seq, coef := sched.DDIMTable(steps)
 	for i := len(seq) - 1; i >= 0; i-- {
@@ -350,12 +360,14 @@ func sampleDDIM(x *tensor.Tensor, sched *Schedule, steps int, p *predictor) *ten
 // requested length, always including step T-1.
 func ddimSequence(T, steps int) []int {
 	if steps >= T {
+		//tracelint:allow hotalloc — runs once per step count; DDIMTable memoizes the plan
 		seq := make([]int, T)
 		for i := range seq {
 			seq[i] = i
 		}
 		return seq
 	}
+	//tracelint:allow hotalloc — runs once per step count; DDIMTable memoizes the plan
 	seq := make([]int, steps)
 	for i := 0; i < steps; i++ {
 		seq[i] = i * T / steps

@@ -91,12 +91,14 @@ func (s *Schedule) DDIMTable(steps int) ([]int, []DDIMCoeff) {
 	s.ddimMu.Lock()
 	defer s.ddimMu.Unlock()
 	if s.ddimPlans == nil {
+		//tracelint:allow hotalloc — first DDIMTable call only
 		s.ddimPlans = make(map[int]*ddimPlan)
 	}
 	if p, ok := s.ddimPlans[steps]; ok {
 		return p.seq, p.coef
 	}
 	seq := ddimSequence(s.T, steps)
+	//tracelint:allow hotalloc — first use of this step count only; memoized below
 	coef := make([]DDIMCoeff, len(seq))
 	for i, t := range seq {
 		ab := s.AlphaBar[t]
@@ -104,6 +106,7 @@ func (s *Schedule) DDIMTable(steps int) ([]int, []DDIMCoeff) {
 		if i > 0 {
 			abPrev = s.AlphaBar[seq[i-1]]
 		}
+		//tracelint:allow hotalloc — value assignment into the memoized table, not a heap site per step
 		coef[i] = DDIMCoeff{
 			SqrtAB:      math.Sqrt(ab),
 			Sqrt1AB:     math.Sqrt(1 - ab),
@@ -111,6 +114,7 @@ func (s *Schedule) DDIMTable(steps int) ([]int, []DDIMCoeff) {
 			Sqrt1ABPrev: math.Sqrt(1 - abPrev),
 		}
 	}
+	//tracelint:allow hotalloc — first use of this step count only; later calls return the memo
 	s.ddimPlans[steps] = &ddimPlan{seq: seq, coef: coef}
 	return seq, coef
 }

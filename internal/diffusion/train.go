@@ -272,6 +272,9 @@ func (tr *Trainer) Step() error {
 	tr.step++
 
 	if cfg.Progress != nil {
+		// Steps/s is reported to the progress hook and never feeds back
+		// into weights, samples, or checkpoints.
+		//tracelint:allow walltime — observation-only progress timing
 		now := time.Now()
 		sps := 0.0
 		if !tr.prevStepEnd.IsZero() {

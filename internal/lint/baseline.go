@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline is a committed inventory of accepted findings. It lets a
+// new analyzer land with a zero-NEW-findings CI gate before its
+// pre-existing findings are swept: tracelint subtracts baselined
+// findings from its output and fails only on the remainder.
+//
+// Entries are keyed by (analyzer, file, message) — deliberately not by
+// line, so unrelated edits that shift code do not invalidate the
+// baseline — with a count bounding how many identical findings the
+// file may carry. Adding one more instance of a baselined finding
+// therefore still fails the gate.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry matches findings of one analyzer/file/message shape.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	// Count is how many findings this entry absorbs (default 1).
+	Count int `json:"count,omitempty"`
+}
+
+func baselineKey(analyzer, file, message string) string {
+	return analyzer + "\x00" + file + "\x00" + message
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, not an error, so repos without one need no flag plumbing.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline snapshots findings as a baseline file, merging
+// identical findings into counted entries sorted for stable diffs.
+func WriteBaseline(path string, findings []Finding) error {
+	counts := map[string]*BaselineEntry{}
+	var order []string
+	for _, f := range findings {
+		key := baselineKey(f.Analyzer, f.File(), f.Message)
+		if e, ok := counts[key]; ok {
+			e.Count++
+			continue
+		}
+		counts[key] = &BaselineEntry{Analyzer: f.Analyzer, File: f.File(), Message: f.Message, Count: 1}
+		order = append(order, key)
+	}
+	sort.Strings(order)
+	b := Baseline{Entries: make([]BaselineEntry, 0, len(order))}
+	for _, key := range order {
+		e := *counts[key]
+		if e.Count == 1 {
+			e.Count = 0 // omitempty: default is 1
+		}
+		b.Entries = append(b.Entries, e)
+	}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Apply splits findings into the ones not covered by the baseline
+// (returned) and the number it absorbed. Findings arrive sorted by
+// position, so when a file has more instances of a shape than its
+// budget, the later ones surface.
+func (b *Baseline) Apply(findings []Finding) (fresh []Finding, baselined int) {
+	budget := map[string]int{}
+	for _, e := range b.Entries {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		budget[baselineKey(e.Analyzer, e.File, e.Message)] += n
+	}
+	for _, f := range findings {
+		key := baselineKey(f.Analyzer, f.File(), f.Message)
+		if budget[key] > 0 {
+			budget[key]--
+			baselined++
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh, baselined
+}

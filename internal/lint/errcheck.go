@@ -16,9 +16,14 @@ import (
 // Calls that cannot fail are exempt: fmt.Print* to stdout, fmt.Fprint*
 // to a *bytes.Buffer, *strings.Builder, os.Stdout or os.Stderr, and
 // methods on *bytes.Buffer / *strings.Builder (documented to always
-// return nil errors). Deferred calls are also exempt; error-carrying
-// cleanups (e.g. Close on a written file) should be explicit
-// statements so the error can propagate.
+// return nil errors). Deferred calls are exempt from the general
+// dropped-error check, with one targeted exception: `defer f.Close()`
+// on an *os.File opened writable in the same function (os.Create, or
+// os.OpenFile with a write flag) is flagged, because Close is where
+// buffered write errors finally surface — deferring it without looking
+// at the result ships a truncated pcap or checkpoint as a success.
+// Read-only files (os.Open) are exempt: their Close error carries no
+// data-loss signal.
 var ErrCheck = &Analyzer{
 	Name: "errcheck",
 	Doc:  "forbid silently dropped error returns in internal/ and cmd/",
@@ -52,7 +57,105 @@ func runErrCheck(pass *Pass) {
 			}
 			return true
 		})
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkDeferClose(pass, info, fd)
+			}
+		}
 	}
+}
+
+// checkDeferClose flags `defer f.Close()` when f is an *os.File the
+// function itself opened writable. Close flushes; its error is the
+// only notification that buffered bytes never reached the disk.
+func checkDeferClose(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	// Pass 1: objects bound to writable opens in this function.
+	writable := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isWritableOpen(info, call) {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			if obj := info.Defs[id]; obj != nil {
+				writable[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				writable[obj] = true
+			}
+		}
+		return true
+	})
+	if len(writable) == 0 {
+		return
+	}
+
+	// Pass 2: deferred Close calls on those objects.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		sel, ok := ds.Call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Close" {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || !writable[info.Uses[id]] {
+			return true
+		}
+		pass.Reportf(ds.Pos(),
+			"close explicitly and propagate the error (e.g. `if err := f.Close(); err != nil`), or fold it into a named return",
+			"deferred Close on writable file %q discards the flush error", id.Name)
+		return true
+	})
+}
+
+// isWritableOpen reports whether the call opens a file for writing:
+// os.Create, or os.OpenFile whose flag expression names a write flag.
+func isWritableOpen(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+		return false
+	}
+	switch fn.Name() {
+	case "Create":
+		return true
+	case "OpenFile":
+		if len(call.Args) < 2 {
+			return false
+		}
+		return flagNamesWrite(call.Args[1])
+	}
+	return false
+}
+
+// writeFlagNames are the os.O_* flags that make an open writable.
+var writeFlagNames = map[string]bool{
+	"O_WRONLY": true, "O_RDWR": true, "O_APPEND": true, "O_TRUNC": true, "O_CREATE": true,
+}
+
+// flagNamesWrite walks a flag expression (typically `os.O_X|os.O_Y`)
+// looking for any write-implying O_* constant by name.
+func flagNamesWrite(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && writeFlagNames[sel.Sel.Name] {
+			found = true
+		}
+		if id, ok := n.(*ast.Ident); ok && writeFlagNames[id.Name] {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 // checkBlankErrAssign flags `_ = fallibleCall()` shapes with no

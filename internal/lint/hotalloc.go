@@ -1,0 +1,266 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// HotAlloc statically enforces the zero-steady-state-allocation
+// contract of the batched sampler (PR 4): a function annotated
+//
+//	//tracelint:hotpath
+//
+// — and every function it reaches through same-module static calls —
+// must not contain allocation sites. TestSampleSteadyStateAllocs
+// asserts the aggregate allocation count at runtime; this analyzer
+// names the offending line the moment an allocation is introduced,
+// before anyone runs the benchmark.
+//
+// Reported site classes: make, new, append outside the
+// capacity-reuse idiom (append(x[:0], ...)), composite literals,
+// closure construction (func literals), string concatenation, and
+// interface boxing at call arguments or conversions. Dynamic calls
+// (interface methods, func values like the denoiser ForwardFunc) are
+// not followed — the annotation boundary is the static call graph.
+// Failure paths are exempt: nothing inside a panic(...) argument is
+// checked, since the process is already tearing down.
+//
+// Deliberate allocations (arena-miss fallbacks, memoized first-use
+// tables, parallel-path closures gated behind a work threshold) are
+// suppressed in place with a reasoned directive:
+//
+//	//tracelint:allow hotalloc — arena miss: first step only, pooled after
+var HotAlloc = &Analyzer{
+	Name:      "hotalloc",
+	Doc:       "functions marked //tracelint:hotpath (and their same-module callees) must not allocate",
+	RunModule: runHotAlloc,
+}
+
+// hotFuncDecl pairs a function declaration with its package.
+type hotFuncDecl struct {
+	fd  *ast.FuncDecl
+	pkg *Package
+}
+
+func runHotAlloc(mp *ModulePass) {
+	// Index every function declaration in the module.
+	index := map[*types.Func]hotFuncDecl{}
+	var roots []*types.Func
+	for _, pkg := range mp.Pkgs {
+		for _, f := range pkg.Files {
+			if isTestFile(pkg, f) {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				index[fn] = hotFuncDecl{fd, pkg}
+				if _, hot := funcDirective(fd, hotpathDirective); hot {
+					roots = append(roots, fn)
+				}
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].FullName() < roots[j].FullName() })
+
+	// Propagate hotness through same-module static calls. origin maps
+	// each hot function to the annotated root that reached it first
+	// (deterministic: roots sorted, callees in source order).
+	origin := map[*types.Func]string{}
+	queue := make([]*types.Func, 0, len(roots))
+	for _, fn := range roots {
+		origin[fn] = fn.Name()
+		queue = append(queue, fn)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		hf := index[fn]
+		for _, callee := range staticCallees(hf.pkg.Info, hf.fd) {
+			if _, inModule := index[callee]; !inModule {
+				continue
+			}
+			if _, seen := origin[callee]; seen {
+				continue
+			}
+			origin[callee] = origin[fn]
+			queue = append(queue, callee)
+		}
+	}
+
+	hot := make([]*types.Func, 0, len(origin))
+	for fn := range origin {
+		hot = append(hot, fn)
+	}
+	sort.Slice(hot, func(i, j int) bool { return hot[i].FullName() < hot[j].FullName() })
+	for _, fn := range hot {
+		checkHotFunc(mp, index[fn], fn.Name(), origin[fn])
+	}
+}
+
+// staticCallees returns the same-module functions fd calls directly,
+// in source order. Interface methods and func values resolve to
+// objects outside the declaration index, so dynamic dispatch is
+// naturally excluded.
+func staticCallees(info *types.Info, fd *ast.FuncDecl) []*types.Func {
+	var out []*types.Func
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var id *ast.Ident
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			id = fun
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		default:
+			return true
+		}
+		if fn, ok := info.Uses[id].(*types.Func); ok {
+			out = append(out, fn)
+		}
+		return true
+	})
+	return out
+}
+
+const hotAllocHint = "hoist the allocation out of the hot loop, reuse a pooled buffer, or suppress with //tracelint:allow hotalloc — reason"
+
+// checkHotFunc reports every allocation site in one hot function.
+func checkHotFunc(mp *ModulePass, hf hotFuncDecl, name, root string) {
+	info := hf.pkg.Info
+	report := func(pos token.Pos, what string) {
+		via := ""
+		if name != root {
+			via = " (reached from //tracelint:hotpath root " + root + ")"
+		}
+		mp.Reportf(hf.pkg, pos, hotAllocHint,
+			"%s in hot path %s%s", what, name, via)
+	}
+	ast.Inspect(hf.fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isPanicCall(info, x) {
+				// Failure path: the process is tearing down.
+				return false
+			}
+			switch builtinName(info, x) {
+			case "make":
+				report(x.Pos(), "make")
+			case "new":
+				report(x.Pos(), "new")
+			case "append":
+				// append(x[:0], ...) is the sanctioned buffer-reuse
+				// idiom; any other append may grow past capacity.
+				if len(x.Args) > 0 {
+					if _, reuse := ast.Unparen(x.Args[0]).(*ast.SliceExpr); !reuse {
+						report(x.Pos(), "append beyond capacity")
+					}
+				}
+			default:
+				checkBoxing(info, x, report)
+			}
+		case *ast.CompositeLit:
+			report(x.Pos(), "composite literal")
+			return false // inner literals are part of this site
+		case *ast.FuncLit:
+			report(x.Pos(), "closure construction")
+			return true // the closure body runs on the hot path too
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringExpr(info, x.X) && info.Types[x].Value == nil {
+				report(x.OpPos, "string concatenation")
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isStringExpr(info, x.Lhs[0]) {
+				report(x.TokPos, "string concatenation")
+			}
+		}
+		return true
+	})
+}
+
+// checkBoxing reports call arguments where a concrete value converts
+// to an interface parameter (heap-boxing the value), and explicit
+// conversions to interface types.
+func checkBoxing(info *types.Info, call *ast.CallExpr, report func(token.Pos, string)) {
+	// Explicit conversion: T(x) where T is an interface type.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && boxes(info, call.Args[0]) {
+			report(call.Args[0].Pos(), "interface boxing")
+		}
+		return
+	}
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i < params.Len() && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0:
+			last := params.At(params.Len() - 1).Type()
+			if sl, ok := last.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		}
+		if pt != nil && types.IsInterface(pt) && boxes(info, arg) {
+			report(arg.Pos(), "interface boxing")
+		}
+	}
+}
+
+// boxes reports whether passing arg to an interface slot allocates: a
+// concrete, non-nil, non-constant value does.
+func boxes(info *types.Info, arg ast.Expr) bool {
+	tv, ok := info.Types[arg]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return false
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return !types.IsInterface(tv.Type)
+}
+
+// isStringExpr reports whether e has string type.
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// builtinName returns the name of the builtin a call targets, or "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return ""
+	}
+	return id.Name
+}
+
+// isPanicCall reports whether the call is the builtin panic.
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	return builtinName(info, call) == "panic"
+}

@@ -1,20 +1,33 @@
 // Package lint implements tracelint, a project-specific static
-// analysis pass over the trafficdiff module built on go/ast and
+// analysis framework over the trafficdiff module built on go/ast and
 // go/types alone.
 //
 // The pipeline's headline guarantee is bit-level determinism: the same
 // seed must yield the same synthetic pcap and the same table numbers on
-// every platform. The analyzers in this package mechanically enforce
-// the coding invariants that guarantee rests on:
+// every platform — and the serving layer must stay correct under heavy
+// concurrent traffic. The analyzers in this package mechanically
+// enforce the coding invariants those guarantees rest on:
 //
 //   - randimport: all randomness flows through internal/stats.RNG;
 //     math/rand and crypto/rand imports are banned in non-test code.
 //   - rngescape: a *stats.RNG must not be shared across goroutines;
 //     each goroutine takes its own Split() stream.
 //   - floateq: no ==/!= on floating-point operands outside tests.
-//   - errcheck: no silently dropped error returns in internal/ and cmd/.
+//   - errcheck: no silently dropped error returns in internal/ and
+//     cmd/, including `defer f.Close()` on files opened for writing.
 //   - paniccheck: no panic() in internal/ packages outside the tensor
 //     shape-invariant kernels.
+//   - walltime: no wall-clock reads (time.Now / time.Since /
+//     time.Until) in data-path packages; identical inputs must yield
+//     identical bytes regardless of when they run.
+//   - lockguard: a field annotated `// guarded by mu` is only touched
+//     inside a lexical mu.Lock()/RLock() scope or in a function
+//     annotated `//tracelint:holds mu`.
+//   - atomicmix: a field accessed through sync/atomic anywhere must be
+//     accessed atomically everywhere — no mixed plain loads/stores.
+//   - hotalloc: functions annotated `//tracelint:hotpath` (and
+//     everything they reach through same-module static calls) must not
+//     contain allocation sites.
 //
 // A finding can be suppressed at a specific site with a directive
 // comment naming the analyzer and a justification:
@@ -22,7 +35,10 @@
 //	//tracelint:allow paniccheck — documented API invariant, mirrors math/rand
 //
 // The directive applies to findings on its own line or, for a
-// standalone comment line, the line directly below it.
+// standalone comment line, the line directly below it. Findings that
+// predate an analyzer can instead be recorded in a committed baseline
+// file (see baseline.go), so a new analyzer lands with a
+// zero-new-findings CI gate without a same-PR sweep.
 package lint
 
 import (
@@ -32,6 +48,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Finding is one diagnostic produced by an analyzer.
@@ -56,17 +73,69 @@ func (f Finding) String() string {
 	return s
 }
 
-// Analyzer is one self-contained static-analysis pass. Run is invoked
-// once per package and reports through the pass.
+// File returns the module-relative file of the finding.
+func (f Finding) File() string { return posFile(f.Pos) }
+
+// Analyzer is one self-contained static-analysis pass. Exactly one of
+// Run and RunModule is set: Run is invoked once per package (passes
+// over distinct packages may run in parallel), RunModule once with
+// every loaded package (for analyses that follow edges across package
+// boundaries, like hotalloc's call graph).
 type Analyzer struct {
 	Name string
 	Doc  string
 	Run  func(*Pass)
+	// RunModule analyzers see the whole module at once.
+	RunModule func(*ModulePass)
 }
 
 // All returns every tracelint analyzer in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{RandImport, RNGEscape, FloatEq, ErrCheck, PanicCheck}
+	return []*Analyzer{
+		RandImport, RNGEscape, FloatEq, ErrCheck, PanicCheck,
+		WallTime, LockGuard, AtomicMix, HotAlloc,
+	}
+}
+
+// Select resolves -enable/-disable comma lists against the registry:
+// an empty enable list means "all analyzers", then disable names are
+// removed. Unknown names are errors so a typo cannot silently skip a
+// gate.
+func Select(enable, disable string) ([]*Analyzer, error) {
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	picked := All()
+	if enable != "" {
+		picked = nil
+		for _, name := range strings.Split(enable, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+			}
+			picked = append(picked, a)
+		}
+	}
+	if disable != "" {
+		drop := map[string]bool{}
+		for _, name := range strings.Split(disable, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := byName[name]; !ok {
+				return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+			}
+			drop[name] = true
+		}
+		kept := picked[:0]
+		for _, a := range picked {
+			if !drop[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		picked = kept
+	}
+	return picked, nil
 }
 
 // Pass carries one (package, analyzer) pairing and collects findings.
@@ -111,8 +180,68 @@ func (p *Pass) allowed(file string, line int) bool {
 	return false
 }
 
+// ModulePass is the module-wide analogue of Pass: one analyzer over
+// every loaded package. Reporting goes through the per-package Pass so
+// allow directives and position rendering behave identically.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+	// ModulePath is the module being analyzed.
+	ModulePath string
+
+	passes map[*Package]*Pass
+}
+
+// Reportf records a finding at pos inside pkg unless an allow
+// directive covers the line.
+func (mp *ModulePass) Reportf(pkg *Package, pos token.Pos, hint, format string, args ...any) {
+	mp.passes[pkg].Reportf(pos, hint, format, args...)
+}
+
 // directivePrefix starts a suppression comment: //tracelint:allow name…
 const directivePrefix = "tracelint:allow"
+
+// hotpathDirective marks a function whose steady-state loop must not
+// allocate: //tracelint:hotpath
+const hotpathDirective = "tracelint:hotpath"
+
+// holdsPrefix marks a function documented to be called with a lock
+// already held: //tracelint:holds mu
+const holdsPrefix = "tracelint:holds"
+
+// directiveText extracts the text of a tracelint directive with the
+// given name from one comment, or "" and false. The justification
+// after an em-dash or "--" is dropped.
+func directiveText(c *ast.Comment, name string) (string, bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	rest, ok := strings.CutPrefix(text, name)
+	if !ok {
+		return "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false
+	}
+	for _, sep := range []string{"—", "--"} {
+		if i := strings.Index(rest, sep); i >= 0 {
+			rest = rest[:i]
+		}
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// funcDirective scans a function's doc comment for the named tracelint
+// directive and returns its argument text.
+func funcDirective(fd *ast.FuncDecl, name string) (string, bool) {
+	if fd.Doc == nil {
+		return "", false
+	}
+	for _, c := range fd.Doc.List {
+		if text, ok := directiveText(c, name); ok {
+			return text, ok
+		}
+	}
+	return "", false
+}
 
 // collectAllows maps file -> line -> analyzers suppressed on that line.
 // A trailing comment suppresses its own line; a standalone comment line
@@ -131,17 +260,9 @@ func collectAllows(pkg *Package) map[string]map[int][]string {
 		}
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				rest, ok := strings.CutPrefix(text, directivePrefix)
+				rest, ok := directiveText(c, directivePrefix)
 				if !ok {
 					continue
-				}
-				// Drop the justification after an em-dash or "--".
-				for _, sep := range []string{"—", "--"} {
-					if i := strings.Index(rest, sep); i >= 0 {
-						rest = rest[:i]
-					}
 				}
 				names := strings.Fields(rest)
 				if len(names) == 0 {
@@ -160,22 +281,77 @@ func collectAllows(pkg *Package) map[string]map[int][]string {
 }
 
 // RunAnalyzers applies every analyzer to every package and returns the
-// surviving findings sorted by position.
+// surviving findings sorted by position. Per-package analyzers run in
+// parallel across packages (each analyzer only reads its package);
+// module-wide analyzers run concurrently with them over the full set.
 func RunAnalyzers(moduleRoot, modulePath string, pkgs []*Package, analyzers []*Analyzer) []Finding {
-	var findings []Finding
+	allowsByPkg := make(map[*Package]map[string]map[int][]string, len(pkgs))
 	for _, pkg := range pkgs {
-		allows := collectAllows(pkg)
-		for _, a := range analyzers {
-			a.Run(&Pass{
-				Analyzer:   a,
-				Pkg:        pkg,
-				ModulePath: modulePath,
-				moduleRoot: moduleRoot,
-				allows:     allows,
-				findings:   &findings,
-			})
+		allowsByPkg[pkg] = collectAllows(pkg)
+	}
+	var pkgAnalyzers, modAnalyzers []*Analyzer
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			modAnalyzers = append(modAnalyzers, a)
+		} else {
+			pkgAnalyzers = append(pkgAnalyzers, a)
 		}
 	}
+
+	var (
+		mu       sync.Mutex
+		findings []Finding
+		wg       sync.WaitGroup
+	)
+	for _, pkg := range pkgs {
+		wg.Add(1)
+		go func(pkg *Package) {
+			defer wg.Done()
+			var local []Finding
+			for _, a := range pkgAnalyzers {
+				a.Run(&Pass{
+					Analyzer:   a,
+					Pkg:        pkg,
+					ModulePath: modulePath,
+					moduleRoot: moduleRoot,
+					allows:     allowsByPkg[pkg],
+					findings:   &local,
+				})
+			}
+			mu.Lock()
+			findings = append(findings, local...)
+			mu.Unlock()
+		}(pkg)
+	}
+	for _, a := range modAnalyzers {
+		wg.Add(1)
+		go func(a *Analyzer) {
+			defer wg.Done()
+			var local []Finding
+			mp := &ModulePass{
+				Analyzer:   a,
+				Pkgs:       pkgs,
+				ModulePath: modulePath,
+				passes:     make(map[*Package]*Pass, len(pkgs)),
+			}
+			for _, pkg := range pkgs {
+				mp.passes[pkg] = &Pass{
+					Analyzer:   a,
+					Pkg:        pkg,
+					ModulePath: modulePath,
+					moduleRoot: moduleRoot,
+					allows:     allowsByPkg[pkg],
+					findings:   &local,
+				}
+			}
+			a.RunModule(mp)
+			mu.Lock()
+			findings = append(findings, local...)
+			mu.Unlock()
+		}(a)
+	}
+	wg.Wait()
+
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if af, bf := posFile(a.Pos), posFile(b.Pos); af != bf {

@@ -128,6 +128,106 @@ func TestRNGEscapeFixture(t *testing.T)  { runFixture(t, RNGEscape, "rngescape")
 func TestFloatEqFixture(t *testing.T)    { runFixture(t, FloatEq, "floateq") }
 func TestErrCheckFixture(t *testing.T)   { runFixture(t, ErrCheck, "errcheck") }
 func TestPanicCheckFixture(t *testing.T) { runFixture(t, PanicCheck, "paniccheck") }
+func TestWallTimeFixture(t *testing.T)   { runFixture(t, WallTime, "walltime") }
+func TestLockGuardFixture(t *testing.T)  { runFixture(t, LockGuard, "lockguard") }
+func TestAtomicMixFixture(t *testing.T)  { runFixture(t, AtomicMix, "atomicmix") }
+func TestHotAllocFixture(t *testing.T)   { runFixture(t, HotAlloc, "hotalloc") }
+
+func TestSelect(t *testing.T) {
+	all, err := Select("", "")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("Select(\"\", \"\") = %d analyzers, err %v; want all %d", len(all), err, len(All()))
+	}
+	picked, err := Select("walltime, lockguard", "")
+	if err != nil || len(picked) != 2 || picked[0].Name != "walltime" || picked[1].Name != "lockguard" {
+		t.Fatalf("Select enable list = %v, err %v", picked, err)
+	}
+	without, err := Select("", "hotalloc")
+	if err != nil || len(without) != len(All())-1 {
+		t.Fatalf("Select disable list = %d analyzers, err %v", len(without), err)
+	}
+	for _, a := range without {
+		if a.Name == "hotalloc" {
+			t.Fatal("disabled analyzer still selected")
+		}
+	}
+	if _, err := Select("nosuch", ""); err == nil {
+		t.Fatal("unknown enable name did not error")
+	}
+	if _, err := Select("", "nosuch"); err == nil {
+		t.Fatal("unknown disable name did not error")
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []Finding{
+		{Analyzer: "walltime", Pos: "internal/a/a.go:10:2", Message: "m1"},
+		{Analyzer: "walltime", Pos: "internal/a/a.go:20:2", Message: "m1"},
+		{Analyzer: "errcheck", Pos: "internal/b/b.go:5:1", Message: "m2"},
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, findings); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if len(b.Entries) != 2 {
+		t.Fatalf("got %d entries, want 2 (identical findings merge)", len(b.Entries))
+	}
+
+	// The exact recorded findings are fully absorbed.
+	fresh, baselined := b.Apply(findings)
+	if len(fresh) != 0 || baselined != 3 {
+		t.Fatalf("Apply on recorded set: %d fresh, %d baselined; want 0, 3", len(fresh), baselined)
+	}
+
+	// One more instance of a baselined shape exceeds its budget.
+	extra := append(append([]Finding(nil), findings...),
+		Finding{Analyzer: "walltime", Pos: "internal/a/a.go:30:2", Message: "m1"})
+	fresh, baselined = b.Apply(extra)
+	if len(fresh) != 1 || baselined != 3 {
+		t.Fatalf("Apply past budget: %d fresh, %d baselined; want 1, 3", len(fresh), baselined)
+	}
+
+	// A brand-new shape surfaces untouched.
+	fresh, _ = b.Apply([]Finding{{Analyzer: "floateq", Pos: "x.go:1:1", Message: "new"}})
+	if len(fresh) != 1 {
+		t.Fatalf("new shape absorbed by unrelated baseline")
+	}
+}
+
+func TestLoadBaselineMissingFile(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil || len(b.Entries) != 0 {
+		t.Fatalf("missing baseline: %v entries, err %v; want empty, nil", b, err)
+	}
+}
+
+// BenchmarkLintModule measures a full cold lint of the module: load +
+// type-check every package, then run all analyzers. This is the number
+// `make lint` pays; the loader's export-data stdlib importer and
+// parallel type-checking are what keep it in single-digit seconds.
+func BenchmarkLintModule(b *testing.B) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		l, err := NewLoader(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkgs, err := l.LoadAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f := RunAnalyzers(l.ModuleRoot(), l.ModulePath(), pkgs, All()); len(f) > 0 {
+			b.Fatalf("module has %d findings", len(f))
+		}
+	}
+}
 
 // TestLoaderResolvesModulePackages checks that the zero-dependency
 // loader can type-check a real module package and expose its types.

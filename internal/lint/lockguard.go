@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockGuard enforces `// guarded by mu` field annotations: every
+// access to an annotated field must happen either inside a lexical
+// Lock()/RLock() scope on the named mutex (with the same receiver
+// base), or in a function annotated `//tracelint:holds mu` whose
+// callers are documented to hold the lock.
+//
+// This statically pins the exact race class PR 3 shipped and then
+// fixed: Synthesizer.SetDDIMSteps mutated the sampling config while
+// concurrent Generate calls read it without synchronization — a data
+// race the race detector only sees when schedules interleave, while a
+// torn read corrupts the determinism contract every time. With the
+// mutable field annotated, reintroducing an unguarded read fails lint
+// deterministically at compile-review time.
+//
+// The lock-scope check is lexical, not flow-sensitive: inside one
+// function body, a Lock/RLock on `base.mu` opens the scope, a
+// non-deferred Unlock/RUnlock closes it, and a deferred Unlock keeps
+// it open to the end of the function — the three shapes this codebase
+// uses. Cleverer locking belongs behind a `//tracelint:holds`
+// annotation or an explicit allow directive.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated `guarded by mu` are only accessed under that lock",
+	Run:  runLockGuard,
+}
+
+// guardedRe matches the field annotation: `// guarded by mu`
+// anywhere in the field's doc or trailing comment.
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// lockDelta classifies mutex method calls by their effect on the
+// lexical lock depth.
+var lockDelta = map[string]int{"Lock": 1, "RLock": 1, "Unlock": -1, "RUnlock": -1}
+
+func runLockGuard(pass *Pass) {
+	info := pass.Pkg.Info
+	// guarded maps each annotated field object to its mutex field name.
+	guarded := map[types.Object]string{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mutex := fieldGuardAnnotation(field)
+				if mutex == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := info.Defs[name]; obj != nil {
+						guarded[obj] = mutex
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guarded) == 0 {
+		return
+	}
+
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass.Pkg, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncLockGuard(pass, fd, guarded)
+		}
+	}
+}
+
+// fieldGuardAnnotation returns the mutex name from a field's
+// `guarded by mu` comment, or "".
+func fieldGuardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// lockEvent is one Lock/Unlock call on a specific `base.mu` inside a
+// function body, in source order.
+type lockEvent struct {
+	pos   token.Pos
+	base  string
+	mutex string
+	delta int
+}
+
+func checkFuncLockGuard(pass *Pass, fd *ast.FuncDecl, guarded map[types.Object]string) {
+	info := pass.Pkg.Info
+	holds := map[string]bool{}
+	if args, ok := funcDirective(fd, holdsPrefix); ok {
+		for _, name := range strings.Fields(args) {
+			holds[name] = true
+		}
+	}
+
+	// Pass 1: collect lock events. Deferred Unlocks hold the scope open
+	// to function end, so they contribute no closing event.
+	var events []lockEvent
+	deferredCalls := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			deferredCalls[ds.Call] = true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		delta, ok := lockDelta[sel.Sel.Name]
+		if !ok {
+			return true
+		}
+		// The receiver must itself be `base.mutexField`.
+		mutexSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base := exprString(mutexSel.X)
+		if base == "" {
+			return true
+		}
+		if delta < 0 && deferredCalls[call] {
+			return true
+		}
+		events = append(events, lockEvent{pos: call.Pos(), base: base, mutex: mutexSel.Sel.Name, delta: delta})
+		return true
+	})
+
+	// Pass 2: check guarded-field accesses against the events.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[sel.Sel]
+		mutex, isGuarded := guarded[obj]
+		if !isGuarded {
+			return true
+		}
+		if holds[mutex] {
+			return true
+		}
+		base := exprString(sel.X)
+		depth := 0
+		for _, ev := range events {
+			if ev.pos < sel.Pos() && ev.base == base && ev.mutex == mutex {
+				depth += ev.delta
+			}
+		}
+		if depth > 0 {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"take "+base+"."+mutex+".Lock()/RLock() around the access, or annotate the function //tracelint:holds "+mutex,
+			"field %q is guarded by %q but accessed outside its lock scope", sel.Sel.Name, mutex)
+		return true
+	})
+}
+
+// exprString renders simple receiver chains (s, s.inner, (s).inner)
+// for matching lock receivers against field-access bases; anything
+// more exotic returns "" and is treated as unprotected.
+func exprString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprString(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	}
+	return ""
+}

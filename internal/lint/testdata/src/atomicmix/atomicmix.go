@@ -1,0 +1,41 @@
+// Package atomicmix is a tracelint fixture: fields accessed through
+// sync/atomic in one place and plainly in another.
+package atomicmix
+
+import "sync/atomic"
+
+type gen struct {
+	calls uint64
+	// plain is never touched atomically; ordinary access is fine.
+	plain uint64
+}
+
+// next advances the counter atomically — this marks calls as an
+// atomic field for the whole package.
+func (g *gen) next() uint64 {
+	return atomic.AddUint64(&g.calls, 1)
+}
+
+// loaded reads it atomically too: fine.
+func (g *gen) loaded() uint64 {
+	return atomic.LoadUint64(&g.calls)
+}
+
+// edit reproduces the Deblur/Translate bug: a plain increment and a
+// plain read racing with the atomic adds in next.
+func (g *gen) edit() uint64 {
+	g.calls++      // want `field "calls" is accessed atomically`
+	return g.calls // want `field "calls" is accessed atomically`
+}
+
+// editJustified shows the explicit escape hatch for a deliberate
+// single-goroutine phase (e.g. construction before publication).
+func (g *gen) editJustified() uint64 {
+	return g.calls //tracelint:allow atomicmix — fixture: pre-publication, no concurrent access yet
+}
+
+// bump only ever touches plain plainly: no findings.
+func (g *gen) bump() uint64 {
+	g.plain++
+	return g.plain
+}

@@ -1,0 +1,66 @@
+// Fixture for the defer-Close check: Close on a file opened writable
+// is where buffered write errors surface, so deferring it without
+// looking at the result drops them.
+package errcheck
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func writeDropped(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `deferred Close on writable file "f" discards the flush error`
+	_, err = f.Write(data)
+	return err
+}
+
+func appendDropped(path string) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `deferred Close on writable file "f" discards the flush error`
+	_, err = fmt.Fprintln(f, "entry")
+	return err
+}
+
+// readOnly is exempt: an os.Open Close error carries no data-loss
+// signal.
+func readOnly(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// explicitClose is the sanctioned shape: the error propagates.
+func explicitClose(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		// Best-effort cleanup on the error path; the write error wins.
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// bestEffort shows the reasoned escape hatch.
+func bestEffort(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() //tracelint:allow errcheck — fixture: scratch file, contents never read back
+	_, err = fmt.Fprintln(f, "scratch")
+	return err
+}

@@ -1,0 +1,53 @@
+// Package hotalloc is a tracelint fixture: allocation sites in
+// //tracelint:hotpath functions and their same-module callees.
+package hotalloc
+
+type point struct{ x, y int }
+
+// sink and value become hot transitively through root's calls; neither
+// allocates.
+func sink(v interface{}) { _ = v }
+
+func value() int { return len("fixture") }
+
+//tracelint:hotpath
+func root(buf []int, s1, s2 string) string {
+	m := make([]int, 8) // want `make in hot path root`
+	_ = m
+	p := new(point) // want `new in hot path root`
+	_ = p
+	buf = append(buf, 1)     // want `append beyond capacity in hot path root`
+	buf = append(buf[:0], 2) // the sanctioned reuse idiom: no growth past capacity
+	q := point{x: 1, y: 2}   // want `composite literal in hot path root`
+	_ = q
+	f := func() {} // want `closure construction in hot path root`
+	f()
+	out := s1 + s2 // want `string concatenation in hot path root`
+	out += s1      // want `string concatenation in hot path root`
+	sink(value())  // want `interface boxing in hot path root`
+	helper()
+	if len(buf) > 99 {
+		// Allocation sites inside panic arguments are exempt: the
+		// process is already tearing down.
+		panic(point{x: len(buf)})
+	}
+	return out
+}
+
+// helper is hot because root calls it.
+func helper() []byte {
+	return make([]byte, 4) // want `make in hot path helper`
+}
+
+// warm shows the reasoned escape hatch for a deliberate allocation.
+//
+//tracelint:hotpath
+func warm() *point {
+	//tracelint:allow hotalloc — fixture: first-call-only setup, memoized by the caller
+	return &point{x: 1}
+}
+
+// cold is not reachable from any hotpath root: allocate freely.
+func cold() []int {
+	return make([]int, 16)
+}

@@ -1,0 +1,72 @@
+// Package lockguard is a tracelint fixture: `guarded by mu` field
+// annotations versus lexical lock scopes.
+package lockguard
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// incLocked holds the lock across the access: fine.
+func (c *counter) incLocked() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// incScoped uses a paired Lock/Unlock: the access sits inside the
+// lexical scope, the one after Unlock does not.
+func (c *counter) incScoped() int {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return c.n // want `field "n" is guarded by "mu" but accessed outside its lock scope`
+}
+
+// incUnlocked never takes the lock.
+func (c *counter) incUnlocked() {
+	c.n++ // want `field "n" is guarded by "mu" but accessed outside its lock scope`
+}
+
+// nLocked is documented to run with the lock already held; the holds
+// annotation transfers the obligation to the callers.
+//
+//tracelint:holds mu
+func (c *counter) nLocked() int {
+	return c.n
+}
+
+// nRacyButJustified shows the explicit escape hatch.
+func (c *counter) nRacyButJustified() int {
+	return c.n //tracelint:allow lockguard — fixture: approximate read tolerated by the caller
+}
+
+// synth reproduces the PR-3 race shape: a mutable sampling parameter
+// behind an RWMutex, written under the write lock by a setter and read
+// by the generate path. The unguarded read below is the regression this
+// fixture pins — reintroducing it in core.Synthesizer fails lint the
+// same way.
+type synth struct {
+	mu    sync.RWMutex
+	steps int // guarded by mu
+}
+
+func (s *synth) SetSteps(n int) {
+	s.mu.Lock()
+	s.steps = n
+	s.mu.Unlock()
+}
+
+// snapshot reads under the read lock: fine.
+func (s *synth) snapshot() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.steps
+}
+
+// generate forgets the read lock — the SetDDIMSteps/Generate race.
+func (s *synth) generate() int {
+	return s.steps // want `field "steps" is guarded by "mu" but accessed outside its lock scope`
+}

@@ -1,0 +1,34 @@
+// Package walltime is a tracelint fixture: wall-clock reads in a
+// data-path package. The package path ends in lint/testdata/src/walltime,
+// which walltimeSuffixes routes through the analyzer.
+package walltime
+
+import "time"
+
+// epoch is the fixed, reproducible base time the data path should use.
+var epoch = time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func stamp() time.Time {
+	return time.Now() // want `time.Now reads the wall clock in data-path package walltime`
+}
+
+func age(t time.Time) time.Duration {
+	return time.Since(t) // want `time.Since reads the wall clock in data-path package walltime`
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want `time.Until reads the wall clock in data-path package walltime`
+}
+
+// derived arithmetic on times already in hand introduces no ambient
+// input and is fine.
+func derived(i int) time.Time {
+	return epoch.Add(time.Duration(i) * time.Second)
+}
+
+// observed is the sanctioned escape hatch: timing that provably never
+// feeds back into outputs, suppressed with a reasoned directive.
+func observed() time.Time {
+	//tracelint:allow walltime — observation-only timing for this fixture
+	return time.Now()
+}

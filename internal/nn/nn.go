@@ -26,6 +26,7 @@ type V struct {
 
 // NewV wraps x as a graph value with a zero gradient.
 func NewV(x *tensor.Tensor) *V {
+	//tracelint:allow hotalloc — arena miss: hot callers hit Tape.alloc's free list in steady state
 	return &V{X: x, G: tensor.New(x.Shape...)}
 }
 
@@ -118,12 +119,16 @@ func (t *Tape) alloc(shape ...int) *V {
 		base.G.Zero()
 		v := base
 		if !shapeEq(base.X.Shape, shape) {
+			//tracelint:allow hotalloc — header-only rewrap when a reused buffer changes shape; data is shared
 			v = &V{X: base.X.Reshape(shape...), G: base.G.Reshape(shape...)}
 		}
+		//tracelint:allow hotalloc — bookkeeping append: taken reaches steady capacity after the first step
 		t.taken = append(t.taken, v)
 		return v
 	}
+	//tracelint:allow hotalloc — arena miss: first step only, recycled afterwards
 	v := NewV(tensor.New(shape...))
+	//tracelint:allow hotalloc — bookkeeping append: taken reaches steady capacity after the first step
 	t.taken = append(t.taken, v)
 	return v
 }
@@ -190,13 +195,16 @@ func (t *Tape) Recycle() {
 	}
 	for _, v := range t.taken {
 		n := v.X.Len()
+		//tracelint:allow hotalloc — free-list append: capacity reaches steady state after the first cycle
 		t.free[n] = append(t.free[n], v)
 	}
 	t.taken = t.taken[:0]
 	for _, b := range t.staken {
+		//tracelint:allow hotalloc — free-list append: capacity reaches steady state after the first cycle
 		t.sfree[len(b)] = append(t.sfree[len(b)], b)
 	}
 	t.staken = t.staken[:0]
+	//tracelint:allow hotalloc — free-list append: capacity reaches steady state after the first cycle
 	t.vfree = append(t.vfree, t.vtaken...)
 	t.vtaken = t.vtaken[:0]
 }

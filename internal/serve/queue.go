@@ -20,7 +20,7 @@ const (
 type queue struct {
 	mu     sync.Mutex
 	ch     chan *request
-	closed bool
+	closed bool // guarded by mu
 }
 
 func newQueue(depth int) *queue {

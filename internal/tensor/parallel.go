@@ -81,6 +81,7 @@ func shard(n int, fn func(lo, hi int)) {
 			hi = n
 		}
 		wg.Add(1)
+		//tracelint:allow hotalloc — parallel path only: shard is unreachable below the parallelOK work threshold
 		go func(lo, hi int) {
 			defer wg.Done()
 			fn(lo, hi)

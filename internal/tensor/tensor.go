@@ -25,6 +25,7 @@ func New(shape ...int) *Tensor {
 		}
 		n *= s
 	}
+	//tracelint:allow hotalloc — construction API: hot callers reuse storage through the nn.Tape arena
 	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
 }
 
@@ -70,6 +71,7 @@ func (t *Tensor) Clone() *Tensor {
 // Reshape returns a view with a new shape sharing storage. The element
 // count must match.
 func (t *Tensor) Reshape(shape ...int) *Tensor {
+	//tracelint:allow hotalloc — header-only view sharing storage; the arena rewrap path pays it rarely
 	v := &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
 	if v.Len() != t.Len() {
 		panic(fmt.Sprintf("tensor: reshape %v -> %v", t.Shape, shape))
@@ -100,6 +102,8 @@ func (t *Tensor) Randn(r *stats.RNG, std float64) *Tensor {
 }
 
 // AddInto accumulates o into t elementwise.
+//
+//tracelint:hotpath
 func (t *Tensor) AddInto(o *Tensor) {
 	if len(t.Data) != len(o.Data) {
 		panic("tensor: AddInto size mismatch")
@@ -122,6 +126,8 @@ func MatMul(a, b *Tensor) *Tensor {
 // MatMulInto computes C = A·B into c, which must be [m,n] and
 // zero-filled (the kernels accumulate). Lets callers with an arena
 // (nn.Tape reuse) avoid reallocating the output every step.
+//
+//tracelint:hotpath
 func MatMulInto(c, a, b *Tensor) {
 	m, k := a.Shape[0], a.Shape[1]
 	k2, n := b.Shape[0], b.Shape[1]
@@ -138,8 +144,8 @@ func MatMulInto(c, a, b *Tensor) {
 		return
 	}
 	dispatch(m*k*n, m, n,
-		func(lo, hi int) { matmulRows(c.Data, a.Data, b.Data, lo, hi, k, n) },
-		func(lo, hi int) { matmulCols(c.Data, a.Data, b.Data, m, k, n, lo, hi) })
+		func(lo, hi int) { matmulRows(c.Data, a.Data, b.Data, lo, hi, k, n) },    //tracelint:allow hotalloc — parallel path only, gated by parallelOK
+		func(lo, hi int) { matmulCols(c.Data, a.Data, b.Data, m, k, n, lo, hi) }) //tracelint:allow hotalloc — parallel path only, gated by parallelOK
 }
 
 // MatMulATB computes C = Aᵀ·B for A [k,m] and B [k,n] → C [m,n],
@@ -151,6 +157,8 @@ func MatMulATB(a, b *Tensor) *Tensor {
 }
 
 // MatMulATBInto computes C = Aᵀ·B into a zero-filled c [m,n].
+//
+//tracelint:hotpath
 func MatMulATBInto(c, a, b *Tensor) {
 	k, m := a.Shape[0], a.Shape[1]
 	k2, n := b.Shape[0], b.Shape[1]
@@ -165,8 +173,8 @@ func MatMulATBInto(c, a, b *Tensor) {
 		return
 	}
 	dispatch(m*k*n, m, n,
-		func(lo, hi int) { matmulATBRows(c.Data, a.Data, b.Data, lo, hi, k, m, n) },
-		func(lo, hi int) { matmulATBCols(c.Data, a.Data, b.Data, k, m, n, lo, hi) })
+		func(lo, hi int) { matmulATBRows(c.Data, a.Data, b.Data, lo, hi, k, m, n) }, //tracelint:allow hotalloc — parallel path only, gated by parallelOK
+		func(lo, hi int) { matmulATBCols(c.Data, a.Data, b.Data, k, m, n, lo, hi) }) //tracelint:allow hotalloc — parallel path only, gated by parallelOK
 }
 
 // MatMulABT computes C = A·Bᵀ for A [m,k] and B [n,k] → C [m,n],
@@ -179,6 +187,8 @@ func MatMulABT(a, b *Tensor) *Tensor {
 
 // MatMulABTInto computes C = A·Bᵀ into c [m,n]. Each element is an
 // overwriting dot product, so c need not be zeroed.
+//
+//tracelint:hotpath
 func MatMulABTInto(c, a, b *Tensor) {
 	m, k := a.Shape[0], a.Shape[1]
 	n, k2 := b.Shape[0], b.Shape[1]
@@ -193,6 +203,6 @@ func MatMulABTInto(c, a, b *Tensor) {
 		return
 	}
 	dispatch(m*k*n, m, n,
-		func(lo, hi int) { matmulABTRows(c.Data, a.Data, b.Data, lo, hi, k, n) },
-		func(lo, hi int) { matmulABTCols(c.Data, a.Data, b.Data, m, k, n, lo, hi) })
+		func(lo, hi int) { matmulABTRows(c.Data, a.Data, b.Data, lo, hi, k, n) },    //tracelint:allow hotalloc — parallel path only, gated by parallelOK
+		func(lo, hi int) { matmulABTCols(c.Data, a.Data, b.Data, m, k, n, lo, hi) }) //tracelint:allow hotalloc — parallel path only, gated by parallelOK
 }
