@@ -62,12 +62,22 @@ bench-json:
 # on a quiet box with BENCH_THRESHOLD=0.10.
 BENCH_BASELINE ?= post-PR4-batched
 BENCH_THRESHOLD ?= 0.25
+# Serving-latency leg of the gate: the staggered-arrival suite's probe
+# p95 against the committed continuous-batching record. Tail latency on
+# a shared single-CPU runner swings far more than the kernel benches
+# (machine state alone moves it ±30%), so the threshold is wide — this
+# leg catches architecture-level regressions (a blocking admission path,
+# a lost preemption), not percentage drift.
+SERVE_BASELINE ?= post-PR7-continuous
+SERVE_THRESHOLD ?= 0.50
 bench-gate:
 	{ $(GO) test -run NONE -bench 'BenchmarkGenerationSpeed' -benchmem . ; \
 	  $(GO) test -run NONE -bench 'BenchmarkSampleBatched' -benchmem ./internal/diffusion ; \
 	  $(GO) test -run NONE -bench . -benchmem ./internal/tensor ; } \
 	| $(GO) run ./cmd/benchjson -label gate-candidate -out /tmp/bench_gate.json
 	$(GO) run ./cmd/benchjson -compare -old-label "$(BENCH_BASELINE)" -threshold "$(BENCH_THRESHOLD)" BENCH_kernels.json /tmp/bench_gate.json
+	$(GO) run ./cmd/benchjson -suite serve-stagger -label gate-candidate -out /tmp/bench_gate_serve.json
+	$(GO) run ./cmd/benchjson -compare -old-label "$(SERVE_BASELINE)" -threshold "$(SERVE_THRESHOLD)" BENCH_serve.json /tmp/bench_gate_serve.json
 
 # Serving throughput/latency snapshot: trains a tiny synthesizer, loads
 # it with concurrent HTTP requests through the full traced pipeline, and

@@ -42,12 +42,12 @@ import (
 
 // Result is one parsed benchmark line.
 type Result struct {
-	Name       string  `json:"name"`
-	Package    string  `json:"package,omitempty"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	BytesPerOp int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64  `json:"allocs_per_op,omitempty"`
+	Name        string  `json:"name"`
+	Package     string  `json:"package,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 	// Custom holds testing.B.ReportMetric extras (e.g. flows/s).
 	Custom map[string]float64 `json:"custom,omitempty"`
 }
@@ -68,8 +68,8 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	label := flag.String("label", "bench", "label for this run")
 	appendRun := flag.Bool("append", false, "append to an existing -out document instead of overwriting")
-	suite := flag.String("suite", "", "run a built-in suite instead of parsing stdin (serve)")
-	requests := flag.Int("requests", 64, "total requests for -suite serve")
+	suite := flag.String("suite", "", "run a built-in suite instead of parsing stdin (serve, serve-stagger)")
+	requests := flag.Int("requests", 64, "total requests for -suite serve (probe count for serve-stagger)")
 	clients := flag.Int("clients", 8, "concurrent clients for -suite serve")
 	compare := flag.Bool("compare", false, "compare two snapshots: benchjson -compare old.json new.json")
 	threshold := flag.Float64("threshold", 0.10, "per-benchmark ns/op regression threshold for -compare")
@@ -107,8 +107,10 @@ func main() {
 		run, err = parse(bufio.NewScanner(os.Stdin), *label)
 	case "serve":
 		run, err = runServeSuite(*label, *requests, *clients)
+	case "serve-stagger":
+		run, err = runServeStaggerSuite(*label, *requests)
 	default:
-		err = fmt.Errorf("unknown suite %q (want serve)", *suite)
+		err = fmt.Errorf("unknown suite %q (want serve or serve-stagger)", *suite)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -666,7 +666,6 @@ func (s *Synthesizer) GenerateWithFlowSeeds(class string, flowSeeds []uint64) (*
 // batches amortize per-step costs while each flow's bytes stay a pure
 // function of its seed.
 func (s *Synthesizer) generate(ci int, class string, cfg Config, scfg diffusion.SampleConfig, tsRNGs []*stats.RNG, starts []time.Time) (*GenerateResult, error) {
-	n := scfg.N
 	scfg.Class = ci
 	scfg.GuidanceScale = cfg.GuidanceScale
 	scfg.DDIMSteps = cfg.DDIMSteps
@@ -677,11 +676,20 @@ func (s *Synthesizer) generate(ci int, class string, cfg Config, scfg diffusion.
 	if err != nil {
 		return nil, err
 	}
+	return s.postprocess(ci, class, cfg, samples.Data, tsRNGs, starts)
+}
 
-	// Post-processing (upscale, quantize, projection, back-transform,
-	// timestamp stamping) is independent per flow: each worker owns one
-	// result slot, and the aggregation below runs sequentially in flow
-	// order, so the result is identical at any GOMAXPROCS.
+// postprocess turns n sampled model-resolution images (packed in
+// samples, one h*w row per flow) into replayable flows: upscale,
+// quantize, constraint projection, nprint back-transform, timestamp
+// stamping. It is the half of generation shared by the batch path
+// (generate) and the continuous-batching Engine, which receives its
+// samples from an incremental step scheduler instead of one Sample
+// call. Work is independent per flow: each worker owns one result
+// slot, and the aggregation below runs sequentially in flow order, so
+// the result is identical at any GOMAXPROCS.
+func (s *Synthesizer) postprocess(ci int, class string, cfg Config, samples []float32, tsRNGs []*stats.RNG, starts []time.Time) (*GenerateResult, error) {
+	n := len(tsRNGs)
 	tpl := s.templates[ci]
 	h, w := s.ModelShape()
 	d := h * w
@@ -705,7 +713,7 @@ func (s *Synthesizer) generate(ci int, class string, cfg Config, scfg diffusion.
 			defer wg.Done()
 			defer func() { <-sem }()
 			slot := &slots[i]
-			im := &imagerep.Image{H: h, W: w, Pix: samples.Data[i*d : (i+1)*d]}
+			im := &imagerep.Image{H: h, W: w, Pix: samples[i*d : (i+1)*d]}
 			up, err := imagerep.Upscale(im, cfg.DownH, cfg.DownW)
 			if err != nil {
 				slot.err = err

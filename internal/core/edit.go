@@ -79,7 +79,7 @@ func (s *Synthesizer) Deblur(f *flow.Flow, class string, missing []FieldMask) (*
 	if err != nil {
 		return nil, err
 	}
-	return s.postprocess(img, ci, class, calls)
+	return s.editPostprocess(img, ci, class, calls)
 }
 
 // pixelMask maps full-resolution column masks to the model's
@@ -139,14 +139,14 @@ func (s *Synthesizer) Translate(f *flow.Flow, targetClass string, strength float
 	if err != nil {
 		return nil, err
 	}
-	return s.postprocess(img, ci, targetClass, calls)
+	return s.editPostprocess(img, ci, targetClass, calls)
 }
 
-// postprocess runs the shared color-process / project / back-transform
+// editPostprocess runs the shared color-process / project / back-transform
 // tail on a single sampled image [1,h,w]. calls is the generation
 // counter value the caller drew atomically; it seeds the timestamp RNG
 // so concurrent edits never share a stream.
-func (s *Synthesizer) postprocess(img *tensor.Tensor, ci int, label string, calls uint64) (*GenerateResult, error) {
+func (s *Synthesizer) editPostprocess(img *tensor.Tensor, ci int, label string, calls uint64) (*GenerateResult, error) {
 	h, w := s.ModelShape()
 	im := &imagerep.Image{H: h, W: w, Pix: img.Data}
 	up, err := imagerep.Upscale(im, s.cfg.DownH, s.cfg.DownW)

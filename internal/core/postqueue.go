@@ -1,0 +1,79 @@
+package core
+
+import "sync"
+
+// postQueue is the bounded hand-off between the step loop and the post
+// workers. Unlike a channel it is not FIFO: pop returns the job with
+// the fewest flows (ties in arrival order), so a 1-flow probe's cheap
+// post-processing is never stuck behind bulk 8-flow jobs — the same
+// least-work-first policy the step-row budget applies to denoising.
+// push blocks when the queue is full, preserving the channel version's
+// backpressure on the step loop.
+type postQueue struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond
+	notFull  sync.Cond
+	jobs     []*engineJob
+	limit    int
+	closed   bool
+}
+
+func newPostQueue(limit int) *postQueue {
+	q := &postQueue{limit: limit}
+	q.notEmpty.L = &q.mu
+	q.notFull.L = &q.mu
+	return q
+}
+
+// push enqueues a completed job, blocking while the queue is full.
+// Pushing after close is a programming error upstream and the job is
+// dropped; the step loop closes the queue only after its last push.
+func (q *postQueue) push(job *engineJob) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.jobs) >= q.limit && !q.closed {
+		q.notFull.Wait()
+	}
+	if q.closed {
+		return
+	}
+	q.jobs = append(q.jobs, job)
+	q.notEmpty.Signal()
+}
+
+// pop removes and returns the smallest queued job, blocking while the
+// queue is empty. It returns nil once the queue is closed and drained.
+func (q *postQueue) pop() *engineJob {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.jobs) == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if len(q.jobs) == 0 {
+		return nil
+	}
+	best := 0
+	for i, j := range q.jobs[1:] {
+		if len(j.seeds) < len(q.jobs[best].seeds) {
+			best = i + 1
+		}
+	}
+	job := q.jobs[best]
+	// Preserve arrival order among the rest so equal-size jobs stay
+	// FIFO, and drop the vacated tail reference.
+	last := len(q.jobs) - 1
+	copy(q.jobs[best:], q.jobs[best+1:])
+	q.jobs[last] = nil
+	q.jobs = q.jobs[:last]
+	q.notFull.Signal()
+	return job
+}
+
+// close wakes every waiter; pending jobs still drain through pop.
+func (q *postQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+}

@@ -48,12 +48,14 @@ type ForwardFunc func(tp *nn.Tape, xt *nn.V, steps []int, class []int, control *
 
 // Sample draws cfg.N images [N,1,H,W] from the model under sched.
 //
-// The loop is step-serial and batch-wide: each timestep runs ONE
-// forward over all N flows, so the denoiser sees [N,·] tensors big
-// enough for the parallel kernel layer instead of N batch-1 calls
-// below its work threshold (the PR 2 end-to-end regression). The
-// DDPM/DDIM update is then applied per flow from that flow's private
-// RNG stream.
+// The whole batch is admitted to a step Scheduler and stepped until
+// every flow completes: each timestep runs ONE forward over all N
+// flows, so the denoiser sees [N,·] tensors big enough for the
+// parallel kernel layer instead of N batch-1 calls below its work
+// threshold (the PR 2 end-to-end regression). The DDPM/DDIM update is
+// then applied per flow from that flow's private RNG stream. Callers
+// that need mid-generation admission and retirement drive a Scheduler
+// directly (the serving engine does).
 //
 // Determinism: every kernel computes each output row with an
 // accumulation order independent of the batch's row count, so the
@@ -63,10 +65,6 @@ type ForwardFunc func(tp *nn.Tape, xt *nn.V, steps []int, class []int, control *
 // TestBatchedMatchesLegacy) and, with FlowSeeds, stays a pure
 // function of each flow's seed regardless of batch composition or
 // GOMAXPROCS.
-//
-// Steady-state allocation: one reuse-enabled no-grad tape plus
-// persistent step/class/ε buffers live across all timesteps, so after
-// the first step the loop allocates only small tensor headers.
 func Sample(model Denoiser, sched *Schedule, cfg SampleConfig) (*tensor.Tensor, error) {
 	forward, err := sampleSetup(model, cfg)
 	if err != nil {
@@ -76,34 +74,24 @@ func Sample(model Denoiser, sched *Schedule, cfg SampleConfig) (*tensor.Tensor, 
 	n, d := cfg.N, h*w
 	rngs := flowStreams(cfg)
 
-	// Tile the shared control image across the batch once.
-	var control *tensor.Tensor
-	if cfg.Control != nil {
-		control = tensor.New(n, 1, h, w)
-		for i := 0; i < n; i++ {
-			copy(control.Data[i*d:(i+1)*d], cfg.Control.Data[:d])
-		}
-	}
-
-	p := newPredictor(forward, model.NullClass(), n, cfg.Class, cfg.GuidanceScale, control, h, w)
-
-	// x_T ~ N(0, I): each flow's initial noise comes from its own
-	// stream, preserving the per-flow draw sequence of the legacy
-	// per-flow path.
-	x := tensor.New(n, 1, h, w)
+	eng := NewScheduler(model, sched, forward)
+	out := tensor.New(n, 1, h, w)
 	for i, r := range rngs {
-		seg := x.Data[i*d : (i+1)*d]
-		for j := range seg {
-			seg[j] = float32(r.NormFloat64())
+		if _, err := eng.Admit(FlowSpec{
+			Class:         cfg.Class,
+			GuidanceScale: cfg.GuidanceScale,
+			DDIMSteps:     cfg.DDIMSteps,
+			RNG:           r,
+			Control:       cfg.Control,
+			Out:           out.Data[i*d : (i+1)*d],
+		}); err != nil {
+			return nil, err
 		}
 	}
-
-	if cfg.DDIMSteps > 0 && cfg.DDIMSteps < sched.T {
-		sampleDDIM(x, sched, cfg.DDIMSteps, p)
-	} else {
-		batchDDPM(x, sched, rngs, p)
+	for eng.Active() > 0 {
+		eng.Step()
 	}
-	return x, nil
+	return out, nil
 }
 
 // SampleLegacy draws cfg.N images with the pre-batching orchestration:
@@ -311,22 +299,6 @@ func ddimUpdate(xd, ed []float32, c DDIMCoeff) {
 			x0 = -1.5
 		}
 		xd[j] = float32(c.SqrtABPrev*x0 + c.Sqrt1ABPrev*float64(ed[j]))
-	}
-}
-
-// batchDDPM runs full ancestral sampling over the whole batch: T
-// batched model evaluations, then a per-flow update from each flow's
-// own stream.
-//
-//tracelint:hotpath
-func batchDDPM(x *tensor.Tensor, sched *Schedule, rngs []*stats.RNG, p *predictor) {
-	d := x.Len() / len(rngs)
-	for t := sched.T - 1; t >= 0; t-- {
-		eps := p.predict(x, t)
-		for i, r := range rngs {
-			ddpmUpdate(x.Data[i*d:(i+1)*d], eps.Data[i*d:(i+1)*d], sched, t, r)
-		}
-		p.endStep()
 	}
 }
 

@@ -120,6 +120,150 @@ func TestBatchedMatchesLegacyUNet(t *testing.T) {
 	}
 }
 
+// churnFlow is one flow of the randomized churn schedule: its spec,
+// its solo-reference config, and where the scheduler run put it.
+type churnFlow struct {
+	seed     uint64
+	class    int
+	guidance float64
+	ddim     int
+	id       FlowID
+	out      []float32
+	retired  bool
+	done     bool
+}
+
+// TestSchedulerChurnBitIdentity is the continuous-batching bit-identity
+// property test: flows join the in-flight batch and retire at
+// randomized step boundaries, mixing DDPM with heterogeneous DDIM step
+// counts, classes and guidance scales in one batch, with and without
+// ControlNet conditioning, at GOMAXPROCS 1 and 8 — and every completed
+// flow's bytes must equal a solo SampleLegacy run of that flow alone.
+// This is the contract that lets traced admit a request into a batch
+// that is already at step 37 without the response bytes depending on
+// it. Runs under -race in CI (make race).
+func TestSchedulerChurnBitIdentity(t *testing.T) {
+	r := stats.NewRNG(11)
+	h, w := 4, 8
+	model := equivModel(r, h, w)
+	sched := NewSchedule(ScheduleCosine, 12)
+	control := tensor.New(1, h, w).Randn(r, 1)
+	d := h * w
+
+	ddimChoices := []int{0, 3, 4, 6} // 0 = full DDPM, rest heterogeneous DDIM budgets
+	guidanceChoices := []float64{1, 2, 3}
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 8} {
+		runtime.GOMAXPROCS(procs)
+		for _, ctl := range []*tensor.Tensor{nil, control} {
+			// budget 3 forces the step-row cap through constant
+			// least-attained reordering under churn; 0 steps every row.
+			for _, budget := range []int{0, 3} {
+				name := fmt.Sprintf("procs=%d/ctl=%v/budget=%d", procs, ctl != nil, budget)
+				driver := stats.NewRNG(97) // deterministic churn script
+				eng := NewScheduler(model, sched, nil)
+				eng.SetStepRows(budget)
+				var flows []*churnFlow
+				byID := map[FlowID]*churnFlow{}
+				admitted, completed := 0, 0
+				const total = 14
+				for completed < total {
+					// Admit 0-2 new flows at this boundary (always at least
+					// one while the engine is idle and flows remain).
+					burst := int(driver.Uint64() % 3)
+					for burst > 0 || (eng.Active() == 0 && admitted < total) {
+						if admitted >= total {
+							break
+						}
+						cf := &churnFlow{
+							seed:     uint64(1000 + admitted),
+							class:    int(driver.Uint64() % 2),
+							guidance: guidanceChoices[driver.Uint64()%3],
+							ddim:     ddimChoices[driver.Uint64()%4],
+							out:      make([]float32, d),
+						}
+						id, err := eng.Admit(FlowSpec{
+							Class:         cf.class,
+							GuidanceScale: cf.guidance,
+							DDIMSteps:     cf.ddim,
+							RNG:           stats.NewRNG(cf.seed),
+							Control:       ctl,
+							Out:           cf.out,
+						})
+						if err != nil {
+							t.Fatalf("%s: admit: %v", name, err)
+						}
+						cf.id = id
+						flows = append(flows, cf)
+						byID[id] = cf
+						admitted++
+						burst--
+					}
+					// Occasionally retire a random live flow mid-generation
+					// (its spot must not perturb anyone else's bytes).
+					if driver.Uint64()%5 == 0 {
+						live := flows[:0:0]
+						for _, cf := range flows {
+							if !cf.done && !cf.retired {
+								live = append(live, cf)
+							}
+						}
+						if len(live) > 1 {
+							victim := live[driver.Uint64()%uint64(len(live))]
+							victim.retired = true
+							eng.Retire(victim.id)
+							completed++ // retired flows count toward termination
+						}
+					}
+					for _, id := range eng.Step() {
+						cf := byID[id]
+						if cf == nil {
+							t.Fatalf("%s: unknown completed id %d", name, id)
+						}
+						if cf.retired {
+							t.Fatalf("%s: retired flow %d completed", name, id)
+						}
+						cf.done = true
+						completed++
+					}
+				}
+				for eng.Active() > 0 {
+					for _, id := range eng.Step() {
+						byID[id].done = true
+					}
+				}
+
+				for _, cf := range flows {
+					if cf.retired {
+						// A retired flow must never have written its output.
+						for j, v := range cf.out {
+							if v != 0 {
+								t.Fatalf("%s: retired flow %d wrote out[%d]=%v", name, cf.id, j, v)
+							}
+						}
+						continue
+					}
+					if !cf.done {
+						t.Fatalf("%s: flow %d never completed", name, cf.id)
+					}
+					solo, err := SampleLegacy(model, sched, SampleConfig{
+						Class: cf.class, N: 1, GuidanceScale: cf.guidance,
+						DDIMSteps: cf.ddim, Control: ctl, FlowSeeds: []uint64{cf.seed},
+					})
+					if err != nil {
+						t.Fatalf("%s: solo reference: %v", name, err)
+					}
+					if i, ok := bitsEqual(cf.out, solo.Data); !ok {
+						t.Errorf("%s: flow %d (class=%d w=%v ddim=%d) diverges from solo at [%d]",
+							name, cf.id, cf.class, cf.guidance, cf.ddim, i)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestBatchCompositionInvariance checks the FlowSeeds contract on the
 // batched path directly: a flow's bytes are a pure function of its own
 // seed, unchanged by which other flows share the batch.

@@ -1,0 +1,485 @@
+package diffusion
+
+import (
+	"fmt"
+
+	"trafficdiff/internal/nn"
+	"trafficdiff/internal/stats"
+	"trafficdiff/internal/tensor"
+)
+
+// FlowID names one flow admitted to a Scheduler.
+type FlowID uint64
+
+// FlowSpec describes one flow to admit into the in-flight denoising
+// batch. Every flow carries its own class, guidance scale, step budget
+// and RNG stream, so a single batch may mix classes and DDIM step
+// counts freely: the denoiser forward already takes per-row timestep
+// and class indices, and every kernel computes each output row with a
+// row-count-independent accumulation order.
+type FlowSpec struct {
+	// Class conditions the flow ("the prompt"). Must be < NullClass.
+	Class int
+	// GuidanceScale w applies classifier-free guidance per flow:
+	// ε = ε_uncond + w·(ε_cond − ε_uncond).
+	GuidanceScale float64
+	// DDIMSteps, when in (0, T), runs the deterministic DDIM sampler
+	// with that many steps; otherwise full ancestral DDPM.
+	DDIMSteps int
+	// RNG is the flow's private noise stream. The scheduler draws the
+	// initial x_T from it at admission and (for DDPM) one noise element
+	// per pixel per step, exactly the draw sequence of a solo run — the
+	// root of the bit-identity contract.
+	RNG *stats.RNG
+	// Control, when non-nil, is the flow's ControlNet conditioning
+	// image with H*W leading elements. Control presence must be uniform
+	// across all flows in one scheduler: the denoiser forward takes one
+	// control tensor covering every row, so a nil-control flow cannot
+	// share a forward with a conditioned one.
+	Control *tensor.Tensor
+	// Out receives the finished sample (len H*W) when the flow
+	// completes. Retired flows never write it.
+	Out []float32
+	// JobRows is the number of flows admitted together as one request
+	// (0 is treated as 1). It is a scheduling hint only: under a
+	// step-row budget, flows belonging to smaller jobs with fewer
+	// remaining steps are stepped first (shortest remaining processing
+	// time), which minimizes mean request latency. It never affects any
+	// flow's bytes.
+	JobRows int
+}
+
+// SchedulerStats counts the engine's work. FlowSteps/Steps is the mean
+// batch occupancy; a retired flow stops contributing to FlowSteps at
+// the next step boundary, which is what "retiring dead work" means in
+// forward passes saved.
+type SchedulerStats struct {
+	// Steps is the number of batched denoiser evaluations run (a
+	// guided step's conditional+unconditional forward pair counts once).
+	Steps uint64
+	// FlowSteps is the number of flow-rows summed over those steps.
+	FlowSteps uint64
+	Admitted  uint64
+	Completed uint64
+	Retired   uint64
+}
+
+// schedFlow is one in-flight flow's private state. Its row index in
+// the packed batch buffers is implicit: flows[i] owns row i.
+type schedFlow struct {
+	id  FlowID
+	rng *stats.RNG
+
+	class  int
+	guided bool
+	wg     float32
+
+	// The step plan. DDIM: seq/coef are the memoized DDIMTable plan and
+	// pos indexes seq, counting down to 0. DDPM: seq is nil and pos is
+	// the current timestep t, counting down to 0. Either way pos < 0
+	// means done.
+	seq  []int
+	coef []DDIMCoeff
+	pos  int
+
+	out     []float32
+	retired bool
+	// jobRows is the FlowSpec scheduling hint (≥1): the size of the
+	// request this flow arrived with. The step-row budget prioritizes
+	// jobRows·(pos+1) — the job's remaining row-steps — so a small
+	// fresh request overtakes bulk work (SRPT).
+	jobRows int
+}
+
+// remainingWork is the flow's SRPT priority key: its job's remaining
+// denoiser row-steps, assuming siblings share its plan (they do — a
+// job admits identical specs). Lower runs first.
+func (f *schedFlow) remainingWork() int {
+	return f.jobRows * (f.pos + 1)
+}
+
+// curT returns the flow's current timestep.
+func (f *schedFlow) curT() int {
+	if f.seq != nil {
+		return f.seq[f.pos]
+	}
+	return f.pos
+}
+
+// Scheduler is an incremental denoising engine: a long-lived batched
+// sampler whose batch composition may change at every timestep
+// boundary. Admit adds flows to the in-flight batch (each starting at
+// its own x_T), Step advances the active flows by one step of their
+// own plans with ONE batched forward (a guided pair when any stepping
+// flow wants guidance), and Retire drops a flow's rows at the next
+// boundary so an abandoned request stops consuming forwards
+// mid-generation. SetStepRows optionally caps the rows per forward,
+// stepping the jobs with the least remaining work first so a fresh
+// small request reaches its first result without paying for every
+// bulk row in flight.
+//
+// Determinism: a flow's output is a pure function of its FlowSpec —
+// independent of when it was admitted, which flows shared its
+// forwards, and in which buffer row it ran. This holds because every
+// kernel computes each output row with an accumulation order
+// independent of the batch's row count, the forward conditions each
+// row only on that row's timestep/class embedding, and all noise comes
+// from the flow's private stream. sample_equiv_test.go pins this
+// byte-for-byte against solo SampleLegacy runs under admission/retire
+// churn.
+//
+// Steady-state allocation: the packed row buffers, index slices,
+// guidance-combine buffer and the reuse-enabled no-grad tape arena all
+// persist across steps, so a stable batch steps with only small tensor
+// headers allocated (TestSchedulerSteadyStateAllocs).
+//
+// A Scheduler is NOT safe for concurrent use: one goroutine owns it
+// (the serving engine's step loop, or a Sample call).
+type Scheduler struct {
+	sched     *Schedule
+	forward   ForwardFunc
+	nullClass int
+	h, w, d   int
+
+	flows []*schedFlow
+	// Packed row storage: flow i's pixels live in xbuf[i*d:(i+1)*d].
+	// The DDPM/DDIM updates run in place here, so rows are only copied
+	// on admission, compaction and completion — never per step.
+	xbuf []float32
+	// cbuf mirrors xbuf for per-flow control rows when control is on.
+	cbuf      []float32
+	controlOn bool
+	// stepRows caps the rows advanced per Step (0 = all): see
+	// SetStepRows.
+	stepRows int
+	// rowTmp is the d-element scratch for swapping two packed rows.
+	rowTmp []float32
+
+	tp     *nn.Tape
+	steps  []int
+	classC []int
+	classU []int
+	// epsBuf holds the per-row guidance-combined ε when any active flow
+	// is guided (unguided rows are copied through from ε_cond).
+	epsBuf []float32
+
+	// Cached view headers over the packed buffers; rebuilt only when
+	// the active row count or the backing arrays change.
+	xView *tensor.Tensor
+	cView *tensor.Tensor
+	viewN int
+
+	completed []FlowID
+	nextID    FlowID
+	stats     SchedulerStats
+}
+
+// NewScheduler builds an empty engine over the model and schedule.
+// forward overrides the model's forward pass (LoRA, ablations); nil
+// means model.Forward.
+func NewScheduler(model Denoiser, sched *Schedule, forward ForwardFunc) *Scheduler {
+	if forward == nil {
+		forward = model.Forward
+	}
+	h, w := model.Shape()
+	s := &Scheduler{
+		sched:     sched,
+		forward:   forward,
+		nullClass: model.NullClass(),
+		h:         h, w: w, d: h * w,
+		tp:     nn.NewTape(),
+		viewN:  -1,
+		rowTmp: make([]float32, h*w),
+	}
+	s.tp.EnableReuse()
+	s.tp.SetNoGrad(true)
+	return s
+}
+
+// Active returns the number of in-flight flows (including ones marked
+// retired but not yet dropped at a boundary).
+func (s *Scheduler) Active() int { return len(s.flows) }
+
+// Stats returns a snapshot of the engine's work counters.
+func (s *Scheduler) Stats() SchedulerStats { return s.stats }
+
+// Admit adds a flow to the batch, drawing its initial x_T noise from
+// its private stream. The flow joins the next Step's forward. Admission
+// order never affects any flow's output bytes.
+func (s *Scheduler) Admit(spec FlowSpec) (FlowID, error) {
+	if spec.RNG == nil {
+		return 0, fmt.Errorf("diffusion: admit needs a flow RNG")
+	}
+	if spec.Class < 0 || spec.Class >= s.nullClass {
+		return 0, fmt.Errorf("diffusion: class %d out of range [0,%d)", spec.Class, s.nullClass)
+	}
+	if len(spec.Out) != s.d {
+		return 0, fmt.Errorf("diffusion: out buffer has %d elements, want %d", len(spec.Out), s.d)
+	}
+	hasControl := spec.Control != nil
+	if hasControl && len(spec.Control.Data) < s.d {
+		return 0, fmt.Errorf("diffusion: control image smaller than %d elements", s.d)
+	}
+	if len(s.flows) == 0 {
+		s.controlOn = hasControl
+	} else if hasControl != s.controlOn {
+		return 0, fmt.Errorf("diffusion: control presence must be uniform across the batch")
+	}
+
+	f := &schedFlow{
+		id:      s.nextID,
+		rng:     spec.RNG,
+		class:   spec.Class,
+		out:     spec.Out,
+		jobRows: max(spec.JobRows, 1),
+	}
+	s.nextID++
+	f.guided = !stats.ApproxEqual(spec.GuidanceScale, 1, 1e-9)
+	if f.guided {
+		f.wg = float32(spec.GuidanceScale)
+	}
+	if spec.DDIMSteps > 0 && spec.DDIMSteps < s.sched.T {
+		f.seq, f.coef = s.sched.DDIMTable(spec.DDIMSteps)
+		f.pos = len(f.seq) - 1
+	} else {
+		f.pos = s.sched.T - 1
+	}
+
+	row := len(s.flows)
+	s.growTo(row + 1)
+	seg := s.xbuf[row*s.d : (row+1)*s.d]
+	for j := range seg {
+		seg[j] = float32(spec.RNG.NormFloat64())
+	}
+	if s.controlOn {
+		copy(s.cbuf[row*s.d:(row+1)*s.d], spec.Control.Data[:s.d])
+	}
+	s.flows = append(s.flows, f)
+	s.stats.Admitted++
+	return f.id, nil
+}
+
+// Retire marks a flow for removal; its rows are dropped at the start
+// of the next Step without running further forwards and without
+// writing Out. Retiring an unknown or already-finished id is a no-op.
+func (s *Scheduler) Retire(id FlowID) {
+	for _, f := range s.flows {
+		if f.id == id {
+			f.retired = true
+			return
+		}
+	}
+}
+
+// growTo makes the packed buffers and index slices hold at least n
+// rows, preserving live rows. Geometric growth keeps admission churn
+// amortized-O(row).
+func (s *Scheduler) growTo(n int) {
+	if n*s.d <= len(s.xbuf) {
+		return
+	}
+	rows := len(s.xbuf) / s.d
+	if rows < 4 {
+		rows = 4
+	}
+	for rows < n {
+		rows *= 2
+	}
+	xbuf := make([]float32, rows*s.d)
+	copy(xbuf, s.xbuf[:len(s.flows)*s.d])
+	s.xbuf = xbuf
+	cbuf := make([]float32, rows*s.d)
+	copy(cbuf, s.cbuf[:min(len(s.cbuf), len(s.flows)*s.d)])
+	s.cbuf = cbuf
+	s.epsBuf = make([]float32, rows*s.d)
+	s.steps = make([]int, rows)
+	s.classC = make([]int, rows)
+	s.classU = make([]int, rows)
+	s.viewN = -1 // backing arrays moved; view headers are stale
+}
+
+// SetStepRows caps the rows advanced per Step call at n (0 restores
+// the default of stepping every active row). When the batch exceeds
+// the cap, each Step picks the n flows whose jobs have the least
+// remaining row-steps (shortest remaining processing time, ties by
+// admission order), so fresh small requests reach their first result
+// through small, cheap forwards while bulk jobs drain oldest-first
+// through the remaining capacity. Output bytes are unaffected: which
+// rows share a forward never changes any flow's math, only when it
+// runs.
+func (s *Scheduler) SetStepRows(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.stepRows = n
+}
+
+// dropRow removes row i from the packed state by moving the last row
+// into its place. Row order is free to change: no flow's bytes depend
+// on which row it occupies.
+func (s *Scheduler) dropRow(i int) {
+	last := len(s.flows) - 1
+	if i != last {
+		copy(s.xbuf[i*s.d:(i+1)*s.d], s.xbuf[last*s.d:(last+1)*s.d])
+		if s.controlOn {
+			copy(s.cbuf[i*s.d:(i+1)*s.d], s.cbuf[last*s.d:(last+1)*s.d])
+		}
+		s.flows[i] = s.flows[last]
+	}
+	s.flows[last] = nil
+	s.flows = s.flows[:last]
+}
+
+// swapRows exchanges rows i and j of the packed state.
+func (s *Scheduler) swapRows(i, j int) {
+	if i == j {
+		return
+	}
+	ri, rj := s.xbuf[i*s.d:(i+1)*s.d], s.xbuf[j*s.d:(j+1)*s.d]
+	copy(s.rowTmp, ri)
+	copy(ri, rj)
+	copy(rj, s.rowTmp)
+	if s.controlOn {
+		ci, cj := s.cbuf[i*s.d:(i+1)*s.d], s.cbuf[j*s.d:(j+1)*s.d]
+		copy(s.rowTmp, ci)
+		copy(ci, cj)
+		copy(cj, s.rowTmp)
+	}
+	s.flows[i], s.flows[j] = s.flows[j], s.flows[i]
+}
+
+// selectActive applies the step-row budget: when the batch exceeds it,
+// the budget's worth of flows with the least remaining job work (ties
+// by admission order) are swapped to the front rows and only they
+// advance this Step — shortest remaining processing time, the policy
+// that minimizes mean request latency when sizes are known. A 1-flow
+// probe therefore steps at every boundary even when an 8-flow bulk
+// request lands right next to it, while bulk jobs drain in admission
+// order through the remaining capacity. Starvation is bounded by the
+// small-request load share: a big job's key only decreases as it runs,
+// so whenever small jobs leave budget headroom the oldest big job
+// advances. (Least-attained-service with admission-order ties was
+// tried first and measured worse: every fresh bulk batch outranked the
+// mid-flight probe until it caught up.) The partial selection sort is
+// deterministic and O(budget·n) on batches of at most a few dozen
+// rows.
+func (s *Scheduler) selectActive() int {
+	n := len(s.flows)
+	if s.stepRows <= 0 || n <= s.stepRows {
+		return n
+	}
+	for k := 0; k < s.stepRows; k++ {
+		best := k
+		for i := k + 1; i < n; i++ {
+			f, b := s.flows[i], s.flows[best]
+			fw, bw := f.remainingWork(), b.remainingWork()
+			if fw < bw || (fw == bw && f.id < b.id) {
+				best = i
+			}
+		}
+		s.swapRows(k, best)
+	}
+	return s.stepRows
+}
+
+// views returns the [n,1,H,W] tensor headers over the packed buffers,
+// rebuilding them only when n or the backing arrays changed — a stable
+// batch reuses the same headers every step.
+func (s *Scheduler) views(n int) (x, c *tensor.Tensor) {
+	if s.viewN != n {
+		//tracelint:allow hotalloc — header-only rebuild when batch composition changes; stable batches reuse it
+		s.xView = tensor.FromSlice(s.xbuf[:n*s.d], n, 1, s.h, s.w)
+		if s.controlOn {
+			//tracelint:allow hotalloc — header-only rebuild when batch composition changes; stable batches reuse it
+			s.cView = tensor.FromSlice(s.cbuf[:n*s.d], n, 1, s.h, s.w)
+		} else {
+			s.cView = nil
+		}
+		s.viewN = n
+	}
+	return s.xView, s.cView
+}
+
+// Step advances the active flows by one step of their own plans:
+// retired flows are dropped first, the step-row budget (if set) picks
+// the least-remaining-work flows to advance, then ONE batched forward (a
+// guided pair when any stepping flow is guided) evaluates ε for the
+// stepping rows at their per-row timesteps, and each flow's DDPM/DDIM
+// update runs in place from its own coefficients and private stream.
+// Flows whose plan is exhausted copy their row into Out and leave the
+// batch; their IDs are returned (the slice is reused across calls —
+// copy it to keep it).
+//
+//tracelint:hotpath
+func (s *Scheduler) Step() []FlowID {
+	s.completed = s.completed[:0]
+	for i := 0; i < len(s.flows); {
+		if s.flows[i].retired {
+			s.stats.Retired++
+			s.dropRow(i)
+			continue
+		}
+		i++
+	}
+	if len(s.flows) == 0 {
+		return s.completed
+	}
+	n := s.selectActive()
+
+	guided := false
+	for i, f := range s.flows[:n] {
+		s.steps[i] = f.curT()
+		s.classC[i] = f.class
+		s.classU[i] = s.nullClass
+		guided = guided || f.guided
+	}
+	xv, cv := s.views(n)
+	tp := s.tp
+	epsC := s.forward(tp, tp.Input(xv), s.steps[:n], s.classC[:n], cv)
+	eps := epsC.X.Data
+	if guided {
+		epsU := s.forward(tp, tp.Input(xv), s.steps[:n], s.classU[:n], cv)
+		cd, ud := epsC.X.Data, epsU.X.Data
+		for i, f := range s.flows[:n] {
+			seg := s.epsBuf[i*s.d : (i+1)*s.d]
+			if f.guided {
+				wg := f.wg
+				for j := range seg {
+					seg[j] = ud[i*s.d+j] + wg*(cd[i*s.d+j]-ud[i*s.d+j])
+				}
+			} else {
+				copy(seg, cd[i*s.d:(i+1)*s.d])
+			}
+		}
+		eps = s.epsBuf
+	}
+
+	for i, f := range s.flows[:n] {
+		row := s.xbuf[i*s.d : (i+1)*s.d]
+		erow := eps[i*s.d : (i+1)*s.d]
+		if f.seq != nil {
+			ddimUpdate(row, erow, f.coef[f.pos])
+		} else {
+			ddpmUpdate(row, erow, s.sched, f.pos, f.rng)
+		}
+		f.pos--
+	}
+	tp.Reset()
+	tp.Recycle()
+	s.stats.Steps++
+	s.stats.FlowSteps += uint64(n)
+
+	for i := 0; i < len(s.flows); {
+		f := s.flows[i]
+		if f.pos >= 0 {
+			i++
+			continue
+		}
+		copy(f.out, s.xbuf[i*s.d:(i+1)*s.d])
+		//tracelint:allow hotalloc — completed-ID append: capacity reaches steady state after the first completions
+		s.completed = append(s.completed, f.id)
+		s.stats.Completed++
+		s.dropRow(i)
+	}
+	return s.completed
+}

@@ -1,0 +1,241 @@
+package diffusion
+
+import (
+	"testing"
+
+	"trafficdiff/internal/stats"
+	"trafficdiff/internal/tensor"
+)
+
+// admitTestFlow admits one DDIM flow with the given budget and returns
+// its id and output buffer.
+func admitTestFlow(t *testing.T, eng *Scheduler, seed uint64, ddim int, d int) (FlowID, []float32) {
+	t.Helper()
+	out := make([]float32, d)
+	id, err := eng.Admit(FlowSpec{
+		Class: 0, GuidanceScale: 2, DDIMSteps: ddim,
+		RNG: stats.NewRNG(seed), Out: out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id, out
+}
+
+// TestSchedulerRetireStopsWork is the wasted-work regression test: a
+// flow retired mid-generation must stop consuming forwards at the next
+// step boundary instead of running its remaining steps as dead work.
+// Before the scheduler, an expired request that had already been
+// dispatched was always fully generated.
+func TestSchedulerRetireStopsWork(t *testing.T) {
+	r := stats.NewRNG(31)
+	h, w := 4, 8
+	model := equivModel(r, h, w)
+	sched := NewSchedule(ScheduleCosine, 12)
+	eng := NewScheduler(model, sched, nil)
+
+	const ddim = 6
+	idA, outA := admitTestFlow(t, eng, 7, ddim, h*w)
+	idB, outB := admitTestFlow(t, eng, 8, ddim, h*w)
+	_ = idA
+
+	eng.Step()
+	eng.Step()
+	if got := eng.Stats().FlowSteps; got != 4 {
+		t.Fatalf("FlowSteps after 2 two-row steps = %d, want 4", got)
+	}
+	eng.Retire(idB)
+	for eng.Active() > 0 {
+		eng.Step()
+	}
+	st := eng.Stats()
+	// Flow A runs its remaining 4 steps alone: 4 + 4 flow-steps total.
+	// Had B not been retired the engine would have run 12.
+	if st.FlowSteps != 8 {
+		t.Errorf("FlowSteps = %d, want 8 (retired flow consumed forwards past the boundary)", st.FlowSteps)
+	}
+	if st.Retired != 1 || st.Completed != 1 {
+		t.Errorf("retired/completed = %d/%d, want 1/1", st.Retired, st.Completed)
+	}
+	for j, v := range outB {
+		if v != 0 {
+			t.Fatalf("retired flow wrote out[%d]=%v", j, v)
+		}
+	}
+	// The surviving flow's bytes are unaffected by its neighbour's
+	// retirement: identical to a solo run.
+	solo, err := SampleLegacy(model, sched, SampleConfig{
+		Class: 0, N: 1, GuidanceScale: 2, DDIMSteps: ddim, FlowSeeds: []uint64{7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, ok := bitsEqual(outA, solo.Data); !ok {
+		t.Errorf("survivor diverges from solo at [%d]", i)
+	}
+}
+
+// TestSchedulerAdmitValidation covers the Admit error surface,
+// including the uniform-control-presence invariant.
+func TestSchedulerAdmitValidation(t *testing.T) {
+	r := stats.NewRNG(37)
+	h, w := 4, 8
+	model := equivModel(r, h, w)
+	sched := NewSchedule(ScheduleCosine, 8)
+	eng := NewScheduler(model, sched, nil)
+	d := h * w
+	control := tensor.New(1, h, w).Randn(r, 1)
+
+	if _, err := eng.Admit(FlowSpec{Class: 0, RNG: nil, Out: make([]float32, d)}); err == nil {
+		t.Error("nil RNG admitted")
+	}
+	if _, err := eng.Admit(FlowSpec{Class: 9, RNG: stats.NewRNG(1), Out: make([]float32, d)}); err == nil {
+		t.Error("out-of-range class admitted")
+	}
+	if _, err := eng.Admit(FlowSpec{Class: 0, RNG: stats.NewRNG(1), Out: make([]float32, d-1)}); err == nil {
+		t.Error("short out buffer admitted")
+	}
+	if _, err := eng.Admit(FlowSpec{Class: 0, RNG: stats.NewRNG(1), Out: make([]float32, d)}); err != nil {
+		t.Fatalf("valid unconditioned admit: %v", err)
+	}
+	if _, err := eng.Admit(FlowSpec{Class: 0, RNG: stats.NewRNG(2), Control: control, Out: make([]float32, d)}); err == nil {
+		t.Error("mixed control presence admitted into an unconditioned batch")
+	}
+	for eng.Active() > 0 {
+		eng.Step()
+	}
+	// With the batch drained the presence mode resets.
+	if _, err := eng.Admit(FlowSpec{Class: 0, RNG: stats.NewRNG(3), Control: control, Out: make([]float32, d)}); err != nil {
+		t.Fatalf("conditioned admit into an empty engine: %v", err)
+	}
+}
+
+// TestSchedulerSteadyStateAllocs asserts a stable batch steps without
+// per-step storage allocations: after one warm-up step primes the tape
+// arena and the cached view headers, a guided step over 8 flows must
+// stay within the same small header budget as the predictor path.
+func TestSchedulerSteadyStateAllocs(t *testing.T) {
+	r := stats.NewRNG(23)
+	h, w := 8, 16
+	model := NewMLPDenoiser(r, h, w, 128, 2)
+	sched := NewSchedule(ScheduleCosine, 80)
+	eng := NewScheduler(model, sched, nil)
+	const n = 8
+	outs := make([][]float32, n)
+	for i := range outs {
+		outs[i] = make([]float32, h*w)
+		if _, err := eng.Admit(FlowSpec{
+			Class: 0, GuidanceScale: 2, RNG: stats.NewRNG(uint64(i + 1)), Out: outs[i],
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Step() // warm the arena and view headers
+	avg := testing.AllocsPerRun(20, func() { eng.Step() })
+	if avg > 48 {
+		t.Errorf("steady-state Step allocates %.1f times, want <= 48", avg)
+	}
+}
+
+// TestSchedulerStepRowsBudget pins the step-row cap's semantics: each
+// Step advances exactly the budget's worth of least-attained flows, a
+// late-joining flow is prioritized until it catches up, and every
+// flow still finishes byte-identical to its solo run.
+func TestSchedulerStepRowsBudget(t *testing.T) {
+	r := stats.NewRNG(53)
+	h, w := 4, 8
+	model := equivModel(r, h, w)
+	sched := NewSchedule(ScheduleCosine, 12)
+	eng := NewScheduler(model, sched, nil)
+	eng.SetStepRows(2)
+	d := h * w
+
+	const ddim = 4
+	_, outA := admitTestFlow(t, eng, 21, ddim, d)
+	_, outB := admitTestFlow(t, eng, 22, ddim, d)
+	_, outC := admitTestFlow(t, eng, 23, ddim, d)
+
+	// 3 flows, budget 2: every boundary steps exactly 2 rows.
+	eng.Step()
+	if st := eng.Stats(); st.Steps != 1 || st.FlowSteps != 2 {
+		t.Fatalf("after budgeted step: steps=%d flowSteps=%d, want 1/2", st.Steps, st.FlowSteps)
+	}
+	// A flow joining now has attained 0 — less than everyone — so it
+	// must be in the stepping pair at the next boundary and, with
+	// ddim=2 < 4, can overtake and finish first.
+	idD, outD := admitTestFlow(t, eng, 24, 2, d)
+	var order []FlowID
+	for eng.Active() > 0 {
+		order = append(order, eng.Step()...)
+	}
+	if len(order) != 4 || order[0] != idD {
+		t.Fatalf("completion order %v, want the late short flow %d first", order, idD)
+	}
+	for i, c := range []struct {
+		seed uint64
+		dd   int
+		out  []float32
+	}{{21, ddim, outA}, {22, ddim, outB}, {23, ddim, outC}, {24, 2, outD}} {
+		solo, err := SampleLegacy(model, sched, SampleConfig{
+			Class: 0, N: 1, GuidanceScale: 2, DDIMSteps: c.dd, FlowSeeds: []uint64{c.seed},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j, ok := bitsEqual(c.out, solo.Data); !ok {
+			t.Errorf("flow %d diverges from solo at [%d] under a step-row budget", i, j)
+		}
+	}
+}
+
+// TestSchedulerGrowthPreservesFlows admits past the initial buffer
+// capacity mid-flight and checks every flow still matches its solo
+// run: growth must move live rows without corrupting them.
+func TestSchedulerGrowthPreservesFlows(t *testing.T) {
+	r := stats.NewRNG(41)
+	h, w := 4, 8
+	model := equivModel(r, h, w)
+	sched := NewSchedule(ScheduleCosine, 10)
+	eng := NewScheduler(model, sched, nil)
+	d := h * w
+
+	type fl struct {
+		seed uint64
+		out  []float32
+	}
+	var flows []fl
+	admit := func(seed uint64) {
+		out := make([]float32, d)
+		if _, err := eng.Admit(FlowSpec{
+			Class: 1, GuidanceScale: 2, DDIMSteps: 5,
+			RNG: stats.NewRNG(seed), Out: out,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		flows = append(flows, fl{seed, out})
+	}
+	// 3 flows fit the initial 4-row buffer; two steps in, a burst of 6
+	// more forces a regrow while rows are mid-denoise.
+	for i := 0; i < 3; i++ {
+		admit(uint64(100 + i))
+	}
+	eng.Step()
+	eng.Step()
+	for i := 0; i < 6; i++ {
+		admit(uint64(200 + i))
+	}
+	for eng.Active() > 0 {
+		eng.Step()
+	}
+	for _, f := range flows {
+		solo, err := SampleLegacy(model, sched, SampleConfig{
+			Class: 1, N: 1, GuidanceScale: 2, DDIMSteps: 5, FlowSeeds: []uint64{f.seed},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i, ok := bitsEqual(f.out, solo.Data); !ok {
+			t.Errorf("seed %d diverges from solo at [%d] after mid-flight growth", f.seed, i)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package serve
+
+import "sync"
+
+// gateOutcome is the result of one admission attempt.
+type gateOutcome int
+
+const (
+	gateOK gateOutcome = iota
+	gateFull
+	gateClosed
+)
+
+// gate is the service's backpressure boundary: a closable counting
+// limit on the requests concurrently inside the server (waiting for
+// engine admission or mid-generation). Unlike a queue it holds no
+// work — requests past the gate drive their own generation — so
+// closing it refuses new arrivals without stranding anything.
+type gate struct {
+	mu     sync.Mutex
+	n      int
+	limit  int
+	closed bool
+}
+
+func newGate(limit int) *gate {
+	return &gate{limit: limit}
+}
+
+// acquire takes a slot, or reports why it could not.
+func (g *gate) acquire() gateOutcome {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return gateClosed
+	}
+	if g.n >= g.limit {
+		return gateFull
+	}
+	g.n++
+	return gateOK
+}
+
+// release returns a slot taken by a successful acquire.
+func (g *gate) release() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n--
+}
+
+// depth reports the slots currently held.
+func (g *gate) depth() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// close makes every future acquire return gateClosed. Idempotent;
+// held slots are unaffected.
+func (g *gate) close() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.closed = true
+}

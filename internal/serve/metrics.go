@@ -2,7 +2,9 @@ package serve
 
 import (
 	"expvar"
-	"sync/atomic"
+	"time"
+
+	"trafficdiff/internal/core"
 )
 
 // metrics is the server's expvar-backed instrumentation. Every counter
@@ -18,9 +20,6 @@ type metrics struct {
 	completed *expvar.Int // completed_total
 	failed    *expvar.Int // failed_total (500)
 
-	// Coalescer and generation counters.
-	batches        *expvar.Int // batches_total
-	batchFlows     *expvar.Int // batch_flows_total
 	flowsGenerated *expvar.Int // flows_generated_total
 
 	// Latency counters: mean = sum/count; distributions come from the
@@ -28,14 +27,21 @@ type metrics struct {
 	latencyMsSum *expvar.Float // latency_ms_sum
 	latencyCount *expvar.Int   // latency_ms_count
 
-	writeErrors *expvar.Int // response_write_errors_total
+	// Admission-wait histograms keyed by class (mean = sum/count per
+	// class): time from request acceptance to the step boundary where
+	// its flows joined the in-flight batch.
+	admitWaitMsSum *expvar.Map // admission_wait_ms_sum
+	admitWaitCount *expvar.Map // admission_wait_ms_count
 
-	// batchMax tracks the largest coalesced batch (flows) seen; kept
-	// as a CAS-able atomic and exposed through an expvar.Func gauge.
-	batchMax atomic.Int64
+	writeErrors *expvar.Int // response_write_errors_total
 }
 
-func newMetrics(queueDepth func() int) *metrics {
+// newMetrics wires the counter set plus live gauges over the gate and
+// the engine. Batch occupancy is exported as a count/sum pair straight
+// from the engine's step counters: batch_occupancy_sum /
+// batch_occupancy_count is the mean number of flows sharing each
+// denoiser forward.
+func newMetrics(classes []string, gateDepth func() int, engineStats func() core.EngineStats) *metrics {
 	m := &metrics{vars: new(expvar.Map).Init()}
 	newInt := func(name string) *expvar.Int {
 		v := new(expvar.Int)
@@ -47,26 +53,33 @@ func newMetrics(queueDepth func() int) *metrics {
 	m.expired = newInt("deadline_expired_total")
 	m.completed = newInt("completed_total")
 	m.failed = newInt("failed_total")
-	m.batches = newInt("batches_total")
-	m.batchFlows = newInt("batch_flows_total")
 	m.flowsGenerated = newInt("flows_generated_total")
 	m.latencyCount = newInt("latency_ms_count")
 	m.writeErrors = newInt("response_write_errors_total")
 	m.latencyMsSum = new(expvar.Float)
 	m.vars.Set("latency_ms_sum", m.latencyMsSum)
-	m.vars.Set("queue_depth", expvar.Func(func() any { return queueDepth() }))
-	m.vars.Set("batch_size_max", expvar.Func(func() any { return m.batchMax.Load() }))
+
+	m.admitWaitMsSum = new(expvar.Map).Init()
+	m.admitWaitCount = new(expvar.Map).Init()
+	// Pre-seed every class so scrapes see zeroed series from the start.
+	for _, c := range classes {
+		m.admitWaitMsSum.AddFloat(c, 0)
+		m.admitWaitCount.Add(c, 0)
+	}
+	m.vars.Set("admission_wait_ms_sum", m.admitWaitMsSum)
+	m.vars.Set("admission_wait_ms_count", m.admitWaitCount)
+
+	m.vars.Set("inflight_requests", expvar.Func(func() any { return gateDepth() }))
+	m.vars.Set("batch_occupancy_count", expvar.Func(func() any { return engineStats().Steps }))
+	m.vars.Set("batch_occupancy_sum", expvar.Func(func() any { return engineStats().FlowSteps }))
+	m.vars.Set("flows_admitted_total", expvar.Func(func() any { return engineStats().FlowsAdmitted }))
+	m.vars.Set("flows_retired_total", expvar.Func(func() any { return engineStats().FlowsRetired }))
 	return m
 }
 
-// observeBatch records one dispatched batch.
-func (m *metrics) observeBatch(b *batch) {
-	m.batches.Add(1)
-	m.batchFlows.Add(int64(b.flows))
-	for {
-		cur := m.batchMax.Load()
-		if int64(b.flows) <= cur || m.batchMax.CompareAndSwap(cur, int64(b.flows)) {
-			return
-		}
-	}
+// observeAdmissionWait records one request's wait between acceptance
+// and the step boundary that admitted its flows.
+func (m *metrics) observeAdmissionWait(class string, d time.Duration) {
+	m.admitWaitMsSum.AddFloat(class, float64(d)/float64(time.Millisecond))
+	m.admitWaitCount.Add(class, 1)
 }

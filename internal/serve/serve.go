@@ -1,29 +1,31 @@
-// Package serve implements traced's batching, backpressured HTTP
-// trace-generation service over a saved core.Synthesizer checkpoint.
+// Package serve implements traced's backpressured HTTP trace-generation
+// service over a saved core.Synthesizer checkpoint, with continuous
+// batching.
 //
-// The request path is a short pipeline:
+// The request path is deliberately short:
 //
-//	handler → bounded admission queue → batch coalescer → worker pool
+//	handler → admission gate → continuous-batching engine
 //
-// The admission queue is a fixed-capacity buffer; when it is full the
-// handler answers 429 with a Retry-After header instead of letting
-// latency grow without bound. The coalescer merges concurrent
-// same-class requests into single diffusion sampling calls, sized by
-// worker availability: while every worker is busy the next batch keeps
-// absorbing queued requests up to MaxBatch flows. Each request carries
-// a deadline; requests that expire while queued are dropped by the
-// pipeline and answered 504 by their handler.
+// The gate bounds the requests concurrently inside the service; beyond
+// it the handler answers 429 with a Retry-After header instead of
+// letting latency grow without bound. Admitted requests feed a
+// core.Engine, whose single step loop owns the in-flight denoising
+// batch: new requests join at the next timestep boundary (no closed
+// batches, no head-of-line blocking behind whole generations) and
+// requests whose deadline expires — queued or mid-denoise — retire
+// their flows at the next boundary and are answered 504, so abandoned
+// work stops consuming denoiser forwards.
 //
 // Determinism across the network boundary: a request with an explicit
 // seed expands to per-flow seeds via core.DeriveFlowSeeds, and each
-// flow's bytes are a pure function of its own seed (see
-// diffusion.SampleConfig.FlowSeeds). Batch composition therefore never
-// leaks into the output — a seeded request returns bit-identical pcap
-// bytes on every replica serving the same checkpoint, no matter which
-// other requests it was coalesced with.
+// flow's bytes are a pure function of its own seed (the scheduler's
+// bit-identity contract). Batch composition therefore never leaks into
+// the output — a seeded request returns bit-identical pcap bytes on
+// every replica serving the same checkpoint, no matter which other
+// requests shared its denoiser forwards or when it joined the batch.
 //
-// Shutdown drains: the queue closes to new admissions, in-flight
-// batches run to completion and their handlers write full responses
+// Shutdown drains: the gate closes to new admissions, in-flight
+// requests run to completion and their handlers write full responses
 // before the HTTP server stops accepting.
 package serve
 
@@ -31,6 +33,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
 	"net"
@@ -41,32 +44,42 @@ import (
 	"time"
 
 	"trafficdiff/internal/core"
-	"trafficdiff/internal/flow"
 	"trafficdiff/internal/nprint"
 	"trafficdiff/internal/pcap"
 )
 
-// Generator is the slice of core.Synthesizer the service needs. The
-// implementation must be safe for concurrent use and must make each
-// flow a pure function of its seed (batch-composition independent).
-type Generator interface {
+// Engine is the slice of core.Engine the service needs: a continuous
+// generation engine whose Generate blocks until the request's flows
+// complete (or its context expires), calling onAdmit when the flows
+// enter the denoising batch. Implementations must make each flow a
+// pure function of its seed (batch-composition independent) and be
+// safe for concurrent Generate calls.
+type Engine interface {
 	Classes() []string
-	GenerateWithFlowSeeds(class string, flowSeeds []uint64) (*core.GenerateResult, error)
+	Generate(ctx context.Context, class string, flowSeeds []uint64, onAdmit func()) (*core.GenerateResult, error)
+	Stats() core.EngineStats
 }
 
 // Config parameterizes a Server. Zero values take the defaults noted
 // on each field.
 type Config struct {
-	// QueueDepth bounds the admission queue; requests beyond it get
+	// QueueDepth bounds the requests concurrently inside the service
+	// (waiting for admission or mid-generation); requests beyond it get
 	// 429 (default 64).
 	QueueDepth int
-	// MaxBatch caps the flows merged into one sampling call
-	// (default 8). A single request larger than MaxBatch still runs,
-	// as a batch of its own.
-	MaxBatch int
-	// Workers is the number of concurrent generation workers
-	// (default 2; sampling is CPU-bound and parallel internally).
-	Workers int
+	// MaxInFlight caps the flows simultaneously in the denoising batch
+	// (default 16). Larger values raise throughput under load; smaller
+	// ones bound per-step latency.
+	MaxInFlight int
+	// PostWorkers is the number of post-processing workers behind the
+	// step loop (default 2).
+	PostWorkers int
+	// MaxStepRows caps the rows per denoiser forward (default 8;
+	// negative for unlimited). Stepping the requests with the least
+	// remaining work first keeps a fresh request's time-to-first-result
+	// small even when the batch is full of bulk work; see
+	// core.EngineConfig.MaxStepRows.
+	MaxStepRows int
 	// RequestTimeout is the per-request deadline ceiling; a request's
 	// timeout_ms may shorten it but never extend it (default 60s).
 	RequestTimeout time.Duration
@@ -82,11 +95,17 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
 	}
-	if c.MaxBatch <= 0 {
-		c.MaxBatch = 8
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 16
 	}
-	if c.Workers <= 0 {
-		c.Workers = 2
+	if c.PostWorkers <= 0 {
+		c.PostWorkers = 2
+	}
+	if c.MaxStepRows == 0 {
+		c.MaxStepRows = 8
+	}
+	if c.MaxStepRows < 0 {
+		c.MaxStepRows = 0 // explicit "unlimited"
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 60 * time.Second
@@ -97,74 +116,59 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// result is what the pipeline delivers back to a waiting handler.
-type result struct {
-	flows    []*flow.Flow
-	matrices []*nprint.Matrix
-	err      error
-}
-
-// request is one admitted generation request travelling the pipeline.
-type request struct {
-	class     string
-	count     int
-	seed      uint64
-	flowSeeds []uint64
-	ctx       context.Context
-	// done is buffered so the pipeline never blocks on a handler that
-	// already gave up (deadline expiry).
-	done chan result
-}
-
 // Server is the trace-generation service.
 type Server struct {
-	gen     Generator
-	cfg     Config
-	classes map[string]bool
+	eng Engine
+	// ownedEngine is non-nil when New built the engine itself; Shutdown
+	// closes it after the drain.
+	ownedEngine *core.Engine
+	cfg         Config
+	classes     map[string]bool
 
-	q       *queue
-	batches chan *batch
-	met     *metrics
+	gate *gate
+	met  *metrics
 
 	draining atomic.Bool
 	seedCtr  atomic.Uint64
-	pipeline sync.WaitGroup
+	inflight sync.WaitGroup
 
 	httpSrv *http.Server
 }
 
-// New builds a Server over a trained generator and starts its
-// coalescer and worker pool. Callers must eventually Shutdown.
-func New(gen Generator, cfg Config) *Server {
+// New builds a Server over a fine-tuned synthesizer, starting a
+// continuous-batching core.Engine sized by cfg. Callers must
+// eventually Shutdown, which drains and closes the engine.
+func New(synth *core.Synthesizer, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	eng, err := core.NewEngine(synth, core.EngineConfig{
+		MaxInFlight: cfg.MaxInFlight,
+		PostWorkers: cfg.PostWorkers,
+		MaxStepRows: cfg.MaxStepRows,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := NewWithEngine(eng, cfg)
+	s.ownedEngine = eng
+	return s, nil
+}
+
+// NewWithEngine builds a Server over a caller-owned engine; Shutdown
+// drains the server but leaves the engine running (the caller closes
+// it).
+func NewWithEngine(eng Engine, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		gen:     gen,
+		eng:     eng,
 		cfg:     cfg,
 		classes: map[string]bool{},
-		q:       newQueue(cfg.QueueDepth),
-		// Unbuffered on purpose: the coalescer blocks here while all
-		// workers are busy, which is exactly the window in which the
-		// next batch keeps coalescing queued requests.
-		batches: make(chan *batch),
+		gate:    newGate(cfg.QueueDepth),
 	}
-	for _, c := range gen.Classes() {
+	for _, c := range eng.Classes() {
 		s.classes[c] = true
 	}
-	s.met = newMetrics(s.q.depth)
+	s.met = newMetrics(eng.Classes(), s.gate.depth, eng.Stats)
 	s.httpSrv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
-
-	s.pipeline.Add(1)
-	go func() {
-		defer s.pipeline.Done()
-		s.coalesceLoop()
-	}()
-	for i := 0; i < cfg.Workers; i++ {
-		s.pipeline.Add(1)
-		go func() {
-			defer s.pipeline.Done()
-			s.workerLoop()
-		}()
-	}
 	return s
 }
 
@@ -196,22 +200,26 @@ func (s *Server) PublishExpvar(name string) {
 	expvar.Publish(name, s.met.vars)
 }
 
-// Shutdown drains the service: new requests are refused, queued and
-// in-flight batches run to completion, their handlers finish writing,
-// then the HTTP server (if Serve was used) stops. It returns ctx's
-// error if draining outlives the context.
+// Shutdown drains the service: new requests are refused, requests
+// already inside the gate run to completion (or expiry), their
+// handlers finish writing, the engine (when owned) closes, then the
+// HTTP server (if Serve was used) stops. It returns ctx's error if
+// draining outlives the context.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
-	s.q.close()
+	s.gate.close()
 	drained := make(chan struct{})
 	go func() {
-		s.pipeline.Wait()
+		s.inflight.Wait()
 		close(drained)
 	}()
 	select {
 	case <-drained:
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+	if s.ownedEngine != nil {
+		s.ownedEngine.Close()
 	}
 	return s.httpSrv.Shutdown(ctx)
 }
@@ -276,43 +284,47 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	req := &request{
-		class:     gr.Class,
-		count:     gr.Count,
-		seed:      seed,
-		flowSeeds: core.DeriveFlowSeeds(seed, gr.Count),
-		ctx:       ctx,
-		done:      make(chan result, 1),
-	}
-	start := time.Now()
-	switch s.q.tryPush(req) {
-	case pushOK:
+	switch s.gate.acquire() {
+	case gateOK:
 		s.met.accepted.Add(1)
-	case pushFull:
+	case gateFull:
 		s.met.rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
-		http.Error(w, "admission queue full", http.StatusTooManyRequests)
+		http.Error(w, "service at capacity", http.StatusTooManyRequests)
 		return
-	case pushClosed:
+	case gateClosed:
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "shutting down", http.StatusServiceUnavailable)
 		return
 	}
 
-	select {
-	case res := <-req.done:
-		if res.err != nil {
-			s.met.failed.Add(1)
-			http.Error(w, "generation failed: "+res.err.Error(), http.StatusInternalServerError)
-			return
-		}
-		s.met.latencyMsSum.Add(float64(time.Since(start)) / float64(time.Millisecond))
-		s.met.latencyCount.Add(1)
-		s.writeBody(w, req, format, res)
-		s.met.completed.Add(1)
-	case <-ctx.Done():
+	start := time.Now()
+	class := gr.Class
+	// onAdmit fires on the engine's step loop the moment the request's
+	// flows join the in-flight batch; the elapsed time is exactly the
+	// admission wait (gate + engine FIFO).
+	onAdmit := func() { s.met.observeAdmissionWait(class, time.Since(start)) }
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	defer s.gate.release()
+	// Generate is called synchronously: the engine itself answers an
+	// expired request at the next step boundary (it never parks a dead
+	// waiter), so a watcher goroutine would only add scheduling hops to
+	// every request's latency to shave ~one boundary off the 504 path.
+	res, err := s.eng.Generate(ctx, class, core.DeriveFlowSeeds(seed, gr.Count), onAdmit)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 		s.met.expired.Add(1)
 		http.Error(w, "deadline exceeded before generation completed", http.StatusGatewayTimeout)
+	case err != nil:
+		s.met.failed.Add(1)
+		http.Error(w, "generation failed: "+err.Error(), http.StatusInternalServerError)
+	default:
+		s.met.flowsGenerated.Add(int64(len(res.Flows)))
+		s.met.latencyMsSum.Add(float64(time.Since(start)) / float64(time.Millisecond))
+		s.met.latencyCount.Add(1)
+		s.writeBody(w, seed, format, res)
+		s.met.completed.Add(1)
 	}
 }
 
@@ -330,11 +342,11 @@ func (s *Server) deriveSeed(client *uint64) uint64 {
 // writeBody encodes the generated flows and streams them out. The body
 // is buffered first so a failed generation can never leave a
 // half-written success response.
-func (s *Server) writeBody(w http.ResponseWriter, req *request, format string, res result) {
+func (s *Server) writeBody(w http.ResponseWriter, seed uint64, format string, res *core.GenerateResult) {
 	var buf bytes.Buffer
 	switch format {
 	case "csv":
-		for _, m := range res.matrices {
+		for _, m := range res.Matrices {
 			if err := nprint.WriteCSV(&buf, m); err != nil {
 				http.Error(w, "encoding csv: "+err.Error(), http.StatusInternalServerError)
 				return
@@ -347,7 +359,7 @@ func (s *Server) writeBody(w http.ResponseWriter, req *request, format string, r
 			http.Error(w, "encoding pcap: "+err.Error(), http.StatusInternalServerError)
 			return
 		}
-		for _, fl := range res.flows {
+		for _, fl := range res.Flows {
 			for _, p := range fl.Packets {
 				if err := pw.WritePacket(p.Timestamp, p.Data); err != nil {
 					http.Error(w, "encoding pcap: "+err.Error(), http.StatusInternalServerError)
@@ -358,8 +370,8 @@ func (s *Server) writeBody(w http.ResponseWriter, req *request, format string, r
 		w.Header().Set("Content-Type", "application/vnd.tcpdump.pcap")
 	}
 	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
-	w.Header().Set("X-Traced-Seed", strconv.FormatUint(req.seed, 10))
-	w.Header().Set("X-Traced-Flows", strconv.Itoa(len(res.flows)))
+	w.Header().Set("X-Traced-Seed", strconv.FormatUint(seed, 10))
+	w.Header().Set("X-Traced-Flows", strconv.Itoa(len(res.Flows)))
 	if _, err := w.Write(buf.Bytes()); err != nil {
 		// The client went away mid-response; nothing to send it, but
 		// the failure is visible in /metrics.

@@ -22,26 +22,42 @@ import (
 	"trafficdiff/internal/workload"
 )
 
-// fakeGen is a controllable Generator: an optional gate blocks each
-// generation call until the test releases it, and every call's seed
-// batch is recorded so tests can assert coalescing behaviour.
-type fakeGen struct {
+// fakeEngine is a controllable Engine: an optional gate blocks each
+// generation between admission and completion until the test releases
+// it (or the request's context expires), and every completed call's
+// seed batch is recorded so tests can assert what reached the engine.
+type fakeEngine struct {
 	classes  []string
 	gate     chan struct{}
 	delay    time.Duration
 	inFlight atomic.Int64
+	admitted atomic.Int64
 
 	mu    sync.Mutex
 	calls [][]uint64
 }
 
-func (g *fakeGen) Classes() []string { return append([]string(nil), g.classes...) }
+func (g *fakeEngine) Classes() []string { return append([]string(nil), g.classes...) }
 
-func (g *fakeGen) GenerateWithFlowSeeds(class string, seeds []uint64) (*core.GenerateResult, error) {
+func (g *fakeEngine) Stats() core.EngineStats {
+	return core.EngineStats{FlowsAdmitted: uint64(g.admitted.Load())}
+}
+
+func (g *fakeEngine) Generate(ctx context.Context, class string, seeds []uint64, onAdmit func()) (*core.GenerateResult, error) {
 	g.inFlight.Add(1)
 	defer g.inFlight.Add(-1)
+	g.admitted.Add(int64(len(seeds)))
+	if onAdmit != nil {
+		onAdmit()
+	}
 	if g.gate != nil {
-		<-g.gate
+		select {
+		case <-g.gate:
+		case <-ctx.Done():
+			// Mirrors the real engine: an expired request's flows are
+			// retired at the boundary, no output is produced.
+			return nil, ctx.Err()
+		}
 	}
 	if g.delay > 0 {
 		time.Sleep(g.delay)
@@ -62,7 +78,7 @@ func (g *fakeGen) GenerateWithFlowSeeds(class string, seeds []uint64) (*core.Gen
 	return res, nil
 }
 
-func (g *fakeGen) callSizes() []int {
+func (g *fakeEngine) callSizes() []int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	sizes := make([]int, len(g.calls))
@@ -91,8 +107,9 @@ func post(t *testing.T, url string, body string) (int, []byte, http.Header) {
 	return resp.StatusCode, data, resp.Header
 }
 
-// metricsSnapshot fetches and parses /metrics.
-func metricsSnapshot(t *testing.T, url string) map[string]float64 {
+// metricsRaw fetches /metrics as the raw decoded JSON, including the
+// nested per-class histogram maps.
+func metricsRaw(t *testing.T, url string) map[string]any {
 	t.Helper()
 	resp, err := http.Get(url + "/metrics")
 	if err != nil {
@@ -107,13 +124,33 @@ func metricsSnapshot(t *testing.T, url string) map[string]float64 {
 	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
 		t.Fatal(err)
 	}
+	return raw
+}
+
+// metricsSnapshot fetches /metrics and keeps the scalar series.
+func metricsSnapshot(t *testing.T, url string) map[string]float64 {
+	t.Helper()
 	out := map[string]float64{}
-	for k, v := range raw {
+	for k, v := range metricsRaw(t, url) {
 		if f, ok := v.(float64); ok {
 			out[k] = f
 		}
 	}
 	return out
+}
+
+// classCounter digs a per-class entry out of a nested histogram map.
+func classCounter(t *testing.T, raw map[string]any, series, class string) float64 {
+	t.Helper()
+	m, ok := raw[series].(map[string]any)
+	if !ok {
+		t.Fatalf("metric %q missing or not a map: %T", series, raw[series])
+	}
+	f, ok := m[class].(float64)
+	if !ok {
+		t.Fatalf("metric %q has no numeric entry for class %q: %v", series, class, m)
+	}
+	return f
 }
 
 // waitFor polls cond for up to 5 seconds.
@@ -138,59 +175,53 @@ func shutdownServer(t *testing.T, s *Server) {
 	}
 }
 
-func TestQueueTryPush(t *testing.T) {
-	q := newQueue(1)
-	ctx := context.Background()
-	if got := q.tryPush(&request{ctx: ctx}); got != pushOK {
-		t.Fatalf("first push = %v, want pushOK", got)
+func TestGateSemantics(t *testing.T) {
+	g := newGate(1)
+	if got := g.acquire(); got != gateOK {
+		t.Fatalf("first acquire = %v, want gateOK", got)
 	}
-	if got := q.tryPush(&request{ctx: ctx}); got != pushFull {
-		t.Fatalf("push beyond capacity = %v, want pushFull", got)
+	if got := g.acquire(); got != gateFull {
+		t.Fatalf("acquire beyond limit = %v, want gateFull", got)
 	}
-	q.close()
-	q.close() // idempotent
-	if got := q.tryPush(&request{ctx: ctx}); got != pushClosed {
-		t.Fatalf("push after close = %v, want pushClosed", got)
+	g.release()
+	if got := g.acquire(); got != gateOK {
+		t.Fatalf("acquire after release = %v, want gateOK", got)
 	}
-	if q.depth() != 1 {
-		t.Fatalf("depth = %d, want 1 (buffered request survives close)", q.depth())
+	g.close()
+	g.close() // idempotent
+	if got := g.acquire(); got != gateClosed {
+		t.Fatalf("acquire after close = %v, want gateClosed", got)
+	}
+	if g.depth() != 1 {
+		t.Fatalf("depth = %d, want 1 (held slot survives close)", g.depth())
 	}
 }
 
-// TestQueueFull429 drives the queue to capacity behind a blocked
-// worker and checks that the overflow request is refused immediately
-// with 429 + Retry-After while every admitted request still completes.
-func TestQueueFull429(t *testing.T) {
+// TestGateFull429 fills the admission gate with requests blocked
+// inside the engine and checks the overflow request is refused
+// immediately with 429 + Retry-After while every admitted request
+// still completes.
+func TestGateFull429(t *testing.T) {
 	gate := make(chan struct{})
-	gen := &fakeGen{classes: []string{"amazon"}, gate: gate}
-	s := New(gen, Config{QueueDepth: 2, Workers: 1, MaxBatch: 1})
+	eng := &fakeEngine{classes: []string{"amazon"}, gate: gate}
+	s := NewWithEngine(eng, Config{QueueDepth: 2})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer shutdownServer(t, s)
 	defer close(gate)
 
-	type reply struct {
-		code int
-	}
-	replies := make(chan reply, 16)
+	replies := make(chan int, 4)
 	launch := func() {
 		go func() {
 			code, _, _ := post(t, ts.URL, `{"class":"amazon"}`)
-			replies <- reply{code}
+			replies <- code
 		}()
 	}
-	// First request occupies the worker (blocked on the gate).
 	launch()
-	waitFor(t, "worker to pick up first request", func() bool { return gen.inFlight.Load() == 1 })
-	// Second request is popped by the coalescer, which then blocks
-	// dispatching it; the rest fill the bounded queue.
 	launch()
-	for i := 0; i < 2; i++ {
-		launch()
-	}
-	waitFor(t, "queue to fill", func() bool { return s.q.depth() == 2 })
+	waitFor(t, "both requests inside the engine", func() bool { return eng.inFlight.Load() == 2 })
 
-	// The queue is now full: the next request must bounce, not block.
+	// The gate is at capacity: the next request must bounce, not block.
 	code, body, hdr := post(t, ts.URL, `{"class":"amazon"}`)
 	if code != http.StatusTooManyRequests {
 		t.Fatalf("overflow request: status %d body %q, want 429", code, body)
@@ -202,37 +233,31 @@ func TestQueueFull429(t *testing.T) {
 	if m["rejected_total"] < 1 {
 		t.Fatalf("rejected_total = %v, want >= 1", m["rejected_total"])
 	}
-
-	// Release the pipeline: every admitted request completes.
-	for i := 0; i < 4; i++ {
-		gate <- struct{}{}
+	if m["inflight_requests"] != 2 {
+		t.Fatalf("inflight_requests = %v, want 2", m["inflight_requests"])
 	}
-	for i := 0; i < 4; i++ {
-		r := <-replies
-		if r.code != http.StatusOK {
-			t.Fatalf("admitted request finished with %d, want 200", r.code)
+
+	gate <- struct{}{}
+	gate <- struct{}{}
+	for i := 0; i < 2; i++ {
+		if code := <-replies; code != http.StatusOK {
+			t.Fatalf("admitted request finished with %d, want 200", code)
 		}
 	}
 }
 
 // TestDeadlineExpiry checks that a request whose deadline passes while
-// the pipeline is busy gets 504 and is dropped without a generation
-// call.
+// mid-generation gets 504 and its flows never produce output: the
+// engine answers with the context error at the next step boundary
+// instead of finishing the generation as dead work.
 func TestDeadlineExpiry(t *testing.T) {
 	gate := make(chan struct{})
-	gen := &fakeGen{classes: []string{"amazon"}, gate: gate}
-	s := New(gen, Config{QueueDepth: 8, Workers: 1, MaxBatch: 1})
+	eng := &fakeEngine{classes: []string{"amazon"}, gate: gate}
+	s := NewWithEngine(eng, Config{QueueDepth: 8})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer shutdownServer(t, s)
 	defer close(gate)
-
-	blocked := make(chan int, 1)
-	go func() {
-		code, _, _ := post(t, ts.URL, `{"class":"amazon"}`)
-		blocked <- code
-	}()
-	waitFor(t, "worker to block", func() bool { return gen.inFlight.Load() == 1 })
 
 	code, body, _ := post(t, ts.URL, `{"class":"amazon","count":2,"timeout_ms":50}`)
 	if code != http.StatusGatewayTimeout {
@@ -243,71 +268,66 @@ func TestDeadlineExpiry(t *testing.T) {
 		t.Fatalf("deadline_expired_total = %v, want 1", m["deadline_expired_total"])
 	}
 
-	gate <- struct{}{} // release the blocker
-	if c := <-blocked; c != http.StatusOK {
-		t.Fatalf("blocker finished with %d", c)
+	// A fresh request on the drained gate still works.
+	done := make(chan int, 1)
+	go func() {
+		code, _, _ := post(t, ts.URL, `{"class":"amazon"}`)
+		done <- code
+	}()
+	gate <- struct{}{}
+	if c := <-done; c != http.StatusOK {
+		t.Fatalf("follow-up request finished with %d", c)
 	}
-	shutdownServer(t, s)
-	// Only the blocker generated; the expired request's seeds never
-	// reached the generator.
-	if sizes := gen.callSizes(); len(sizes) != 1 || sizes[0] != 1 {
-		t.Fatalf("generation calls = %v, want exactly [1]", sizes)
+	// Only the follow-up completed a generation; the expired request's
+	// flows were retired without output.
+	if sizes := eng.callSizes(); len(sizes) != 1 || sizes[0] != 1 {
+		t.Fatalf("completed generations = %v, want exactly [1]", sizes)
 	}
 }
 
-// TestBatchCoalescing stalls the single worker so four same-class
-// requests accumulate, then checks they execute as one merged
-// sampling call.
-func TestBatchCoalescing(t *testing.T) {
+// TestContinuousAdmission is the head-of-line regression test for the
+// continuous-batching rewrite: with no worker pool between the handler
+// and the engine, a burst of requests is all inside the engine at
+// once — none serialized behind a busy worker or a closed batch.
+func TestContinuousAdmission(t *testing.T) {
 	gate := make(chan struct{})
-	gen := &fakeGen{classes: []string{"amazon"}, gate: gate}
-	s := New(gen, Config{QueueDepth: 16, Workers: 1, MaxBatch: 8})
+	eng := &fakeEngine{classes: []string{"amazon"}, gate: gate}
+	s := NewWithEngine(eng, Config{QueueDepth: 16})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer shutdownServer(t, s)
 	defer close(gate)
 
-	replies := make(chan int, 8)
-	launch := func(body string) {
-		go func() {
-			code, _, _ := post(t, ts.URL, body)
+	const n = 4
+	replies := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			code, _, _ := post(t, ts.URL, fmt.Sprintf(`{"class":"amazon","count":%d}`, 1+i%2))
 			replies <- code
-		}()
+		}(i)
 	}
-	// Blocker 1 occupies the worker; blocker 2 occupies the
-	// coalescer's dispatch slot. Only then do the next four requests
-	// pile up in the queue together.
-	launch(`{"class":"amazon"}`)
-	waitFor(t, "worker busy", func() bool { return gen.inFlight.Load() == 1 })
-	launch(`{"class":"amazon"}`)
-	waitFor(t, "coalescer holding a batch", func() bool {
-		return metricsSnapshot(t, ts.URL)["batches_total"] == 2
-	})
-	for i := 0; i < 4; i++ {
-		launch(`{"class":"amazon"}`)
-	}
-	waitFor(t, "four requests queued", func() bool { return s.q.depth() == 4 })
+	// The old pipeline held all but Workers requests in a queue here;
+	// continuous admission has the whole burst denoising concurrently.
+	waitFor(t, "all requests inside the engine at once", func() bool { return eng.inFlight.Load() == n })
 
-	gate <- struct{}{} // finish blocker 1; worker takes blocker 2
-	waitFor(t, "blocker 2 generating", func() bool { return gen.inFlight.Load() == 1 })
-	gate <- struct{}{} // finish blocker 2; worker takes the merged batch
-	gate <- struct{}{} // finish the merged batch
-	for i := 0; i < 6; i++ {
+	raw := metricsRaw(t, ts.URL)
+	if got := classCounter(t, raw, "admission_wait_ms_count", "amazon"); got != n {
+		t.Fatalf(`admission_wait_ms_count["amazon"] = %v, want %d`, got, n)
+	}
+	if sum := classCounter(t, raw, "admission_wait_ms_sum", "amazon"); sum < 0 {
+		t.Fatalf(`admission_wait_ms_sum["amazon"] = %v, want >= 0`, sum)
+	}
+	if m := metricsSnapshot(t, ts.URL); m["flows_admitted_total"] < n {
+		t.Fatalf("flows_admitted_total = %v, want >= %d", m["flows_admitted_total"], n)
+	}
+
+	for i := 0; i < n; i++ {
+		gate <- struct{}{}
+	}
+	for i := 0; i < n; i++ {
 		if code := <-replies; code != http.StatusOK {
 			t.Fatalf("request finished with %d", code)
 		}
-	}
-
-	sizes := gen.callSizes()
-	if len(sizes) != 3 || sizes[0] != 1 || sizes[1] != 1 || sizes[2] != 4 {
-		t.Fatalf("generation call sizes = %v, want [1 1 4] (four requests coalesced)", sizes)
-	}
-	m := metricsSnapshot(t, ts.URL)
-	if m["batch_size_max"] != 4 {
-		t.Fatalf("batch_size_max = %v, want 4", m["batch_size_max"])
-	}
-	if m["batches_total"] != 3 {
-		t.Fatalf("batches_total = %v, want 3", m["batches_total"])
 	}
 }
 
@@ -315,8 +335,8 @@ func TestBatchCoalescing(t *testing.T) {
 // Shutdown completes them all before returning and that the server
 // refuses new work while draining.
 func TestDrainOnShutdown(t *testing.T) {
-	gen := &fakeGen{classes: []string{"amazon"}, delay: 30 * time.Millisecond}
-	s := New(gen, Config{QueueDepth: 16, Workers: 2, MaxBatch: 2})
+	eng := &fakeEngine{classes: []string{"amazon"}, delay: 30 * time.Millisecond}
+	s := NewWithEngine(eng, Config{QueueDepth: 16})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -357,10 +377,10 @@ func TestDrainOnShutdown(t *testing.T) {
 	if rc, _, _ := get(t, ts.URL+"/healthz"); rc != http.StatusOK {
 		t.Fatalf("healthz while draining = %d, want 200 (process is alive)", rc)
 	}
+	waitFor(t, "all completions recorded", func() bool {
+		return metricsSnapshot(t, ts.URL)["completed_total"] == n
+	})
 	m := metricsSnapshot(t, ts.URL)
-	if m["completed_total"] != n {
-		t.Fatalf("completed_total = %v, want %d", m["completed_total"], n)
-	}
 	if m["latency_ms_count"] != n || m["latency_ms_sum"] <= 0 {
 		t.Fatalf("latency counters = %v/%v, want count %d with positive sum",
 			m["latency_ms_count"], m["latency_ms_sum"], n)
@@ -387,8 +407,8 @@ func get(t *testing.T, url string) (int, []byte, http.Header) {
 
 // TestRequestValidation covers the 4xx surface.
 func TestRequestValidation(t *testing.T) {
-	gen := &fakeGen{classes: []string{"amazon"}}
-	s := New(gen, Config{MaxFlowsPerRequest: 4})
+	eng := &fakeEngine{classes: []string{"amazon"}}
+	s := NewWithEngine(eng, Config{MaxFlowsPerRequest: 4})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer shutdownServer(t, s)
@@ -471,11 +491,20 @@ func realSynth(t *testing.T) *core.Synthesizer {
 	return realGen
 }
 
+func realServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(realSynth(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 // TestServeRealSynthesizerContract is the network-boundary determinism
 // contract over a real checkpoint: seeded requests are byte-identical,
 // unseeded requests differ, and both formats decode.
 func TestServeRealSynthesizerContract(t *testing.T) {
-	s := New(realSynth(t), Config{Workers: 2, MaxBatch: 4})
+	s := realServer(t, Config{MaxInFlight: 8})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer shutdownServer(t, s)
@@ -528,9 +557,11 @@ func TestServeRealSynthesizerContract(t *testing.T) {
 
 // TestServeConcurrentMixedClasses hammers a real-synthesizer server
 // with concurrent requests across classes and checks every response is
-// a valid pcap of the right size.
+// a valid pcap of the right size. With continuous batching the
+// concurrent burst shares denoiser forwards, so batch occupancy and
+// the per-class admission-wait histograms must both show traffic.
 func TestServeConcurrentMixedClasses(t *testing.T) {
-	s := New(realSynth(t), Config{Workers: 2, MaxBatch: 4, QueueDepth: 64})
+	s := realServer(t, Config{MaxInFlight: 8, QueueDepth: 64})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer shutdownServer(t, s)
@@ -567,5 +598,18 @@ func TestServeConcurrentMixedClasses(t *testing.T) {
 	m := metricsSnapshot(t, ts.URL)
 	if m["flows_generated_total"] < n {
 		t.Fatalf("flows_generated_total = %v, want >= %d", m["flows_generated_total"], n)
+	}
+	if m["flows_admitted_total"] < n {
+		t.Fatalf("flows_admitted_total = %v, want >= %d", m["flows_admitted_total"], n)
+	}
+	if m["batch_occupancy_count"] <= 0 || m["batch_occupancy_sum"] < m["batch_occupancy_count"] {
+		t.Fatalf("batch occupancy sum/count = %v/%v, want positive with sum >= count",
+			m["batch_occupancy_sum"], m["batch_occupancy_count"])
+	}
+	raw := metricsRaw(t, ts.URL)
+	for _, class := range []string{"amazon", "teams"} {
+		if got := classCounter(t, raw, "admission_wait_ms_count", class); got != n/2 {
+			t.Fatalf(`admission_wait_ms_count[%q] = %v, want %d`, class, got, n/2)
+		}
 	}
 }

@@ -31,6 +31,7 @@ func New(shape ...int) *Tensor {
 
 // FromSlice wraps data with the given shape, validating the size.
 func FromSlice(data []float32, shape ...int) *Tensor {
+	//tracelint:allow hotalloc — header-only wrapper over caller storage; hot callers cache the returned header
 	t := &Tensor{Shape: append([]int(nil), shape...), Data: data}
 	if len(data) != t.Len() {
 		panic(fmt.Sprintf("tensor: %d elements for shape %v", len(data), shape))

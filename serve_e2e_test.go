@@ -47,7 +47,7 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 
 	t.Run("concurrent-generation", func(t *testing.T) {
-		srv := startTraced(t, traced, ckpt, "-queue", "64", "-workers", "2")
+		srv := startTraced(t, traced, ckpt, "-queue", "64", "-max-inflight", "16")
 		defer srv.kill(t)
 
 		const n = 32
@@ -100,7 +100,7 @@ func TestServeEndToEnd(t *testing.T) {
 
 		// Metrics moved under load.
 		m := fetchMetrics(t, srv.url)
-		for _, key := range []string{"accepted_total", "batches_total", "latency_ms_count", "flows_generated_total"} {
+		for _, key := range []string{"accepted_total", "batch_occupancy_count", "flows_admitted_total", "latency_ms_count", "flows_generated_total"} {
 			if m[key] <= 0 {
 				t.Errorf("metric %s = %v, want > 0 after load", key, m[key])
 			}
@@ -108,7 +108,7 @@ func TestServeEndToEnd(t *testing.T) {
 	})
 
 	t.Run("backpressure-and-drain", func(t *testing.T) {
-		srv := startTraced(t, traced, ckpt, "-queue", "1", "-workers", "1", "-max-batch", "1")
+		srv := startTraced(t, traced, ckpt, "-queue", "1", "-max-inflight", "8")
 		defer srv.kill(t)
 
 		// Flood the undersized instance: admitted requests succeed,
