@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint lint-fast race bench bench-json bench-gate bench-serve serve-smoke resume-smoke verify-determinism fuzz experiments examples clean
+.PHONY: all build test vet lint lint-fast race bench bench-json bench-gate bench-serve bench-router serve-smoke cluster-smoke resume-smoke verify-determinism fuzz experiments examples clean
 
 all: build test
 
@@ -85,11 +85,25 @@ bench-gate:
 bench-serve:
 	$(GO) run ./cmd/benchjson -suite serve -label "$(BENCH_LABEL)" -out BENCH_serve.json -append
 
+# Cluster-tier benchmark: 1- vs 3-replica throughput through the
+# router, plus content-addressed cache hit-vs-miss latency (the ISSUE's
+# ≥5× p95 criterion), appended to BENCH_router.json.
+bench-router:
+	$(GO) run ./cmd/benchjson -suite router -label "$(BENCH_LABEL)" -out BENCH_router.json -append
+
 # Serving smoke test over the real binaries: tracegen -save writes a
 # checkpoint, traced serves it, concurrent clients get valid + seeded
 # byte-identical pcaps, overload gets 429, and SIGTERM drains cleanly.
 serve-smoke:
 	$(GO) test -run TestServeEndToEnd -count=1 -v .
+
+# Cluster smoke test over the real binaries: tracerouter spreads load
+# across two traced replicas, serves a repeat seeded request from its
+# content-addressed cache byte-identically, survives a replica kill
+# with no 5xx leaked past the status-mapping table, autoscales its own
+# children in managed mode, and drains cleanly (exit 0) on SIGTERM.
+cluster-smoke:
+	$(GO) test -run TestClusterEndToEnd -count=1 -v .
 
 # Crash-safety smoke test over the real binary: tracegen is SIGKILLed
 # after its first mid-run training checkpoint, restarted with -resume,

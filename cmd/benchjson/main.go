@@ -16,6 +16,12 @@
 //
 //	benchjson -suite serve -label post-PR -out BENCH_serve.json -append
 //
+// With -suite router the same replicas run behind an in-process
+// cluster router (internal/cluster): the record compares 1- vs
+// 3-replica throughput and content-addressed cache-hit vs miss latency:
+//
+//	benchjson -suite router -label post-PR -out BENCH_router.json -append
+//
 // With -compare it becomes a regression gate instead of a recorder:
 //
 //	benchjson -compare old.json new.json [-threshold 0.10]
@@ -68,7 +74,7 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	label := flag.String("label", "bench", "label for this run")
 	appendRun := flag.Bool("append", false, "append to an existing -out document instead of overwriting")
-	suite := flag.String("suite", "", "run a built-in suite instead of parsing stdin (serve, serve-stagger)")
+	suite := flag.String("suite", "", "run a built-in suite instead of parsing stdin (serve, serve-stagger, router)")
 	requests := flag.Int("requests", 64, "total requests for -suite serve (probe count for serve-stagger)")
 	clients := flag.Int("clients", 8, "concurrent clients for -suite serve")
 	compare := flag.Bool("compare", false, "compare two snapshots: benchjson -compare old.json new.json")
@@ -109,8 +115,10 @@ func main() {
 		run, err = runServeSuite(*label, *requests, *clients)
 	case "serve-stagger":
 		run, err = runServeStaggerSuite(*label, *requests)
+	case "router":
+		run, err = runRouterSuite(*label, *requests, *clients)
 	default:
-		err = fmt.Errorf("unknown suite %q (want serve or serve-stagger)", *suite)
+		err = fmt.Errorf("unknown suite %q (want serve, serve-stagger or router)", *suite)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

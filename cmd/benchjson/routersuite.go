@@ -1,0 +1,260 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"trafficdiff/internal/cluster"
+	"trafficdiff/internal/core"
+	"trafficdiff/internal/serve"
+)
+
+// runRouterSuite is the built-in `-suite router` benchmark: the same
+// tiny synthesizer the serve suite trains, served by in-process traced
+// replicas behind a real cluster.Router over TCP. Three records come
+// out of one invocation:
+//
+//   - RouterGenerate/replicas=1: closed-loop throughput through the
+//     router with a single replica — the routing-tier overhead baseline.
+//   - RouterGenerate/replicas=3: the same load over three replicas —
+//     the scaling headroom the cluster tier buys.
+//   - RouterCache/hit-vs-miss: per-request latency of repeat seeded
+//     requests (content-addressed cache hits) against first-contact
+//     misses; ns/op carries the hit p95 and Custom carries the
+//     p95 speedup the ISSUE's acceptance criterion (≥5×) reads.
+func runRouterSuite(label string, requests, clients int) (*Run, error) {
+	synth, err := trainServeSynth()
+	if err != nil {
+		return nil, fmt.Errorf("training synthesizer: %w", err)
+	}
+	debug.SetGCPercent(400)
+	if runtime.GOMAXPROCS(0) == 1 {
+		runtime.GOMAXPROCS(2)
+	}
+
+	replicas := make([]*benchReplica, 3)
+	for i := range replicas {
+		r, err := newBenchReplica(synth)
+		if err != nil {
+			return nil, err
+		}
+		defer r.shutdown()
+		replicas[i] = r
+	}
+	classes := synth.Classes()
+
+	run := &Run{Label: label, CPU: fmt.Sprintf("GOMAXPROCS=%d", runtime.GOMAXPROCS(0))}
+
+	// Throughput: 1 replica vs 3 replicas, unique seeds (every request
+	// a cache miss) so the replicas do real work.
+	for _, n := range []int{1, 3} {
+		urls := make([]string, n)
+		for i := 0; i < n; i++ {
+			urls[i] = replicas[i].url
+		}
+		rt, err := newBenchRouter(urls)
+		if err != nil {
+			return nil, err
+		}
+		seedBase := uint64(1_000_000 * (n + 1))
+		lat, elapsed, err := driveRouter(rt.addr, classes, requests, clients, seedBase)
+		rt.shutdown()
+		if err != nil {
+			return nil, fmt.Errorf("replicas=%d: %w", n, err)
+		}
+		sum := time.Duration(0)
+		for _, d := range lat {
+			sum += d
+		}
+		run.Results = append(run.Results, Result{
+			Name:       fmt.Sprintf("RouterGenerate/replicas=%d/clients=%d", n, clients),
+			Package:    "trafficdiff/internal/cluster",
+			Iterations: int64(requests),
+			NsPerOp:    float64(sum) / float64(requests),
+			Custom: map[string]float64{
+				"req/s":   float64(requests) / elapsed.Seconds(),
+				"flows/s": float64(requests*2) / elapsed.Seconds(),
+				"p50_ms":  float64(pctile(lat, 0.50)) / float64(time.Millisecond),
+				"p99_ms":  float64(pctile(lat, 0.99)) / float64(time.Millisecond),
+			},
+		})
+	}
+
+	// Cache hit vs miss: a fresh router (cold cache) over one replica.
+	// The miss pass primes every coordinate; the hit pass repeats it
+	// request for request.
+	rt, err := newBenchRouter([]string{replicas[0].url})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.shutdown()
+	missLat, _, err := driveRouter(rt.addr, classes, requests, 1, 5_000_000)
+	if err != nil {
+		return nil, fmt.Errorf("cache miss pass: %w", err)
+	}
+	hitLat, _, err := driveRouter(rt.addr, classes, requests, 1, 5_000_000)
+	if err != nil {
+		return nil, fmt.Errorf("cache hit pass: %w", err)
+	}
+	missP95 := pctile(missLat, 0.95)
+	hitP95 := pctile(hitLat, 0.95)
+	speedup := 0.0
+	if hitP95 > 0 {
+		speedup = float64(missP95) / float64(hitP95)
+	}
+	run.Results = append(run.Results, Result{
+		Name:       "RouterCache/hit-vs-miss",
+		Package:    "trafficdiff/internal/cluster",
+		Iterations: int64(requests),
+		NsPerOp:    float64(hitP95),
+		Custom: map[string]float64{
+			"miss_p50_ms": float64(pctile(missLat, 0.50)) / float64(time.Millisecond),
+			"miss_p95_ms": float64(missP95) / float64(time.Millisecond),
+			"hit_p50_ms":  float64(pctile(hitLat, 0.50)) / float64(time.Millisecond),
+			"hit_p95_ms":  float64(hitP95) / float64(time.Millisecond),
+			"speedup_p95": speedup,
+		},
+	})
+	return run, nil
+}
+
+// pctile reads the p-th percentile from an unsorted latency sample.
+func pctile(lat []time.Duration, p float64) time.Duration {
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[int(p*float64(len(s)-1))]
+}
+
+// driveRouter runs a closed loop of `requests` seeded 2-flow requests
+// over `clients` connections and returns per-request latencies.
+func driveRouter(addr string, classes []string, requests, clients int, seedBase uint64) ([]time.Duration, time.Duration, error) {
+	latencies := make([]time.Duration, requests)
+	errs := make([]error, clients)
+	var next sync.Mutex
+	cursor := 0
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := newBenchClient(addr)
+			defer cl.close()
+			for {
+				next.Lock()
+				i := cursor
+				cursor++
+				next.Unlock()
+				if i >= requests {
+					return
+				}
+				t0 := time.Now()
+				body := fmt.Sprintf(`{"class":%q,"count":2,"seed":%d}`, classes[i%len(classes)], seedBase+uint64(i))
+				if err := cl.post(body); err != nil {
+					errs[c] = fmt.Errorf("request %d: %w", i, err)
+					return
+				}
+				latencies[i] = time.Since(t0)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return latencies, elapsed, nil
+}
+
+// benchReplica is one in-process traced instance on a real listener.
+type benchReplica struct {
+	srv *serve.Server
+	url string
+}
+
+func newBenchReplica(synth *core.Synthesizer) (*benchReplica, error) {
+	srv, err := serve.New(synth, serve.Config{
+		QueueDepth: 256, MaxInFlight: 24, PostWorkers: 2, MaxStepRows: 3,
+		// All replicas serve the same in-process checkpoint: the digest
+		// just has to be shared and non-empty for the router to key its
+		// content-addressed cache.
+		CheckpointDigest: "sha256:benchsynth",
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		// Returns ErrServerClosed after Shutdown; the bench is done
+		// measuring by then.
+		_ = srv.Serve(ln)
+	}()
+	return &benchReplica{srv: srv, url: "http://" + ln.Addr().String()}, nil
+}
+
+func (r *benchReplica) shutdown() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	// Best-effort drain at bench teardown; the numbers are collected.
+	_ = r.srv.Shutdown(ctx)
+}
+
+// benchRouter is a cluster.Router on a real listener over the given
+// replica URLs, ready (all replicas healthy) when returned.
+type benchRouter struct {
+	rt   *cluster.Router
+	pool *cluster.Pool
+	addr string
+	ln   net.Listener
+}
+
+func newBenchRouter(urls []string) (*benchRouter, error) {
+	pool := cluster.NewPool(cluster.PoolConfig{ProbeInterval: 20 * time.Millisecond})
+	for _, u := range urls {
+		pool.Add(u)
+	}
+	policy, err := cluster.ParseScorers("class-affinity:3,queue-depth:2")
+	if err != nil {
+		pool.Close()
+		return nil, err
+	}
+	rt := cluster.NewRouter(pool, cluster.Config{Scorers: policy})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		pool.Close()
+		return nil, err
+	}
+	go func() {
+		// Returns nil after Shutdown.
+		_ = rt.Serve(ln)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for pool.Healthy() < len(urls) {
+		if time.Now().After(deadline) {
+			_ = ln.Close() // teardown on startup failure; the error below is the one that matters
+			pool.Close()
+			return nil, fmt.Errorf("router: %d/%d replicas healthy after 10s", pool.Healthy(), len(urls))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return &benchRouter{rt: rt, pool: pool, addr: ln.Addr().String(), ln: ln}, nil
+}
+
+func (b *benchRouter) shutdown() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	// Teardown: measured requests have completed already.
+	_ = b.rt.Shutdown(ctx)
+	b.pool.Close()
+}

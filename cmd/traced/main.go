@@ -10,20 +10,32 @@
 //
 // Endpoints:
 //
-//	POST /v1/generate  {class, count, seed?, format?, timeout_ms?} → pcap or nprint CSV
-//	GET  /healthz      liveness
-//	GET  /readyz       readiness (503 while draining)
-//	GET  /metrics      expvar counters: occupancy, admission wait, latency
+//	POST /v1/generate        {class, count, seed?, format?, timeout_ms?} → pcap or nprint CSV
+//	GET  /healthz            liveness
+//	GET  /readyz             readiness (503 while draining); bare probes get plain text
+//	GET  /readyz?verbose=1   JSON: queue depth, in-flight flows, checkpoint digest,
+//	                         DDIM steps, classes, uptime — what tracerouter scores on
+//	GET  /metrics            expvar counters: occupancy, admission wait, latency
 //
 // Requests carrying a seed are replayable: the body is a pure function
 // of (checkpoint, class, count, seed), bit-identical on every replica —
 // continuous batching never leaks batch composition into the bytes.
+// Responses stamp X-Traced-Seed, X-Traced-Flows, X-Traced-Checkpoint
+// (sha256 of the model file) and X-Traced-DDIM-Steps, the coordinates
+// tracerouter keys its content-addressed response cache on.
 // Overload answers 429 with Retry-After (bounded admission gate);
 // SIGTERM/SIGINT drains in-flight work before exit.
+//
+// On startup the bound address is printed to stdout as a single
+// machine-parseable line, "ADDR=host:port" — with -addr :0 this is how
+// a parent process (tracerouter's managed mode, scripts, tests)
+// discovers the ephemeral port.
 package main
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"log"
@@ -103,18 +115,21 @@ func run(model, addr string, cfg serve.Config, drain time.Duration) error {
 	if model == "" {
 		return fmt.Errorf("-model is required (produce one with: tracegen -save model.ckpt)")
 	}
-	f, err := os.Open(model)
+	// Read the checkpoint once: the bytes feed both the loader and the
+	// content digest that keys router-side response caches. Seeded
+	// generation is a pure function of (checkpoint, class, count, seed,
+	// DDIM steps), so the digest pins the "checkpoint" coordinate.
+	data, err := os.ReadFile(model)
 	if err != nil {
 		return err
 	}
-	synth, err := core.Load(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
+	digest := fmt.Sprintf("sha256:%x", sha256.Sum256(data))
+	synth, err := core.Load(bytes.NewReader(data))
 	if err != nil {
 		return fmt.Errorf("loading checkpoint: %w", err)
 	}
-	log.Printf("loaded checkpoint %s (classes: %s)", model, strings.Join(synth.Classes(), ","))
+	cfg.CheckpointDigest = digest
+	log.Printf("loaded checkpoint %s (classes: %s, digest %s)", model, strings.Join(synth.Classes(), ","), digest)
 
 	srv, err := serve.New(synth, cfg)
 	if err != nil {
@@ -127,6 +142,11 @@ func run(model, addr string, cfg serve.Config, drain time.Duration) error {
 	}
 	// The e2e harness parses this line to find an ephemeral port.
 	log.Printf("listening on %s", ln.Addr())
+	// Machine-parseable bound-address line on stdout (logs go to
+	// stderr): with -addr :0 a supervising router or test harness reads
+	// exactly one "ADDR=host:port" line to find the ephemeral port,
+	// with no race against the listener coming up.
+	fmt.Printf("ADDR=%s\n", ln.Addr())
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()

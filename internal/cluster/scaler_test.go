@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDecide pins the pure autoscale policy.
+func TestDecide(t *testing.T) {
+	cfg := ScalerConfig{Min: 1, Max: 3, ScaleUpLoad: 4, UpTicks: 2, DownTicks: 3}.withDefaults()
+
+	t.Run("deficit below min scales up immediately", func(t *testing.T) {
+		st := &scaleState{}
+		if got := decide(cfg, st, 0, 0, 0); got != scaleUp {
+			t.Fatalf("decide = %v, want scaleUp", got)
+		}
+	})
+
+	t.Run("sustained load scales up after UpTicks", func(t *testing.T) {
+		st := &scaleState{}
+		if got := decide(cfg, st, 1, 1, 4); got != scaleHold {
+			t.Fatalf("tick 1 = %v, want hold", got)
+		}
+		if got := decide(cfg, st, 1, 1, 4); got != scaleUp {
+			t.Fatalf("tick 2 = %v, want scaleUp", got)
+		}
+		if st.hiTicks != 0 {
+			t.Fatalf("hiTicks not reset after scale-up: %d", st.hiTicks)
+		}
+	})
+
+	t.Run("load must be consecutive", func(t *testing.T) {
+		st := &scaleState{}
+		decide(cfg, st, 1, 1, 4) // hi
+		decide(cfg, st, 1, 1, 2) // mid: resets
+		if got := decide(cfg, st, 1, 1, 4); got != scaleHold {
+			t.Fatalf("non-consecutive load scaled up")
+		}
+	})
+
+	t.Run("at max holds under any load", func(t *testing.T) {
+		st := &scaleState{}
+		for i := 0; i < 10; i++ {
+			if got := decide(cfg, st, 3, 3, 100); got != scaleHold {
+				t.Fatalf("tick %d = %v at Max, want hold", i, got)
+			}
+		}
+	})
+
+	t.Run("sustained idle scales down after DownTicks", func(t *testing.T) {
+		st := &scaleState{}
+		for i := 0; i < 2; i++ {
+			if got := decide(cfg, st, 2, 2, 0); got != scaleHold {
+				t.Fatalf("idle tick %d = %v, want hold", i, got)
+			}
+		}
+		if got := decide(cfg, st, 2, 2, 0); got != scaleDown {
+			t.Fatalf("idle tick 3 = %v, want scaleDown", got)
+		}
+	})
+
+	t.Run("at min never drains", func(t *testing.T) {
+		st := &scaleState{}
+		for i := 0; i < 10; i++ {
+			if got := decide(cfg, st, 1, 1, 0); got != scaleHold {
+				t.Fatalf("idle tick %d = %v at Min, want hold", i, got)
+			}
+		}
+	})
+
+	t.Run("no healthy replicas holds and resets", func(t *testing.T) {
+		st := &scaleState{hiTicks: 1, loTicks: 1}
+		if got := decide(cfg, st, 2, 0, 0); got != scaleHold {
+			t.Fatalf("decide = %v with zero healthy, want hold", got)
+		}
+		if st.hiTicks != 0 || st.loTicks != 0 {
+			t.Fatalf("counters not reset: %+v", st)
+		}
+	})
+
+	t.Run("load averages over healthy replicas", func(t *testing.T) {
+		st := &scaleState{}
+		// Aggregate 6 over 2 healthy = avg 3 < 4: below threshold.
+		if got := decide(cfg, st, 2, 2, 6); got != scaleHold || st.hiTicks != 0 {
+			t.Fatalf("avg under threshold counted as load: %v %+v", got, st)
+		}
+		// Aggregate 8 over 2 healthy = avg 4: counts.
+		decide(cfg, st, 2, 2, 8)
+		if st.hiTicks != 1 {
+			t.Fatalf("avg at threshold not counted: %+v", st)
+		}
+	})
+}
+
+// fakeSpawner mints fake replicas on demand and records drains.
+type fakeSpawner struct {
+	t *testing.T
+
+	mu      sync.Mutex
+	spawned []*fakeReplica
+	stops   atomic.Int64
+}
+
+func (fs *fakeSpawner) spawn(ctx context.Context) (string, func(context.Context) error, error) {
+	f := newFakeReplica(fs.t, "sha256:aa", 6)
+	fs.mu.Lock()
+	fs.spawned = append(fs.spawned, f)
+	fs.mu.Unlock()
+	stop := func(context.Context) error {
+		fs.stops.Add(1)
+		return nil
+	}
+	return f.url(), stop, nil
+}
+
+func (fs *fakeSpawner) setLoad(depth int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, f := range fs.spawned {
+		f.set(func(r *fakeReplica) { r.queueDepth = depth })
+	}
+}
+
+func TestScalerSpawnsToMinAndDrainsOnClose(t *testing.T) {
+	fs := &fakeSpawner{t: t}
+	p := newTestPool(t, PoolConfig{})
+	s, err := NewScaler(p, ScalerConfig{
+		Min: 2, Max: 4, Interval: 10 * time.Millisecond,
+		Spawn: fs.spawn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 5*time.Second, "scale to min", func() bool {
+		managed, _, _ := s.Counts()
+		return managed == 2 && p.Healthy() == 2
+	})
+	s.Close()
+	if got := fs.stops.Load(); got != 2 {
+		t.Fatalf("Close drained %d replicas, want 2", got)
+	}
+	if p.Size() != 0 {
+		t.Fatalf("pool still holds %d replicas after Close", p.Size())
+	}
+}
+
+func TestScalerScalesUpUnderLoadAndBackDown(t *testing.T) {
+	fs := &fakeSpawner{t: t}
+	p := newTestPool(t, PoolConfig{})
+	s, err := NewScaler(p, ScalerConfig{
+		Min: 1, Max: 2,
+		Interval:    10 * time.Millisecond,
+		ScaleUpLoad: 1, UpTicks: 2, DownTicks: 2,
+		Spawn: fs.spawn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	waitUntil(t, 5*time.Second, "initial replica", func() bool {
+		managed, _, _ := s.Counts()
+		return managed == 1 && p.Healthy() == 1
+	})
+
+	fs.setLoad(5)
+	waitUntil(t, 5*time.Second, "scale up", func() bool {
+		managed, _, _ := s.Counts()
+		return managed == 2
+	})
+	fs.setLoad(0)
+	waitUntil(t, 5*time.Second, "scale back down", func() bool {
+		managed, _, _ := s.Counts()
+		return managed == 1
+	})
+	if fs.stops.Load() != 1 {
+		t.Fatalf("scale-down drained %d replicas, want 1", fs.stops.Load())
+	}
+	_, ups, downs := s.Counts()
+	if ups < 2 || downs != 1 {
+		t.Fatalf("counts: ups=%d downs=%d, want ups>=2 downs=1", ups, downs)
+	}
+	// LIFO drain: the newest replica is withdrawn from the pool.
+	fs.mu.Lock()
+	newest := fs.spawned[len(fs.spawned)-1].url()
+	fs.mu.Unlock()
+	for _, st := range p.Snapshot() {
+		if st.URL == newest {
+			t.Fatalf("newest replica %s still pooled after LIFO drain", newest)
+		}
+	}
+}
+
+func TestScalerRequiresSpawn(t *testing.T) {
+	p := newTestPool(t, PoolConfig{})
+	if _, err := NewScaler(p, ScalerConfig{}); err == nil {
+		t.Fatal("NewScaler accepted a nil Spawn")
+	}
+}
+
+func TestScalerSpawnFailureIsRetriedNextTick(t *testing.T) {
+	var calls atomic.Int64
+	fs := &fakeSpawner{t: t}
+	flaky := func(ctx context.Context) (string, func(context.Context) error, error) {
+		if calls.Add(1) == 1 {
+			return "", nil, fmt.Errorf("transient spawn failure")
+		}
+		return fs.spawn(ctx)
+	}
+	p := newTestPool(t, PoolConfig{})
+	s, err := NewScaler(p, ScalerConfig{Min: 1, Max: 1, Interval: 10 * time.Millisecond, Spawn: flaky})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	waitUntil(t, 5*time.Second, "recovery after failed spawn", func() bool {
+		managed, _, _ := s.Counts()
+		return managed == 1
+	})
+	if calls.Load() < 2 {
+		t.Fatalf("spawn called %d times, want a retry after the failure", calls.Load())
+	}
+}

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseScorers(t *testing.T) {
+	cases := []struct {
+		spec    string
+		names   []string
+		weights []float64
+		wantNil bool
+		wantErr bool
+	}{
+		{spec: "", wantNil: true},
+		{spec: "p2c", wantNil: true},
+		{spec: "  p2c  ", wantNil: true},
+		{spec: "queue-depth", names: []string{"queue-depth"}, weights: []float64{1}},
+		{
+			spec:    "class-affinity:3,queue-depth:2",
+			names:   []string{"class-affinity", "queue-depth"},
+			weights: []float64{3, 2},
+		},
+		{
+			spec:    "least-inflight:0.5, queue-depth:1.5",
+			names:   []string{"least-inflight", "queue-depth"},
+			weights: []float64{0.5, 1.5},
+		},
+		{spec: "no-such-scorer", wantErr: true},
+		{spec: "queue-depth:zero", wantErr: true},
+		{spec: "queue-depth:0", wantErr: true},
+		{spec: "queue-depth:-1", wantErr: true},
+		{spec: ",", wantErr: true}, // only empty parts
+	}
+	for _, tc := range cases {
+		got, err := ParseScorers(tc.spec)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseScorers(%q): want error, got %v", tc.spec, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseScorers(%q): %v", tc.spec, err)
+			continue
+		}
+		if tc.wantNil {
+			if got != nil {
+				t.Errorf("ParseScorers(%q) = %v, want nil (p2c fallback)", tc.spec, got)
+			}
+			continue
+		}
+		if len(got) != len(tc.names) {
+			t.Errorf("ParseScorers(%q): %d scorers, want %d", tc.spec, len(got), len(tc.names))
+			continue
+		}
+		for i, ws := range got {
+			if ws.Name != tc.names[i] || ws.Weight != tc.weights[i] || ws.Fn == nil {
+				t.Errorf("ParseScorers(%q)[%d] = {%s %v}, want {%s %v}",
+					tc.spec, i, ws.Name, ws.Weight, tc.names[i], tc.weights[i])
+			}
+		}
+	}
+}
+
+func TestQueueDepthScorerPrefersIdle(t *testing.T) {
+	fn := builtinScorers["queue-depth"]
+	in := RouteInput{Class: "web", Count: 1}
+	idle := fn(in, ReplicaStatus{})
+	queued := fn(in, ReplicaStatus{QueueDepth: 4})
+	flowing := fn(in, ReplicaStatus{InFlightFlows: 4})
+	routing := fn(in, ReplicaStatus{InFlight: 4})
+	if idle != 1 {
+		t.Fatalf("idle score = %v, want 1", idle)
+	}
+	for name, s := range map[string]float64{"queued": queued, "flowing": flowing, "routing": routing} {
+		if math.Abs(s-0.2) > 1e-12 {
+			t.Fatalf("%s score = %v, want 0.2 (all load terms equivalent)", name, s)
+		}
+	}
+}
+
+func TestClassAffinityScorer(t *testing.T) {
+	fn := builtinScorers["class-affinity"]
+	in := RouteInput{Class: "web"}
+	if got := fn(in, ReplicaStatus{LastClass: "web"}); got != 1 {
+		t.Fatalf("same-class score = %v, want 1", got)
+	}
+	if got := fn(in, ReplicaStatus{}); got != 0.5 {
+		t.Fatalf("cold score = %v, want 0.5", got)
+	}
+	if got := fn(in, ReplicaStatus{LastClass: "video"}); got != 0 {
+		t.Fatalf("cross-class score = %v, want 0", got)
+	}
+}
+
+func TestLeastInflightScorer(t *testing.T) {
+	fn := builtinScorers["least-inflight"]
+	in := RouteInput{}
+	if a, b := fn(in, ReplicaStatus{InFlight: 0}), fn(in, ReplicaStatus{InFlight: 3}); a <= b {
+		t.Fatalf("least-inflight: idle %v should beat busy %v", a, b)
+	}
+	// Replica-reported load must not leak into this scorer.
+	if got := fn(in, ReplicaStatus{QueueDepth: 100}); got != 1 {
+		t.Fatalf("queue depth leaked into least-inflight: %v", got)
+	}
+}
+
+func TestScoreReplicaWeightedSum(t *testing.T) {
+	policy, err := ParseScorers("class-affinity:3,queue-depth:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := RouteInput{Class: "web"}
+	warmIdle := scoreReplica(policy, in, ReplicaStatus{LastClass: "web"})
+	if math.Abs(warmIdle-5) > 1e-12 { // 3*1 + 2*1
+		t.Fatalf("warm idle = %v, want 5", warmIdle)
+	}
+	coldIdle := scoreReplica(policy, in, ReplicaStatus{})
+	if math.Abs(coldIdle-3.5) > 1e-12 { // 3*0.5 + 2*1
+		t.Fatalf("cold idle = %v, want 3.5", coldIdle)
+	}
+	// Affinity at weight 3 should outrank a moderate queue: a warm
+	// replica with 2 queued still beats a cold idle one.
+	warmBusy := scoreReplica(policy, in, ReplicaStatus{LastClass: "web", QueueDepth: 2})
+	if warmBusy <= coldIdle {
+		t.Fatalf("warm busy %v should beat cold idle %v under affinity:3", warmBusy, coldIdle)
+	}
+}
+
+func TestSplitmix64Spreads(t *testing.T) {
+	// The p2c counter spread must not collapse to few replicas: over
+	// 1024 consecutive counters mod 8, every residue should appear.
+	seen := map[uint64]int{}
+	for i := uint64(1); i <= 1024; i++ {
+		seen[splitmix64(i)%8]++
+	}
+	for r := uint64(0); r < 8; r++ {
+		if seen[r] == 0 {
+			t.Fatalf("residue %d never drawn: %v", r, seen)
+		}
+	}
+}

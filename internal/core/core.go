@@ -820,6 +820,15 @@ func (s *Synthesizer) SetDDIMSteps(steps int) {
 	s.mu.Unlock()
 }
 
+// DDIMSteps reports the sampler's live step budget (0 = full DDPM
+// ancestral sampling). Serving layers export it so a router can key
+// response caches on the exact sampling configuration a replica runs.
+func (s *Synthesizer) DDIMSteps() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ddimSteps
+}
+
 // stampTimestamps rewrites the packets' timestamps with gaps sampled
 // from the class's fitted inter-arrival distribution. r is the flow's
 // private stream, so flows in one call draw distinct gap sequences.

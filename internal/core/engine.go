@@ -146,6 +146,10 @@ func NewEngine(synth *Synthesizer, cfg EngineConfig) (*Engine, error) {
 // Classes returns the synthesizer's prompt vocabulary.
 func (e *Engine) Classes() []string { return e.synth.Classes() }
 
+// DDIMSteps reports the synthesizer's live DDIM budget; serving layers
+// surface it for cache-key derivation.
+func (e *Engine) DDIMSteps() int { return e.synth.DDIMSteps() }
+
 // Stats returns a snapshot of the engine's work counters.
 func (e *Engine) Stats() EngineStats {
 	return EngineStats{

@@ -89,6 +89,13 @@ type Config struct {
 	// carry an explicit seed (default 1). Replicas that must differ on
 	// unseeded traffic should differ here.
 	SeedBase uint64
+	// CheckpointDigest identifies the loaded checkpoint (conventionally
+	// "sha256:<hex>"). It is reported on /readyz?verbose=1 and stamped
+	// on every generate response as X-Traced-Checkpoint, so a routing
+	// tier can derive content-addressed cache keys and validate that a
+	// replica serves the checkpoint the cache entry was built from.
+	// Optional; empty means "unidentified".
+	CheckpointDigest string
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +135,13 @@ type Server struct {
 	gate *gate
 	met  *metrics
 
+	// ddimSteps reports the engine's live DDIM budget for readiness
+	// payloads and response headers; zero when the engine doesn't
+	// expose one (plain Engine implementations).
+	ddimSteps func() int
+	// start anchors the uptime reported on /readyz?verbose=1.
+	start time.Time
+
 	draining atomic.Bool
 	seedCtr  atomic.Uint64
 	inflight sync.WaitGroup
@@ -163,6 +177,12 @@ func NewWithEngine(eng Engine, cfg Config) *Server {
 		cfg:     cfg,
 		classes: map[string]bool{},
 		gate:    newGate(cfg.QueueDepth),
+		start:   time.Now(),
+	}
+	if d, ok := eng.(interface{ DDIMSteps() int }); ok {
+		s.ddimSteps = d.DDIMSteps
+	} else {
+		s.ddimSteps = func() int { return 0 }
 	}
 	for _, c := range eng.Classes() {
 		s.classes[c] = true
@@ -372,6 +392,14 @@ func (s *Server) writeBody(w http.ResponseWriter, seed uint64, format string, re
 	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.Header().Set("X-Traced-Seed", strconv.FormatUint(seed, 10))
 	w.Header().Set("X-Traced-Flows", strconv.Itoa(len(res.Flows)))
+	// Cache-validation headers: a routing tier keys its response cache
+	// on (digest, class, count, seed, DDIM steps, format); echoing the
+	// replica's digest and DDIM budget lets it assert the entry it is
+	// about to store matches the configuration that produced the bytes.
+	if s.cfg.CheckpointDigest != "" {
+		w.Header().Set("X-Traced-Checkpoint", s.cfg.CheckpointDigest)
+	}
+	w.Header().Set("X-Traced-DDIM-Steps", strconv.Itoa(s.ddimSteps()))
 	if _, err := w.Write(buf.Bytes()); err != nil {
 		// The client went away mid-response; nothing to send it, but
 		// the failure is visible in /metrics.
@@ -383,12 +411,49 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeText(w, http.StatusOK, "ok")
 }
 
+// ReadyStatus is the JSON body of GET /readyz?verbose=1: everything a
+// routing tier needs to score a replica (queue depth, in-flight flows)
+// and to validate cached responses against it (checkpoint digest, DDIM
+// budget) without scraping expvar. The bare GET /readyz keeps the
+// text/plain 200-or-503 contract existing probes rely on.
+type ReadyStatus struct {
+	Status           string   `json:"status"`
+	QueueDepth       int      `json:"queue_depth"`
+	InFlightFlows    int64    `json:"in_flight_flows"`
+	CheckpointDigest string   `json:"checkpoint_digest,omitempty"`
+	DDIMSteps        int      `json:"ddim_steps"`
+	Classes          []string `json:"classes,omitempty"`
+	UptimeMs         int64    `json:"uptime_ms"`
+}
+
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		s.writeText(w, http.StatusServiceUnavailable, "draining")
+	if r.URL.Query().Get("verbose") != "1" {
+		if s.draining.Load() {
+			s.writeText(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		s.writeText(w, http.StatusOK, "ready")
 		return
 	}
-	s.writeText(w, http.StatusOK, "ready")
+	status, code := "ready", http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	st := s.eng.Stats()
+	payload := ReadyStatus{
+		Status:           status,
+		QueueDepth:       s.gate.depth(),
+		InFlightFlows:    int64(st.FlowsAdmitted) - int64(st.FlowsCompleted) - int64(st.FlowsRetired),
+		CheckpointDigest: s.cfg.CheckpointDigest,
+		DDIMSteps:        s.ddimSteps(),
+		Classes:          s.eng.Classes(),
+		UptimeMs:         time.Since(s.start).Milliseconds(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(payload); err != nil {
+		s.met.writeErrors.Add(1)
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
