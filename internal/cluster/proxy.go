@@ -56,7 +56,12 @@ type Router struct {
 	met    *routerMetrics
 	client *http.Client
 
-	draining atomic.Bool
+	// drainMu orders the draining flag against inflight.Add: the check
+	// and the Add happen in one critical section, so no request can
+	// register after Shutdown flips the flag and inflight.Wait observes
+	// zero (sync.WaitGroup forbids Add racing such a Wait).
+	drainMu  sync.Mutex
+	draining bool // guarded by drainMu
 	inflight sync.WaitGroup
 	p2cCtr   atomic.Uint64
 	hitCtr   atomic.Uint64
@@ -118,7 +123,9 @@ func (rt *Router) PublishExpvar(name string) {
 // proxied requests complete, then the HTTP server stops. Replicas are
 // untouched — the scaler (or operator) owns them.
 func (rt *Router) Shutdown(ctx context.Context) error {
-	rt.draining.Store(true)
+	rt.drainMu.Lock()
+	rt.draining = true
+	rt.drainMu.Unlock()
 	drained := make(chan struct{})
 	go func() {
 		rt.inflight.Wait()
@@ -130,6 +137,24 @@ func (rt *Router) Shutdown(ctx context.Context) error {
 		return ctx.Err()
 	}
 	return rt.httpSrv.Shutdown(ctx)
+}
+
+// beginRequest registers an in-flight request unless the router is
+// draining; the caller must rt.inflight.Done() when it returns true.
+func (rt *Router) beginRequest() bool {
+	rt.drainMu.Lock()
+	defer rt.drainMu.Unlock()
+	if rt.draining {
+		return false
+	}
+	rt.inflight.Add(1)
+	return true
+}
+
+func (rt *Router) isDraining() bool {
+	rt.drainMu.Lock()
+	defer rt.drainMu.Unlock()
+	return rt.draining
 }
 
 // routeRequest mirrors the fields of traced's generate request the
@@ -147,11 +172,12 @@ func (rt *Router) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	if rt.draining.Load() {
+	if !rt.beginRequest() {
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "shutting down", http.StatusServiceUnavailable)
 		return
 	}
+	defer rt.inflight.Done()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
 	if err != nil {
 		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
@@ -169,8 +195,6 @@ func (rt *Router) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		gr.Format = "pcap"
 	}
 	rt.met.requests.Add(1)
-	rt.inflight.Add(1)
-	defer rt.inflight.Done()
 
 	// Cache lookup: only seeded requests are content-addressed, and
 	// only while every healthy replica agrees on (digest, DDIM steps) —
@@ -221,6 +245,16 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, gr routeRequest,
 		status, hdr, respBody, err := rt.forward(r.Context(), rep, body)
 		rt.pool.release(rep, gr.Class)
 		if err != nil {
+			if r.Context().Err() != nil {
+				// The client went away (disconnect or deadline), which
+				// fails client.Do no matter how healthy the replica is.
+				// Ejecting here — and then retrying every remaining
+				// replica with the same dead context — would let one
+				// impatient client empty the candidate set, so give up
+				// without blaming anyone.
+				rt.met.clientAborts.Add(1)
+				return
+			}
 			// Transport failure: eject the replica so later requests
 			// don't re-dial a dead upstream before the probe notices.
 			rt.pool.noteProxyFailure(rep)
@@ -524,7 +558,7 @@ func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	healthy := rt.pool.Healthy()
 	status, code := "ready", http.StatusOK
 	switch {
-	case rt.draining.Load():
+	case rt.isDraining():
 		status, code = "draining", http.StatusServiceUnavailable
 	case healthy == 0:
 		status, code = "no healthy replicas", http.StatusServiceUnavailable
@@ -569,16 +603,17 @@ func (rt *Router) writeText(w http.ResponseWriter, code int, body string) {
 type routerMetrics struct {
 	vars *expvar.Map
 
-	requests    *expvar.Int // requests_total
-	completed   *expvar.Int // completed_total
-	rejected    *expvar.Int // rejected_total (503, no healthy replica)
-	retries     *expvar.Int // retries_total (failed attempts that moved on)
-	mapped429   *expvar.Int // mapped_429_total (aggregate backpressure)
-	mapped502   *expvar.Int // mapped_502_total
-	mapped504   *expvar.Int // mapped_504_total (passed-through deadline expiry)
-	cacheHits   *expvar.Int // cache_hits_total
-	cacheMisses *expvar.Int // cache_misses_total
-	cacheBypass *expvar.Int // cache_bypass_total (unseeded requests)
+	requests     *expvar.Int // requests_total
+	completed    *expvar.Int // completed_total
+	rejected     *expvar.Int // rejected_total (503, no healthy replica)
+	retries      *expvar.Int // retries_total (failed attempts that moved on)
+	clientAborts *expvar.Int // client_aborts_total (client gone mid-proxy)
+	mapped429    *expvar.Int // mapped_429_total (aggregate backpressure)
+	mapped502    *expvar.Int // mapped_502_total
+	mapped504    *expvar.Int // mapped_504_total (passed-through deadline expiry)
+	cacheHits    *expvar.Int // cache_hits_total
+	cacheMisses  *expvar.Int // cache_misses_total
+	cacheBypass  *expvar.Int // cache_bypass_total (unseeded requests)
 
 	validations          *expvar.Int // cache_validations_total
 	validationMismatches *expvar.Int // cache_validation_mismatches_total
@@ -601,6 +636,7 @@ func newRouterMetrics(pool *Pool, cache *Cache) *routerMetrics {
 	m.completed = newInt("completed_total")
 	m.rejected = newInt("rejected_total")
 	m.retries = newInt("retries_total")
+	m.clientAborts = newInt("client_aborts_total")
 	m.mapped429 = newInt("mapped_429_total")
 	m.mapped502 = newInt("mapped_502_total")
 	m.mapped504 = newInt("mapped_504_total")

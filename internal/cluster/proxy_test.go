@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 )
@@ -276,6 +277,60 @@ func TestRouterTransportFailureFailsOverAndEjects(t *testing.T) {
 		if st.URL == a.url() && st.Healthy {
 			t.Fatal("dead replica still healthy after transport failure")
 		}
+	}
+}
+
+// A client disconnect mid-proxy makes the upstream attempt fail with a
+// canceled context. The replica is not at fault: it must not be
+// ejected, and the rest of the pool must not be burned through (and
+// ejected in turn) with the same dead context.
+func TestRouterClientCancelDoesNotEjectReplicas(t *testing.T) {
+	a := newFakeReplica(t, "sha256:aa", 6)
+	b := newFakeReplica(t, "sha256:aa", 6)
+	block := make(chan struct{})
+	defer close(block)
+	a.set(func(f *fakeReplica) { f.block = block })
+	b.set(func(f *fakeReplica) { f.block = block })
+	// Health changes only via explicit kicks, so any ejection observed
+	// below came from the proxy path.
+	p := newTestPool(t, PoolConfig{ProbeInterval: time.Hour}, a, b)
+	waitUntil(t, 5*time.Second, "both healthy", func() bool {
+		p.Kick()
+		return p.Healthy() == 2
+	})
+	_, base := newTestRouter(t, p, Config{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/generate",
+		strings.NewReader(`{"class":"web","count":1,"seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			_ = resp.Body.Close()
+		}
+		errCh <- err
+	}()
+	waitUntil(t, 5*time.Second, "request in flight on a replica", func() bool {
+		return a.genCalls.Load()+b.genCalls.Load() == 1
+	})
+	cancel()
+	if err := <-errCh; err == nil {
+		t.Fatal("canceled request unexpectedly succeeded")
+	}
+	waitUntil(t, 5*time.Second, "client abort recorded", func() bool {
+		return metricInt(t, fetchMetricsMap(t, base), "client_aborts_total") == 1
+	})
+	if got := p.Healthy(); got != 2 {
+		t.Fatalf("healthy = %d after client cancel, want 2 (no ejection)", got)
+	}
+	if got := a.genCalls.Load() + b.genCalls.Load(); got != 1 {
+		t.Fatalf("upstream attempts = %d, want 1 (no retries with a dead context)", got)
 	}
 }
 

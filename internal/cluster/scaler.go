@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"fmt"
+	"os"
 	"os/exec"
 	"strings"
 	"sync"
@@ -12,10 +13,22 @@ import (
 	"time"
 )
 
-// SpawnFunc starts one replica process and returns its base URL plus a
-// stop function that drains it gracefully (SIGTERM + wait) within the
-// context's budget.
-type SpawnFunc func(ctx context.Context) (url string, stop func(context.Context) error, err error)
+// Proc is one spawned replica process, as returned by a SpawnFunc.
+type Proc struct {
+	// URL is the replica's base URL.
+	URL string
+	// Stop drains the process gracefully (SIGTERM + wait) within the
+	// context's budget.
+	Stop func(context.Context) error
+	// Exited, when non-nil, is closed when the process exits on its
+	// own. The scaler reaps such a replica from the managed set and the
+	// pool, so the Min-deficit path respawns a replacement instead of
+	// counting a corpse toward the managed total forever.
+	Exited <-chan struct{}
+}
+
+// SpawnFunc starts one replica process.
+type SpawnFunc func(ctx context.Context) (*Proc, error)
 
 // ScalerConfig parameterizes the autoscale loop. Zero values take the
 // defaults noted on each field.
@@ -128,12 +141,6 @@ func decide(cfg ScalerConfig, st *scaleState, managed, healthy int, aggLoad floa
 	return scaleHold
 }
 
-// managedProc is one child replica.
-type managedProc struct {
-	url  string
-	stop func(context.Context) error
-}
-
 // Scaler owns the managed replica processes and the autoscale loop:
 // it watches the pool's aggregate queue-depth metrics and starts or
 // drains local traced children between Min and Max replicas. Drains
@@ -144,8 +151,8 @@ type Scaler struct {
 	cfg  ScalerConfig
 
 	mu    sync.Mutex
-	procs []*managedProc // guarded by mu — LIFO; newest drained first
-	state scaleState     // guarded by mu (loop-only, but Close races the loop)
+	procs []*Proc    // guarded by mu — LIFO; newest drained first
+	state scaleState // guarded by mu (loop-only, but Close races the loop)
 
 	stopCh chan struct{}
 	wg     sync.WaitGroup
@@ -186,13 +193,13 @@ func (s *Scaler) Close() {
 	var wg sync.WaitGroup
 	for _, p := range procs {
 		wg.Add(1)
-		go func(p *managedProc) {
+		go func(p *Proc) {
 			defer wg.Done()
-			s.pool.Remove(p.url)
+			s.pool.Remove(p.URL)
 			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 			defer cancel()
-			if err := p.stop(ctx); err != nil {
-				s.cfg.Logf("scaler: draining %s: %v", p.url, err)
+			if err := p.Stop(ctx); err != nil {
+				s.cfg.Logf("scaler: draining %s: %v", p.URL, err)
 			}
 		}(p)
 	}
@@ -240,18 +247,55 @@ func (s *Scaler) tick() {
 func (s *Scaler) spawnOne(managed, healthy int, agg float64) {
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.SpawnTimeout)
 	defer cancel()
-	url, stop, err := s.cfg.Spawn(ctx)
+	p, err := s.cfg.Spawn(ctx)
 	if err != nil {
 		s.cfg.Logf("scaler: spawn failed: %v", err)
 		return
 	}
 	s.mu.Lock()
-	s.procs = append(s.procs, &managedProc{url: url, stop: stop})
+	s.procs = append(s.procs, p)
 	n := len(s.procs)
 	s.mu.Unlock()
 	s.scaleUps.Add(1)
-	s.pool.Add(url)
-	s.cfg.Logf("scaler: scaled up to %d replicas (%s; healthy %d, aggregate load %.1f)", n, url, healthy, agg)
+	s.pool.Add(p.URL)
+	if p.Exited != nil {
+		s.wg.Add(1)
+		go s.watchExit(p)
+	}
+	s.cfg.Logf("scaler: scaled up to %d replicas (%s; healthy %d, aggregate load %.1f)", n, p.URL, healthy, agg)
+}
+
+// watchExit reaps a managed child that exits on its own: the replica
+// leaves the pool and the managed set at once, so the next tick's
+// Min-deficit check respawns a replacement. Pool removal happens first
+// so a respawn triggered by the shrunken managed count never races a
+// stale pool entry.
+func (s *Scaler) watchExit(p *Proc) {
+	defer s.wg.Done()
+	select {
+	case <-s.stopCh:
+		// Close owns the remaining procs and drains them itself.
+		return
+	case <-p.Exited:
+	}
+	s.pool.Remove(p.URL)
+	if s.removeProc(p) {
+		s.cfg.Logf("scaler: replica %s exited unexpectedly; reaped (respawn on next tick)", p.URL)
+	}
+}
+
+// removeProc drops p from the managed set; false when a drain or Close
+// already popped it.
+func (s *Scaler) removeProc(p *Proc) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, q := range s.procs {
+		if q == p {
+			s.procs = append(s.procs[:i], s.procs[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // drainOne withdraws the newest replica from the pool and stops it
@@ -262,11 +306,11 @@ func (s *Scaler) drainOne(agg float64) {
 		return
 	}
 	s.scaleDowns.Add(1)
-	s.pool.Remove(p.url)
+	s.pool.Remove(p.URL)
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
-	if err := p.stop(ctx); err != nil {
-		s.cfg.Logf("scaler: draining %s: %v", p.url, err)
+	if err := p.Stop(ctx); err != nil {
+		s.cfg.Logf("scaler: draining %s: %v", p.URL, err)
 		return
 	}
 	s.cfg.Logf("scaler: scaled down to %d replicas (aggregate load %.1f)", n, agg)
@@ -274,7 +318,7 @@ func (s *Scaler) drainOne(agg float64) {
 
 // popNewest removes and returns the most recently spawned replica
 // (LIFO) along with the remaining managed count; nil when none.
-func (s *Scaler) popNewest() (*managedProc, int) {
+func (s *Scaler) popNewest() (*Proc, int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.procs) == 0 {
@@ -288,21 +332,28 @@ func (s *Scaler) popNewest() (*managedProc, int) {
 // TracedSpawner builds a SpawnFunc over the real traced binary: it
 // starts `bin -model model -addr 127.0.0.1:0 <extraArgs...>`, reads
 // the machine-parseable "ADDR=host:port" line traced prints on stdout
-// once its listener is up, and returns a stop function that SIGTERMs
-// the child (traced's graceful drain path) and waits for exit.
+// once its listener is up, and returns a Proc whose Stop SIGTERMs the
+// child (traced's graceful drain path) and waits for exit. The child's
+// stderr passes through to the router's, so startup errors and crash
+// reasons stay diagnosable.
 func TracedSpawner(bin, model string, extraArgs []string) SpawnFunc {
-	return func(ctx context.Context) (string, func(context.Context) error, error) {
+	return func(ctx context.Context) (*Proc, error) {
 		args := append([]string{"-model", model, "-addr", "127.0.0.1:0"}, extraArgs...)
 		cmd := exec.Command(bin, args...)
+		cmd.Stderr = os.Stderr
 		stdout, err := cmd.StdoutPipe()
 		if err != nil {
-			return "", nil, err
+			return nil, err
 		}
 		if err := cmd.Start(); err != nil {
-			return "", nil, err
+			return nil, err
 		}
 		done := make(chan error, 1)
-		go func() { done <- cmd.Wait() }()
+		exited := make(chan struct{})
+		go func() {
+			done <- cmd.Wait() // buffered: the send precedes the close
+			close(exited)
+		}()
 
 		addrCh := make(chan string, 1)
 		go func() {
@@ -325,11 +376,18 @@ func TracedSpawner(bin, model string, extraArgs []string) SpawnFunc {
 		case addr, ok := <-addrCh:
 			if !ok || addr == "" {
 				kill()
-				return "", nil, fmt.Errorf("cluster: %s exited before printing ADDR=", bin)
+				return nil, fmt.Errorf("cluster: %s exited before printing ADDR=", bin)
 			}
 			stop := func(ctx context.Context) error {
 				if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
-					return err
+					// The child is already gone (a crash the exit watcher
+					// reaped); its wait result is the real verdict.
+					select {
+					case werr := <-done:
+						return werr
+					case <-ctx.Done():
+						return err
+					}
 				}
 				select {
 				case err := <-done:
@@ -341,12 +399,12 @@ func TracedSpawner(bin, model string, extraArgs []string) SpawnFunc {
 					return ctx.Err()
 				}
 			}
-			return "http://" + addr, stop, nil
+			return &Proc{URL: "http://" + addr, Stop: stop, Exited: exited}, nil
 		case err := <-done:
-			return "", nil, fmt.Errorf("cluster: %s exited before printing ADDR=: %v", bin, err)
+			return nil, fmt.Errorf("cluster: %s exited before printing ADDR=: %v", bin, err)
 		case <-ctx.Done():
 			kill()
-			return "", nil, fmt.Errorf("cluster: spawning %s: %w", bin, ctx.Err())
+			return nil, fmt.Errorf("cluster: spawning %s: %w", bin, ctx.Err())
 		}
 	}
 }

@@ -102,19 +102,37 @@ type fakeSpawner struct {
 
 	mu      sync.Mutex
 	spawned []*fakeReplica
+	exits   []chan struct{}
 	stops   atomic.Int64
 }
 
-func (fs *fakeSpawner) spawn(ctx context.Context) (string, func(context.Context) error, error) {
+func (fs *fakeSpawner) spawn(ctx context.Context) (*Proc, error) {
 	f := newFakeReplica(fs.t, "sha256:aa", 6)
+	exited := make(chan struct{})
 	fs.mu.Lock()
 	fs.spawned = append(fs.spawned, f)
+	fs.exits = append(fs.exits, exited)
 	fs.mu.Unlock()
 	stop := func(context.Context) error {
 		fs.stops.Add(1)
 		return nil
 	}
-	return f.url(), stop, nil
+	return &Proc{URL: f.url(), Stop: stop, Exited: exited}, nil
+}
+
+// crash closes the i-th child's exit channel, simulating the replica
+// process dying on its own.
+func (fs *fakeSpawner) crash(i int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	close(fs.exits[i])
+}
+
+// spawnCount reports how many replicas have been spawned so far.
+func (fs *fakeSpawner) spawnCount() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.spawned)
 }
 
 func (fs *fakeSpawner) setLoad(depth int) {
@@ -195,6 +213,40 @@ func TestScalerScalesUpUnderLoadAndBackDown(t *testing.T) {
 	}
 }
 
+// A managed child that dies on its own must be reaped — removed from
+// both the managed set and the pool — so the Min-deficit path respawns
+// a replacement instead of counting the corpse toward managed forever.
+func TestScalerReapsCrashedChildAndRespawns(t *testing.T) {
+	fs := &fakeSpawner{t: t}
+	p := newTestPool(t, PoolConfig{})
+	s, err := NewScaler(p, ScalerConfig{Min: 1, Max: 2, Interval: 10 * time.Millisecond, Spawn: fs.spawn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	waitUntil(t, 5*time.Second, "initial replica", func() bool {
+		managed, _, _ := s.Counts()
+		return managed == 1 && p.Healthy() == 1
+	})
+	fs.mu.Lock()
+	first := fs.spawned[0].url()
+	fs.mu.Unlock()
+
+	fs.crash(0)
+	waitUntil(t, 5*time.Second, "crashed child reaped and replaced", func() bool {
+		managed, _, _ := s.Counts()
+		return fs.spawnCount() == 2 && managed == 1
+	})
+	for _, st := range p.Snapshot() {
+		if st.URL == first {
+			t.Fatalf("crashed replica %s still pooled after reap", first)
+		}
+	}
+	if got := fs.stops.Load(); got != 0 {
+		t.Fatalf("reap called Stop %d times; a dead child needs no drain", got)
+	}
+}
+
 func TestScalerRequiresSpawn(t *testing.T) {
 	p := newTestPool(t, PoolConfig{})
 	if _, err := NewScaler(p, ScalerConfig{}); err == nil {
@@ -205,9 +257,9 @@ func TestScalerRequiresSpawn(t *testing.T) {
 func TestScalerSpawnFailureIsRetriedNextTick(t *testing.T) {
 	var calls atomic.Int64
 	fs := &fakeSpawner{t: t}
-	flaky := func(ctx context.Context) (string, func(context.Context) error, error) {
+	flaky := func(ctx context.Context) (*Proc, error) {
 		if calls.Add(1) == 1 {
-			return "", nil, fmt.Errorf("transient spawn failure")
+			return nil, fmt.Errorf("transient spawn failure")
 		}
 		return fs.spawn(ctx)
 	}
