@@ -22,6 +22,16 @@
 //
 //	benchjson -suite router -label post-PR -out BENCH_router.json -append
 //
+// With -suite quant it sweeps the quantized-inference frontier: one
+// in-process synthesizer measured at every (precision, DDIM steps)
+// configuration for flows/s and Synthetic/Real RF accuracy against an
+// fp32/64-step reference. The suite doubles as the fidelity-vs-speed
+// gate — it exits non-zero when any point's accuracy drops more than
+// the built-in tolerance below the reference or the best int8 point is
+// under the required speedup:
+//
+//	benchjson -suite quant -label post-PR -out BENCH_quant.json -append
+//
 // With -compare it becomes a regression gate instead of a recorder:
 //
 //	benchjson -compare old.json new.json [-threshold 0.10]
@@ -117,8 +127,10 @@ func main() {
 		run, err = runServeStaggerSuite(*label, *requests)
 	case "router":
 		run, err = runRouterSuite(*label, *requests, *clients)
+	case "quant":
+		run, err = runQuantSuite(*label)
 	default:
-		err = fmt.Errorf("unknown suite %q (want serve, serve-stagger or router)", *suite)
+		err = fmt.Errorf("unknown suite %q (want serve, serve-stagger, router or quant)", *suite)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -24,7 +24,7 @@
 // with the max Retry-After seen, never 502.
 //
 // Seeded generation is a pure function of (checkpoint digest, class,
-// count, seed, DDIM steps), so cached responses are byte-identical to
+// count, seed, DDIM steps, precision), so cached responses are byte-identical to
 // replica-served ones; -cache-validate N re-proves that against a live
 // replica on every Nth hit.
 package main

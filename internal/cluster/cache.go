@@ -6,10 +6,10 @@
 // together (proxy.go).
 //
 // The cache is the "millions of users" lever: a seeded generation is a
-// pure function of (checkpoint digest, class, count, seed, DDIM steps),
-// so a repeat seeded request is served from router memory without
-// touching a replica at all, byte-identical to what any replica would
-// have produced.
+// pure function of (checkpoint digest, class, count, seed, DDIM steps,
+// precision), so a repeat seeded request is served from router memory
+// without touching a replica at all, byte-identical to what any replica
+// would have produced.
 package cluster
 
 import (
@@ -32,6 +32,10 @@ type CacheKey struct {
 	// DDIMSteps is the sampler budget the replica reported for the
 	// response (0 = full DDPM).
 	DDIMSteps int
+	// Precision is the inference weight precision the replica reported
+	// ("fp32" or "int8"). int8 bytes differ from fp32 bytes for the same
+	// digest and seed, so precision must participate in equality.
+	Precision string
 	// Format is the response encoding ("pcap" or "csv").
 	Format string
 }
@@ -45,6 +49,7 @@ type CachedResponse struct {
 	Flows       string // X-Traced-Flows
 	Digest      string // X-Traced-Checkpoint
 	DDIMSteps   string // X-Traced-DDIM-Steps
+	Precision   string // X-Traced-Precision
 }
 
 type cacheEntry struct {

@@ -10,7 +10,7 @@ func testResp(n int) *CachedResponse {
 }
 
 func testKey(seed uint64) CacheKey {
-	return CacheKey{Digest: "sha256:aa", Class: "web", Count: 1, Seed: seed, DDIMSteps: 6, Format: "pcap"}
+	return CacheKey{Digest: "sha256:aa", Class: "web", Count: 1, Seed: seed, DDIMSteps: 6, Precision: "fp32", Format: "pcap"}
 }
 
 func TestCacheGetPut(t *testing.T) {
@@ -31,8 +31,8 @@ func TestCacheGetPut(t *testing.T) {
 }
 
 // Every field of CacheKey must participate in identity: responses from
-// different checkpoints, DDIM budgets, classes, counts, seeds, or
-// formats may never alias.
+// different checkpoints, DDIM budgets, precisions, classes, counts,
+// seeds, or formats may never alias.
 func TestCacheKeyDistinctPerField(t *testing.T) {
 	base := testKey(1)
 	variants := []CacheKey{base}
@@ -42,6 +42,7 @@ func TestCacheKeyDistinctPerField(t *testing.T) {
 		func(k *CacheKey) { k.Count = 2 },
 		func(k *CacheKey) { k.Seed = 2 },
 		func(k *CacheKey) { k.DDIMSteps = 12 },
+		func(k *CacheKey) { k.Precision = "int8" },
 		func(k *CacheKey) { k.Format = "csv" },
 	} {
 		k := base

@@ -197,15 +197,19 @@ func (rt *Router) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	rt.met.requests.Add(1)
 
 	// Cache lookup: only seeded requests are content-addressed, and
-	// only while every healthy replica agrees on (digest, DDIM steps) —
-	// a mixed pool must not alias entries across configurations.
+	// only while every healthy replica agrees on (digest, DDIM steps,
+	// precision) — a mixed pool must not alias entries across
+	// configurations.
 	var key CacheKey
 	cacheable := false
 	if gr.Seed != nil && rt.cache != nil {
-		if digest, ddim, ok := rt.pool.CacheCoordinates(); ok {
+		if digest, ddim, prec, ok := rt.pool.CacheCoordinates(); ok {
+			if prec == "" {
+				prec = "fp32" // replicas predating the precision field
+			}
 			key = CacheKey{
 				Digest: digest, Class: gr.Class, Count: gr.Count,
-				Seed: *gr.Seed, DDIMSteps: ddim, Format: gr.Format,
+				Seed: *gr.Seed, DDIMSteps: ddim, Precision: prec, Format: gr.Format,
 			}
 			cacheable = true
 		}
@@ -453,8 +457,13 @@ func (rt *Router) forward(ctx context.Context, rep *replica, body []byte) (int, 
 // checkpoints between the probe and the response must not poison the
 // cache.
 func (rt *Router) storeResponse(key CacheKey, hdr http.Header, body []byte) {
+	prec := hdr.Get("X-Traced-Precision")
+	if prec == "" {
+		prec = "fp32" // replicas predating the precision header
+	}
 	if hdr.Get("X-Traced-Checkpoint") != key.Digest ||
-		hdr.Get("X-Traced-DDIM-Steps") != strconv.Itoa(key.DDIMSteps) {
+		hdr.Get("X-Traced-DDIM-Steps") != strconv.Itoa(key.DDIMSteps) ||
+		prec != key.Precision {
 		rt.met.coordMismatches.Add(1)
 		return
 	}
@@ -465,6 +474,7 @@ func (rt *Router) storeResponse(key CacheKey, hdr http.Header, body []byte) {
 		Flows:       hdr.Get("X-Traced-Flows"),
 		Digest:      hdr.Get("X-Traced-Checkpoint"),
 		DDIMSteps:   hdr.Get("X-Traced-DDIM-Steps"),
+		Precision:   prec,
 	})
 }
 
@@ -514,6 +524,9 @@ func (rt *Router) writeCached(w http.ResponseWriter, ent *CachedResponse, verdic
 	if ent.DDIMSteps != "" {
 		h.Set("X-Traced-DDIM-Steps", ent.DDIMSteps)
 	}
+	if ent.Precision != "" {
+		h.Set("X-Traced-Precision", ent.Precision)
+	}
 	h.Set("Content-Length", strconv.Itoa(len(ent.Body)))
 	h.Set("X-Cache", verdict)
 	if _, err := w.Write(ent.Body); err != nil {
@@ -528,7 +541,7 @@ func (rt *Router) writeUpstream(w http.ResponseWriter, status int, hdr http.Head
 	h := w.Header()
 	for _, name := range []string{
 		"Content-Type", "Retry-After",
-		"X-Traced-Seed", "X-Traced-Flows", "X-Traced-Checkpoint", "X-Traced-DDIM-Steps",
+		"X-Traced-Seed", "X-Traced-Flows", "X-Traced-Checkpoint", "X-Traced-DDIM-Steps", "X-Traced-Precision",
 	} {
 		if v := hdr.Get(name); v != "" {
 			h.Set(name, v)

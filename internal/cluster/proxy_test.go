@@ -93,7 +93,8 @@ func TestRouterProxiesAndCachesSeeded(t *testing.T) {
 	if !bytes.Equal(body1, body2) {
 		t.Fatalf("cache hit not byte-identical:\n miss: %q\n hit:  %q", body1, body2)
 	}
-	if hdr.Get("X-Traced-Checkpoint") != "sha256:aa" || hdr.Get("X-Traced-DDIM-Steps") != "6" {
+	if hdr.Get("X-Traced-Checkpoint") != "sha256:aa" || hdr.Get("X-Traced-DDIM-Steps") != "6" ||
+		hdr.Get("X-Traced-Precision") != "fp32" {
 		t.Fatalf("hit lost generation headers: %v", hdr)
 	}
 	if got := a.genCalls.Load() + b.genCalls.Load(); got != upstream {

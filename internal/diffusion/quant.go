@@ -1,0 +1,122 @@
+package diffusion
+
+import "fmt"
+
+// This file is the sampler-side precision switch. Quantization flips
+// each GEMM-heavy layer to per-output-channel int8 weights (see
+// nn/quant.go); the conditioning path — timestep projection, gate,
+// class embeddings, norms, attention — stays fp32, both because it is
+// a rounding-sensitive scalar path and because it is a negligible
+// share of the forward's work. The predictor needs no switch of its
+// own: its tape already runs no-grad, which is exactly the mode the
+// quantized kernels require, and layer Apply dispatches per layer.
+//
+// Quantize is a load-time, pre-serving operation: it must not run
+// concurrently with Forward, and a quantized model must never be
+// trained (the quantized ops panic on gradient-recording tapes).
+
+// Precision names an inference weight precision.
+type Precision int
+
+// Available precisions.
+const (
+	// PrecisionFP32 is the full-precision default path.
+	PrecisionFP32 Precision = iota
+	// PrecisionInt8 runs GEMM-heavy layers with per-output-channel
+	// symmetric int8 weights (fp32 activations and accumulation).
+	PrecisionInt8
+)
+
+// String names the precision the way flags, readiness payloads and
+// cache keys spell it.
+func (p Precision) String() string {
+	switch p {
+	case PrecisionFP32:
+		return "fp32"
+	case PrecisionInt8:
+		return "int8"
+	default:
+		return fmt.Sprintf("Precision(%d)", int(p))
+	}
+}
+
+// ParsePrecision reads the flag/readiness spelling ("fp32", "int8";
+// "off" and "" alias fp32 for the -quant flag).
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "fp32", "off", "":
+		return PrecisionFP32, nil
+	case "int8":
+		return PrecisionInt8, nil
+	default:
+		return PrecisionFP32, fmt.Errorf("diffusion: unknown precision %q (want int8 or off)", s)
+	}
+}
+
+// Quantizable is implemented by denoisers that support the int8
+// inference path.
+type Quantizable interface {
+	// Quantize converts the GEMM-heavy layers to int8 weights. Call
+	// once, after loading and before any Forward; never before
+	// training.
+	Quantize()
+	// Precision reports the active inference precision.
+	Precision() Precision
+}
+
+// Quantize implements Quantizable: the four wide projections carry
+// essentially all of the MLP forward's multiply-adds.
+func (m *MLPDenoiser) Quantize() {
+	m.xProj.Quantize()
+	m.ctrlProj.Quantize()
+	m.hid.Quantize()
+	m.out.Quantize()
+}
+
+// Precision implements Quantizable.
+func (m *MLPDenoiser) Precision() Precision {
+	if m.xProj.Quantized() {
+		return PrecisionInt8
+	}
+	return PrecisionFP32
+}
+
+// Unquantize reverts to the fp32 path (byte-exact: the fp32 weights
+// were never modified).
+func (m *MLPDenoiser) Unquantize() {
+	m.xProj.Unquantize()
+	m.ctrlProj.Unquantize()
+	m.hid.Unquantize()
+	m.out.Unquantize()
+}
+
+// Quantize implements Quantizable: every convolution plus the two
+// FiLM-style embedding projections. The attention block (when
+// enabled) stays fp32 — softmax logits are the one place int8 weight
+// noise visibly moves outputs.
+func (u *UNetDenoiser) Quantize() {
+	for _, c := range []interface{ Quantize() }{
+		u.stem, u.res1, u.down, u.mid, u.upConv, u.res2, u.head,
+		u.ctrlStem, u.ctrlZero, u.embToC, u.embToC2,
+	} {
+		c.Quantize()
+	}
+}
+
+// Precision implements Quantizable.
+func (u *UNetDenoiser) Precision() Precision {
+	if u.stem.Quantized() {
+		return PrecisionInt8
+	}
+	return PrecisionFP32
+}
+
+// Unquantize reverts every layer Quantize touched to the fp32 path.
+func (u *UNetDenoiser) Unquantize() {
+	for _, c := range []interface{ Unquantize() }{
+		u.stem, u.res1, u.down, u.mid, u.upConv, u.res2, u.head,
+		u.ctrlStem, u.ctrlZero, u.embToC, u.embToC2,
+	} {
+		c.Unquantize()
+	}
+}

@@ -1,0 +1,256 @@
+package eval
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+
+	"trafficdiff/internal/core"
+	"trafficdiff/internal/flow"
+	"trafficdiff/internal/rf"
+	"trafficdiff/internal/workload"
+)
+
+// This file is the fidelity-vs-speed frontier behind the quantized
+// inference path: every (precision, DDIM steps) configuration is
+// measured for both throughput (flows/s) and fidelity (Table 2's
+// Synthetic/Real RF accuracy), against an fp32 full-budget reference.
+// The int8 few-step path ships gated — GateFrontier is the pure
+// pass/fail check benchjson -suite quant enforces in CI, so a
+// quantization regression that silently degrades trace realism fails
+// the build rather than the downstream task.
+
+// FrontierConfig parameterizes the sweep.
+type FrontierConfig struct {
+	Classes []string
+	// TrainFlows and TestFlows size the per-class real datasets; the
+	// test split is what generated flows are judged against.
+	TrainFlows int
+	TestFlows  int
+	// GenFlows is the per-class generated dataset size per point — both
+	// the timed work and the RF training set.
+	GenFlows int
+	// RefSteps is the reference DDIM budget (the paper's full-fidelity
+	// configuration; 64 in the shipped suite).
+	RefSteps int
+	// Steps are the few-step budgets swept at each precision.
+	Steps []int
+	// Precisions to sweep ("fp32", "int8").
+	Precisions []string
+	// PacketsPerFlow bounds the nprint feature rows for the RF.
+	PacketsPerFlow int
+
+	Synth core.Config
+	RF    rf.Config
+	Seed  uint64
+}
+
+// DefaultFrontierConfig returns the CPU-budget sweep the quant bench
+// suite ships: fp32/64-step reference, both precisions at 4/8/16
+// steps.
+func DefaultFrontierConfig() FrontierConfig {
+	synth := core.DefaultConfig()
+	// Small spatial model, but a schedule long enough that the 64-step
+	// reference budget is meaningful.
+	synth.Rows = 16
+	synth.DownH, synth.DownW = 2, 16
+	synth.Hidden = 48
+	synth.TimeSteps = 80
+	synth.BaseSteps = 25
+	synth.FineTuneSteps = 35
+	synth.Batch = 8
+	return FrontierConfig{
+		Classes:        []string{"amazon", "teams"},
+		TrainFlows:     12,
+		TestFlows:      6,
+		GenFlows:       6,
+		RefSteps:       64,
+		Steps:          []int{4, 8, 16},
+		Precisions:     []string{"fp32", "int8"},
+		PacketsPerFlow: 12,
+		Synth:          synth,
+		RF:             rf.DefaultConfig(),
+		Seed:           29,
+	}
+}
+
+// FrontierPoint is one measured configuration.
+type FrontierPoint struct {
+	Precision string  `json:"precision"`
+	Steps     int     `json:"steps"`
+	FlowsPerS float64 `json:"flows_per_s"`
+	// Speedup is FlowsPerS relative to the reference point (1.0 there).
+	Speedup float64 `json:"speedup"`
+	// RFMicro/RFMacro are Synthetic/Real RF accuracies: a forest trained
+	// on this point's generated flows, tested on held-out real flows.
+	RFMicro float64 `json:"rf_micro"`
+	RFMacro float64 `json:"rf_macro"`
+	// Reference marks the fp32 full-budget baseline the gate compares
+	// against.
+	Reference bool `json:"reference,omitempty"`
+}
+
+// FrontierReport is the sweep output.
+type FrontierReport struct {
+	Points []FrontierPoint `json:"points"`
+}
+
+// ReferencePoint returns the report's reference point, or an error
+// when it is missing or ambiguous.
+func (r *FrontierReport) ReferencePoint() (FrontierPoint, error) {
+	var ref FrontierPoint
+	found := false
+	for _, p := range r.Points {
+		if !p.Reference {
+			continue
+		}
+		if found {
+			return ref, fmt.Errorf("eval: frontier report has multiple reference points")
+		}
+		ref, found = p, true
+	}
+	if !found {
+		return ref, fmt.Errorf("eval: frontier report has no reference point")
+	}
+	return ref, nil
+}
+
+// RunFrontier trains one synthesizer and measures every (precision,
+// steps) configuration over identical weights: each point is a
+// Save/Load clone of the trained model with only the sampler budget
+// and weight precision changed, so the frontier isolates exactly the
+// two levers under study.
+func RunFrontier(cfg FrontierConfig) (*FrontierReport, error) {
+	if cfg.TrainFlows <= 0 || cfg.TestFlows <= 0 || cfg.GenFlows <= 0 {
+		return nil, fmt.Errorf("eval: non-positive frontier sizes")
+	}
+	if cfg.RefSteps <= 0 || cfg.RefSteps > cfg.Synth.TimeSteps {
+		return nil, fmt.Errorf("eval: reference steps %d outside schedule T=%d", cfg.RefSteps, cfg.Synth.TimeSteps)
+	}
+	total := cfg.TrainFlows + cfg.TestFlows
+	ds, err := workload.Generate(workload.Config{
+		Seed: cfg.Seed, FlowsPerClass: total, Only: cfg.Classes,
+		MaxPacketsPerFlow: cfg.Synth.Rows,
+	})
+	if err != nil {
+		return nil, err
+	}
+	train, test := ds.Split(float64(cfg.TrainFlows)/float64(total), cfg.Seed+1)
+	byClass := map[string][]*flow.Flow{}
+	for _, f := range train.Flows {
+		byClass[f.Label] = append(byClass[f.Label], f)
+	}
+	synth, err := core.New(cfg.Synth, cfg.Classes)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := synth.FineTune(byClass); err != nil {
+		return nil, fmt.Errorf("fine-tune: %w", err)
+	}
+	var ckpt bytes.Buffer
+	if err := synth.Save(&ckpt); err != nil {
+		return nil, err
+	}
+	snapshot := ckpt.Bytes()
+
+	rep := &FrontierReport{}
+	ref, err := measureFrontierPoint(snapshot, "fp32", cfg.RefSteps, test.Flows, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("reference point: %w", err)
+	}
+	ref.Reference = true
+	ref.Speedup = 1
+	rep.Points = append(rep.Points, ref)
+
+	for _, prec := range cfg.Precisions {
+		for _, steps := range cfg.Steps {
+			p, err := measureFrontierPoint(snapshot, prec, steps, test.Flows, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("point %s/%d: %w", prec, steps, err)
+			}
+			p.Speedup = p.FlowsPerS / ref.FlowsPerS
+			rep.Points = append(rep.Points, p)
+		}
+	}
+	return rep, nil
+}
+
+// measureFrontierPoint loads a fresh synthesizer from the snapshot,
+// applies the point's precision and budget, and measures throughput
+// plus Synthetic/Real RF accuracy.
+func measureFrontierPoint(snapshot []byte, precision string, steps int, testFlows []*flow.Flow, cfg FrontierConfig) (FrontierPoint, error) {
+	pt := FrontierPoint{Precision: precision, Steps: steps}
+	s, err := core.Load(bytes.NewReader(snapshot))
+	if err != nil {
+		return pt, err
+	}
+	if err := s.SetPrecision(precision); err != nil {
+		return pt, err
+	}
+	s.SetDDIMSteps(steps)
+
+	start := time.Now()
+	gen, err := s.GenerateBalanced(cfg.GenFlows)
+	if err != nil {
+		return pt, err
+	}
+	pt.FlowsPerS = float64(len(gen)) / time.Since(start).Seconds()
+
+	t2 := Table2Config{RF: cfg.RF, Seed: cfg.Seed, PacketsPerFlow: cfg.PacketsPerFlow}
+	cell, err := evalPair(gen, testFlows, GranularityNprint, t2, MicroSpace(cfg.Classes), MacroSpace(cfg.Classes))
+	if err != nil {
+		return pt, err
+	}
+	pt.RFMicro, pt.RFMacro = cell.Micro, cell.Macro
+	return pt, nil
+}
+
+// GateFrontier is the CI fidelity-vs-speed gate: every swept point
+// must hold Synthetic/Real micro accuracy within tol (absolute) of the
+// reference, and when minSpeedup > 0, at least one int8 point must be
+// at least that much faster than the reference. It is a pure function
+// of the report so a deliberately-bad report is unit-testable.
+func GateFrontier(rep *FrontierReport, tol, minSpeedup float64) error {
+	if tol < 0 {
+		return fmt.Errorf("eval: negative frontier tolerance %v", tol)
+	}
+	ref, err := rep.ReferencePoint()
+	if err != nil {
+		return err
+	}
+	var bestInt8 float64
+	for _, p := range rep.Points {
+		if p.Reference {
+			continue
+		}
+		if p.RFMicro < ref.RFMicro-tol {
+			return fmt.Errorf("eval: frontier point %s/%d-step micro accuracy %.3f below reference %.3f - tol %.3f",
+				p.Precision, p.Steps, p.RFMicro, ref.RFMicro, tol)
+		}
+		if p.Precision == "int8" && p.Speedup > bestInt8 {
+			bestInt8 = p.Speedup
+		}
+	}
+	if minSpeedup > 0 && bestInt8 < minSpeedup {
+		return fmt.Errorf("eval: best int8 speedup %.2fx below required %.2fx", bestInt8, minSpeedup)
+	}
+	return nil
+}
+
+// FrontierReportString renders the frontier as the table EXPERIMENTS.md
+// reproduces.
+func FrontierReportString(rep *FrontierReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %6s %12s %9s %9s %9s\n", "precision", "steps", "flows/s", "speedup", "rf-micro", "rf-macro")
+	fmt.Fprintln(&b, strings.Repeat("-", 60))
+	for _, p := range rep.Points {
+		mark := ""
+		if p.Reference {
+			mark = " (ref)"
+		}
+		fmt.Fprintf(&b, "%-10s %6d %12.2f %8.2fx %9.3f %9.3f%s\n",
+			p.Precision, p.Steps, p.FlowsPerS, p.Speedup, p.RFMicro, p.RFMacro, mark)
+	}
+	return b.String()
+}

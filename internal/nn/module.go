@@ -10,6 +10,10 @@ import (
 // LinearLayer bundles a Linear op's weight and bias parameters.
 type LinearLayer struct {
 	W, B *V
+	// Q, when non-nil, holds per-output-channel int8 codes of W and
+	// switches Apply to the quantized inference kernel (see quant.go).
+	// Never serialized; rebuilt by Quantize after every load.
+	Q *tensor.QuantizedMat
 }
 
 // NewLinear allocates a layer with Kaiming-uniform-style init.
@@ -20,8 +24,15 @@ func NewLinear(r *stats.RNG, in, out int) *LinearLayer {
 	return l
 }
 
-// Apply runs the layer on x [N,in].
-func (l *LinearLayer) Apply(t *Tape, x *V) *V { return t.Linear(x, l.W, l.B) }
+// Apply runs the layer on x [N,in] — through the int8 kernel when the
+// layer has been Quantized (inference tapes only), the fp32 path
+// otherwise.
+func (l *LinearLayer) Apply(t *Tape, x *V) *V {
+	if l.Q != nil {
+		return t.LinearQ(x, l.Q, l.B)
+	}
+	return t.Linear(x, l.W, l.B)
+}
 
 // Params returns the layer's trainable parameters.
 func (l *LinearLayer) Params() []*V { return []*V{l.W, l.B} }
@@ -30,6 +41,9 @@ func (l *LinearLayer) Params() []*V { return []*V{l.W, l.B} }
 type ConvLayer struct {
 	W, B *V
 	Spec tensor.ConvSpec
+	// Q mirrors LinearLayer.Q: int8 codes of W [OutC, C*KH*KW],
+	// non-nil once Quantize has run.
+	Q *tensor.QuantizedMat
 }
 
 // NewConv allocates a conv layer with fan-in scaled init.
@@ -40,8 +54,14 @@ func NewConv(r *stats.RNG, spec tensor.ConvSpec) *ConvLayer {
 	return l
 }
 
-// Apply runs the layer on x [N,C,H,W].
-func (l *ConvLayer) Apply(t *Tape, x *V) *V { return t.Conv2D(x, l.W, l.B, l.Spec) }
+// Apply runs the layer on x [N,C,H,W], dispatching like
+// LinearLayer.Apply.
+func (l *ConvLayer) Apply(t *Tape, x *V) *V {
+	if l.Q != nil {
+		return t.Conv2DQ(x, l.Q, l.B, l.Spec)
+	}
+	return t.Conv2D(x, l.W, l.B, l.Spec)
+}
 
 // Params returns the layer's trainable parameters.
 func (l *ConvLayer) Params() []*V { return []*V{l.W, l.B} }

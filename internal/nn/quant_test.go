@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"trafficdiff/internal/stats"
+	"trafficdiff/internal/tensor"
+)
+
+func TestQuantizedLinearMatchesDequantizedFP32(t *testing.T) {
+	r := stats.NewRNG(5)
+	l := NewLinear(r, 96, 48)
+	l.B.X.Randn(r, 0.3)
+	x := tensor.New(4, 96).Randn(r, 1)
+
+	l.Quantize()
+	if !l.Quantized() {
+		t.Fatal("Quantize did not mark the layer")
+	}
+	tp := NewTape()
+	tp.SetNoGrad(true)
+	got := l.Apply(tp, tp.Input(x))
+
+	// Reference: fp32 Linear over the dequantized weights.
+	ref := &LinearLayer{W: NewV(l.Q.Dequantize()), B: l.B}
+	tpRef := NewTape()
+	tpRef.SetNoGrad(true)
+	want := ref.Apply(tpRef, tpRef.Input(x))
+
+	for i := range want.X.Data {
+		diff := math.Abs(float64(got.X.Data[i]) - float64(want.X.Data[i]))
+		if diff > 1e-3 {
+			t.Fatalf("element %d: quantized %v vs dequantized-fp32 %v", i, got.X.Data[i], want.X.Data[i])
+		}
+	}
+}
+
+func TestQuantizedLayerRefusesGradientTape(t *testing.T) {
+	r := stats.NewRNG(6)
+	l := NewLinear(r, 8, 4)
+	l.Quantize()
+	tp := NewTape() // gradient-recording by default
+	defer func() {
+		if recover() == nil {
+			t.Fatal("quantized Apply on a gradient tape did not panic")
+		}
+	}()
+	l.Apply(tp, tp.Input(tensor.New(2, 8)))
+}
+
+func TestQuantizedConvMatchesDequantizedFP32(t *testing.T) {
+	r := stats.NewRNG(7)
+	spec := tensor.ConvSpec{InC: 2, OutC: 3, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	l := NewConv(r, spec)
+	l.B.X.Randn(r, 0.3)
+	x := tensor.New(2, 2, 8, 8).Randn(r, 1)
+
+	l.Quantize()
+	tp := NewTape()
+	tp.SetNoGrad(true)
+	got := l.Apply(tp, tp.Input(x))
+
+	ref := &ConvLayer{W: NewV(l.Q.Dequantize()), B: l.B, Spec: spec}
+	tpRef := NewTape()
+	tpRef.SetNoGrad(true)
+	want := ref.Apply(tpRef, tpRef.Input(x))
+
+	for i := range want.X.Data {
+		diff := math.Abs(float64(got.X.Data[i]) - float64(want.X.Data[i]))
+		if diff > 1e-3 {
+			t.Fatalf("element %d: quantized %v vs dequantized-fp32 %v", i, got.X.Data[i], want.X.Data[i])
+		}
+	}
+}
+
+func TestUnquantizedLayerUnchanged(t *testing.T) {
+	// The default path must not change at all: Apply without Quantize
+	// runs the fp32 kernel bit-for-bit.
+	r := stats.NewRNG(8)
+	l := NewLinear(r, 16, 8)
+	x := tensor.New(3, 16).Randn(r, 1)
+	tp1 := NewTape()
+	direct := tp1.Linear(tp1.Input(x), l.W, l.B)
+	tp2 := NewTape()
+	viaApply := l.Apply(tp2, tp2.Input(x))
+	for i := range direct.X.Data {
+		if direct.X.Data[i] != viaApply.X.Data[i] {
+			t.Fatalf("element %d: Apply %v != Linear %v", i, viaApply.X.Data[i], direct.X.Data[i])
+		}
+	}
+}

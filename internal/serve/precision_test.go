@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestPrecisionAdvertised pins the precision surfaces a routing tier
+// keys on: the X-Traced-Precision response header and the
+// /readyz?verbose=1 field must both carry the configured precision,
+// and an unset Config.Precision must default to "fp32" (never empty —
+// an empty header would collide int8 and fp32 cache entries).
+func TestPrecisionAdvertised(t *testing.T) {
+	for _, tc := range []struct {
+		cfg  string
+		want string
+	}{
+		{cfg: "", want: "fp32"},
+		{cfg: "int8", want: "int8"},
+	} {
+		eng := &fakeEngine{classes: []string{"amazon"}}
+		s := NewWithEngine(eng, Config{Precision: tc.cfg, CheckpointDigest: "sha256:ab"})
+		ts := httptest.NewServer(s.Handler())
+		func() {
+			defer ts.Close()
+			defer shutdownServer(t, s)
+
+			code, _, hdr := post(t, ts.URL, `{"class":"amazon","count":1,"seed":9}`)
+			if code != http.StatusOK {
+				t.Fatalf("cfg %q: generate status %d", tc.cfg, code)
+			}
+			if got := hdr.Get("X-Traced-Precision"); got != tc.want {
+				t.Fatalf("cfg %q: X-Traced-Precision = %q, want %q", tc.cfg, got, tc.want)
+			}
+
+			resp, err := http.Get(ts.URL + "/readyz?verbose=1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st ReadyStatus
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			if cerr := resp.Body.Close(); cerr != nil {
+				t.Error(cerr)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Precision != tc.want {
+				t.Fatalf("cfg %q: readyz precision = %q, want %q", tc.cfg, st.Precision, tc.want)
+			}
+		}()
+	}
+}

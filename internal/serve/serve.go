@@ -96,6 +96,14 @@ type Config struct {
 	// replica serves the checkpoint the cache entry was built from.
 	// Optional; empty means "unidentified".
 	CheckpointDigest string
+	// Precision is the inference weight precision the loaded synthesizer
+	// runs at ("fp32" or "int8", default "fp32"). Unlike the DDIM budget
+	// it is fixed at load time (traced quantizes right after Load), so it
+	// is plain config rather than a live engine query. It is reported on
+	// /readyz?verbose=1 and stamped on every generate response as
+	// X-Traced-Precision so a routing tier never mixes int8 and fp32
+	// bytes under one cache key.
+	Precision string
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +127,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxFlowsPerRequest <= 0 {
 		c.MaxFlowsPerRequest = 64
+	}
+	if c.Precision == "" {
+		c.Precision = "fp32"
 	}
 	return c
 }
@@ -393,13 +404,15 @@ func (s *Server) writeBody(w http.ResponseWriter, seed uint64, format string, re
 	w.Header().Set("X-Traced-Seed", strconv.FormatUint(seed, 10))
 	w.Header().Set("X-Traced-Flows", strconv.Itoa(len(res.Flows)))
 	// Cache-validation headers: a routing tier keys its response cache
-	// on (digest, class, count, seed, DDIM steps, format); echoing the
-	// replica's digest and DDIM budget lets it assert the entry it is
-	// about to store matches the configuration that produced the bytes.
+	// on (digest, class, count, seed, DDIM steps, precision, format);
+	// echoing the replica's digest, DDIM budget and precision lets it
+	// assert the entry it is about to store matches the configuration
+	// that produced the bytes.
 	if s.cfg.CheckpointDigest != "" {
 		w.Header().Set("X-Traced-Checkpoint", s.cfg.CheckpointDigest)
 	}
 	w.Header().Set("X-Traced-DDIM-Steps", strconv.Itoa(s.ddimSteps()))
+	w.Header().Set("X-Traced-Precision", s.cfg.Precision)
 	if _, err := w.Write(buf.Bytes()); err != nil {
 		// The client went away mid-response; nothing to send it, but
 		// the failure is visible in /metrics.
@@ -422,6 +435,7 @@ type ReadyStatus struct {
 	InFlightFlows    int64    `json:"in_flight_flows"`
 	CheckpointDigest string   `json:"checkpoint_digest,omitempty"`
 	DDIMSteps        int      `json:"ddim_steps"`
+	Precision        string   `json:"precision"`
 	Classes          []string `json:"classes,omitempty"`
 	UptimeMs         int64    `json:"uptime_ms"`
 }
@@ -446,6 +460,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		InFlightFlows:    int64(st.FlowsAdmitted) - int64(st.FlowsCompleted) - int64(st.FlowsRetired),
 		CheckpointDigest: s.cfg.CheckpointDigest,
 		DDIMSteps:        s.ddimSteps(),
+		Precision:        s.cfg.Precision,
 		Classes:          s.eng.Classes(),
 		UptimeMs:         time.Since(s.start).Milliseconds(),
 	}

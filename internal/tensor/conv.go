@@ -30,7 +30,7 @@ func Im2Col(x *Tensor, s ConvSpec) *Tensor {
 	rows := n * oh * ow
 	rowLen := c * s.KH * s.KW
 	cols := New(rows, rowLen)
-	kernel := func(lo, hi int) { im2colRows(cols.Data, x.Data, s, c, h, w, oh, ow, lo, hi) }
+	kernel := func(lo, hi int) { im2colRows(cols.Data, x.Data, s, c, h, w, oh, ow, lo, hi) } //tracelint:allow hotalloc — one closure per conv call, amortized over the whole im2col gather
 	if !parallelOK(rows * rowLen) {
 		kernel(0, rows)
 	} else {

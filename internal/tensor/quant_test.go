@@ -1,0 +1,213 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"trafficdiff/internal/stats"
+)
+
+// --- quantize/dequantize round-trip bounds ---------------------------
+
+// quantBound is the symmetric-quantization error bound for one row:
+// |w - dq| <= scale/2 + eps, where scale = maxabs(row)/127 and eps
+// absorbs one fp32 rounding of the dequantization multiply.
+func quantBound(scale float32) float64 {
+	return float64(scale)/2 + 1e-6*float64(scale)
+}
+
+// checkRoundTrip asserts the per-row quantization invariants on w:
+// codes in [-127, 127], per-element error within half a quantization
+// step, and exact zeros preserved.
+func checkRoundTrip(t *testing.T, w *Tensor) {
+	t.Helper()
+	q := QuantizeSymmetric(w)
+	dq := q.Dequantize()
+	rows, cols := w.Shape[0], w.Shape[1]
+	for o := 0; o < rows; o++ {
+		scale := q.Scales[o]
+		if !(scale > 0) {
+			t.Fatalf("row %d: non-positive scale %v", o, scale)
+		}
+		bound := quantBound(scale)
+		for i := 0; i < cols; i++ {
+			code := q.Weights[o*cols+i]
+			if code < -127 || code > 127 {
+				t.Fatalf("row %d col %d: code %d outside symmetric range", o, i, code)
+			}
+			orig := float64(w.Data[o*cols+i])
+			got := float64(dq.Data[o*cols+i])
+			if diff := math.Abs(orig - got); diff > bound {
+				t.Fatalf("row %d col %d: |%v - %v| = %v > bound %v (scale %v)",
+					o, i, orig, got, diff, bound, scale)
+			}
+			if orig == 0 && got != 0 {
+				t.Fatalf("row %d col %d: exact zero dequantized to %v", o, i, got)
+			}
+		}
+	}
+}
+
+func TestQuantizeRoundTripErrorBound(t *testing.T) {
+	r := stats.NewRNG(3)
+	for _, shape := range [][2]int{{1, 1}, {3, 7}, {64, 128}, {17, 513}} {
+		w := randTensor(r, shape[0], shape[1])
+		checkRoundTrip(t, w)
+	}
+}
+
+func TestQuantizeZeroRowIsExact(t *testing.T) {
+	w := New(4, 16)
+	// Row 2 gets values; rows 0,1,3 stay exactly zero (the zero-init
+	// output-head / ControlNet zero-conv case).
+	for i := 0; i < 16; i++ {
+		w.Data[2*16+i] = float32(i-8) / 3
+	}
+	q := QuantizeSymmetric(w)
+	dq := q.Dequantize()
+	for _, row := range []int{0, 1, 3} {
+		for i := 0; i < 16; i++ {
+			if dq.Data[row*16+i] != 0 {
+				t.Fatalf("zero row %d dequantized to %v at col %d", row, dq.Data[row*16+i], i)
+			}
+		}
+	}
+}
+
+func TestQuantizeIdempotent(t *testing.T) {
+	// Quantizing an already-quantized (dequantized) matrix must be
+	// lossless: every value sits exactly on a code point.
+	r := stats.NewRNG(9)
+	w := randTensor(r, 12, 40)
+	dq := QuantizeSymmetric(w).Dequantize()
+	dq2 := QuantizeSymmetric(dq).Dequantize()
+	requireIdentical(t, dq2, dq, "double quantization")
+}
+
+func FuzzQuantizeRoundTrip(f *testing.F) {
+	f.Add(float64(0), float64(1), float64(-1), float64(0.5))
+	f.Add(float64(1e-30), float64(1e30), float64(-1e30), float64(3.14))
+	f.Add(float64(127), float64(-127), float64(126.5), float64(0.001))
+	f.Fuzz(func(t *testing.T, a, b, c, d float64) {
+		vals := []float64{a, b, c, d}
+		w := New(1, len(vals))
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > math.MaxFloat32 {
+				t.Skip("non-finite or out-of-range input")
+			}
+			w.Data[i] = float32(v)
+		}
+		q := QuantizeSymmetric(w)
+		dq := q.Dequantize()
+		bound := quantBound(q.Scales[0])
+		for i := range w.Data {
+			if diff := math.Abs(float64(w.Data[i]) - float64(dq.Data[i])); diff > bound {
+				t.Fatalf("col %d: error %v > bound %v", i, diff, bound)
+			}
+		}
+	})
+}
+
+// --- quantized GEMM --------------------------------------------------
+
+// refMatMulABTQ is the scalar reference for C = A·Bqᵀ.
+func refMatMulABTQ(a *Tensor, b *QuantizedMat) *Tensor {
+	m, k := a.Shape[0], a.Shape[1]
+	c := New(m, b.Rows)
+	for i := 0; i < m; i++ {
+		for j := 0; j < b.Rows; j++ {
+			var sum float32
+			for p := 0; p < k; p++ {
+				sum += a.Data[i*k+p] * float32(b.Weights[j*k+p])
+			}
+			c.Data[i*b.Rows+j] = sum * b.Scales[j]
+		}
+	}
+	return c
+}
+
+func TestMatMulABTQMatchesSerialReference(t *testing.T) {
+	r := stats.NewRNG(21)
+	withGOMAXPROCS(t, []int{1, 2, 3, 8}, func(t *testing.T) {
+		for _, sh := range [][3]int{{1, 513, 96}, {7, 64, 64}, {64, 517, 89}, {3, 1, 5}} {
+			a := randTensor(r, sh[0], sh[1])
+			b := QuantizeSymmetric(randTensor(r, sh[2], sh[1]))
+			got := New(sh[0], sh[2])
+			MatMulABTQInto(got, a, b)
+			requireIdentical(t, got, refMatMulABTQ(a, b),
+				fmt.Sprintf("MatMulABTQ %v procs=%d", sh, runtime.GOMAXPROCS(0)))
+		}
+	})
+}
+
+func TestMatMulABTQIdenticalAcrossWorkerCounts(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	r := stats.NewRNG(22)
+	a := randTensor(r, 123, 517)
+	b := QuantizeSymmetric(randTensor(r, 89, 517))
+
+	runtime.GOMAXPROCS(1)
+	serial := New(123, 89)
+	MatMulABTQInto(serial, a, b)
+	for _, procs := range []int{2, 4, 16} {
+		runtime.GOMAXPROCS(procs)
+		got := New(123, 89)
+		MatMulABTQInto(got, a, b)
+		requireIdentical(t, got, serial, fmt.Sprintf("MatMulABTQ procs=%d", procs))
+	}
+}
+
+// TestMatMulABTQTracksDequantizedFP32 bounds the quantized GEMM against
+// the fp32 GEMM over the dequantized weights. The two are not
+// bit-identical (the scale factors out of the int8 dot product instead
+// of multiplying into every term), so the contract is a per-element
+// bound that scales with the dot-product length.
+func TestMatMulABTQTracksDequantizedFP32(t *testing.T) {
+	r := stats.NewRNG(23)
+	a := randTensor(r, 16, 256)
+	bq := QuantizeSymmetric(randTensor(r, 48, 256))
+	got := New(16, 48)
+	MatMulABTQInto(got, a, bq)
+	want := MatMulABT(a, bq.Dequantize())
+	k := float64(256)
+	for i := range want.Data {
+		g, w := float64(got.Data[i]), float64(want.Data[i])
+		// fp32 relative rounding per accumulation step, scaled by the
+		// magnitude of the operands.
+		tol := 1e-5 * k
+		if math.Abs(g-w) > tol {
+			t.Fatalf("element %d: quantized %v vs dequantized-fp32 %v (tol %v)", i, g, w, tol)
+		}
+	}
+}
+
+// --- quantized conv --------------------------------------------------
+
+func TestConv2DQMatchesSerialReference(t *testing.T) {
+	r := stats.NewRNG(31)
+	spec := ConvSpec{InC: 3, OutC: 5, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	x := randTensor(r, 2, 3, 12, 16)
+	qw := QuantizeSymmetric(randTensor(r, 5, 3*3*3))
+	bias := randTensor(r, 5)
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	runtime.GOMAXPROCS(1)
+	serial := Conv2DQ(x, qw, bias, spec)
+	for _, procs := range []int{2, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		requireIdentical(t, Conv2DQ(x, qw, bias, spec), serial,
+			fmt.Sprintf("Conv2DQ procs=%d", procs))
+	}
+	// And against the fp32 conv over dequantized weights, within the
+	// factored-scale tolerance.
+	y, _ := Conv2D(x, qw.Dequantize(), bias, spec)
+	for i := range y.Data {
+		if diff := math.Abs(float64(serial.Data[i]) - float64(y.Data[i])); diff > 1e-4 {
+			t.Fatalf("element %d: quantized %v vs dequantized-fp32 %v", i, serial.Data[i], y.Data[i])
+		}
+	}
+}
