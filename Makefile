@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint lint-fast race bench bench-json bench-gate bench-serve bench-router bench-quant bench-quant-gate serve-smoke cluster-smoke resume-smoke verify-determinism fuzz experiments examples clean
+.PHONY: all build test vet lint lint-fast race bench bench-json bench-gate bench-serve bench-router bench-quant bench-quant-gate bench-load bench-load-gate serve-smoke cluster-smoke load-smoke resume-smoke verify-determinism fuzz experiments examples clean
 
 all: build test
 
@@ -107,6 +107,23 @@ bench-quant-gate:
 	$(GO) run ./cmd/benchjson -suite quant -label gate-candidate -out /tmp/bench_gate_quant.json
 	$(GO) run ./cmd/benchjson -compare -old-label "$(QUANT_BASELINE)" -threshold "$(QUANT_THRESHOLD)" BENCH_quant.json /tmp/bench_gate_quant.json
 
+# Open-loop load-harness snapshot: the embedded two-client workload
+# spec (bulk poisson + bursty gamma interactive) is expanded by
+# internal/load into a seeded schedule and fired at an in-process
+# server; per-SLO-class p50/p95, attainment and shed counts are
+# appended to BENCH_load.json, gated on the batch-class p95.
+bench-load:
+	$(GO) run ./cmd/benchjson -suite load -label "$(BENCH_LABEL)" -out BENCH_load.json -append
+
+# Load regression gate: batch-class p95 under the mixed open-loop
+# workload against the committed baseline. Same shared-runner caveat as
+# the serve leg — wide threshold, catches architecture regressions.
+LOAD_BASELINE ?= post-PR10-load
+LOAD_THRESHOLD ?= 0.50
+bench-load-gate:
+	$(GO) run ./cmd/benchjson -suite load -label gate-candidate -out /tmp/bench_gate_load.json
+	$(GO) run ./cmd/benchjson -compare -old-label "$(LOAD_BASELINE)" -threshold "$(LOAD_THRESHOLD)" BENCH_load.json /tmp/bench_gate_load.json
+
 # Serving smoke test over the real binaries: tracegen -save writes a
 # checkpoint, traced serves it, concurrent clients get valid + seeded
 # byte-identical pcaps, overload gets 429, and SIGTERM drains cleanly.
@@ -120,6 +137,14 @@ serve-smoke:
 # children in managed mode, and drains cleanly (exit 0) on SIGTERM.
 cluster-smoke:
 	$(GO) test -run TestClusterEndToEnd -count=1 -v .
+
+# Load-harness smoke test over the real binaries: tracegen -save
+# writes a checkpoint, traced serves it, and traceload drives the
+# two-client example spec against it open-loop — the report must
+# reconcile against the server's /metrics counters with zero
+# unexplained 5xx/transport failures.
+load-smoke:
+	$(GO) test -run TestLoadEndToEnd -count=1 -v .
 
 # Crash-safety smoke test over the real binary: tracegen is SIGKILLed
 # after its first mid-run training checkpoint, restarted with -resume,

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"time"
+
+	"trafficdiff/internal/load"
+)
+
+// loadSuiteSpec is the embedded two-client workload the `-suite load`
+// benchmark offers: a bulk poisson class and a bursty gamma
+// interactive class, the same shape examples/loadspec ships for real
+// deployments, scaled down to the tiny in-process synthesizer.
+const loadSuiteSpec = `
+version: "1"
+seed: 17
+aggregate_rate: 120
+num_requests: 64
+clients:
+  - id: bulk
+    rate_fraction: 0.7
+    class: amazon
+    format: pcap
+    slo_class: batch
+    slo_target_ms: 2000
+    arrival:
+      process: poisson
+    size_distribution:
+      type: constant
+      params:
+        value: 2
+  - id: interactive
+    rate_fraction: 0.3
+    class: teams
+    format: csv
+    slo_class: realtime
+    slo_target_ms: 500
+    arrival:
+      process: gamma
+      cv: 2.0
+    size_distribution:
+      type: constant
+      params:
+        value: 1
+`
+
+// runLoadSuite is the `-suite load` benchmark: it trains the tiny
+// in-process synthesizer, serves it, and drives the embedded
+// workload spec through the traceload harness (internal/load) — the
+// full spec → schedule → open-loop fire → per-SLO-class report path.
+// NsPerOp carries the batch-class p95 so `benchjson -compare` gates
+// end-to-end latency regressions under mixed open-loop load; the
+// custom fields record attainment and shed rates per SLO class.
+func runLoadSuite(label string, requests int) (*Run, error) {
+	synth, err := trainServeSynth()
+	if err != nil {
+		return nil, fmt.Errorf("training synthesizer: %w", err)
+	}
+	srv, err := newBenchServer(synth)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		// Serve returns http.ErrServerClosed after Shutdown; the bench
+		// is done measuring by then.
+		_ = srv.Serve(ln)
+	}()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		// Best-effort drain at bench teardown; the numbers are already
+		// collected.
+		_ = srv.Shutdown(ctx)
+	}()
+
+	baseURL := "http://" + ln.Addr().String()
+	spec, err := load.ParseSpec([]byte(loadSuiteSpec))
+	if err != nil {
+		return nil, fmt.Errorf("embedded spec: %w", err)
+	}
+	spec.NumRequests = requests
+	sched, err := load.BuildSchedule(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	// Warm up once per class so first-request costs (lazy buffers, page
+	// faults) don't land in the measured percentiles.
+	warm := newBenchClient(ln.Addr().String())
+	for i, class := range synth.Classes() {
+		if err := postOnce(warm, class, uint64(i)+1); err != nil {
+			warm.close()
+			return nil, fmt.Errorf("warmup: %w", err)
+		}
+	}
+	warm.close()
+
+	start := time.Now()
+	outcomes, err := load.Run(context.Background(), sched, load.RunConfig{
+		BaseURL: baseURL,
+		Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := load.BuildReport(sched, outcomes, baseURL, time.Since(start))
+	if rep.Totals.OtherHTTP+rep.Totals.Transport > 0 {
+		return nil, fmt.Errorf("load suite saw %d unexplained failures (other_http=%d transport=%d)",
+			rep.Totals.OtherHTTP+rep.Totals.Transport, rep.Totals.OtherHTTP, rep.Totals.Transport)
+	}
+
+	custom := map[string]float64{
+		"offered_rps":       rep.OfferedRPS,
+		"ok/s":              float64(rep.Totals.OK) / rep.WallSeconds,
+		"shed_429":          float64(rep.Totals.Rejected),
+		"max_send_delay_ms": rep.MaxSendDelayMs,
+	}
+	var gate float64
+	for i := range rep.Classes {
+		c := &rep.Classes[i]
+		custom[c.SLOClass+"_p50_ms"] = c.P50Ms
+		custom[c.SLOClass+"_p95_ms"] = c.P95Ms
+		custom[c.SLOClass+"_attain"] = c.Attainment
+		if c.SLOClass == "batch" {
+			gate = c.P95Ms * float64(time.Millisecond)
+		}
+	}
+	if !(gate > 0) {
+		return nil, fmt.Errorf("load suite produced no batch-class latencies to gate on")
+	}
+	return &Run{
+		Label: label,
+		CPU:   fmt.Sprintf("GOMAXPROCS=%d", runtime.GOMAXPROCS(0)),
+		Results: []Result{{
+			Name:       fmt.Sprintf("LoadHarness/clients=%d/requests=%d", len(spec.Clients), len(sched.Requests)),
+			Package:    "trafficdiff/internal/load",
+			Iterations: int64(len(sched.Requests)),
+			// ns/op is the batch-class p95: the number the load
+			// regression gate is written against.
+			NsPerOp: gate,
+			Custom:  custom,
+		}},
+	}, nil
+}

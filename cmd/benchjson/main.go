@@ -32,6 +32,15 @@
 //
 //	benchjson -suite quant -label post-PR -out BENCH_quant.json -append
 //
+// With -suite load the in-process server is driven through the
+// traceload harness (internal/load): an embedded two-client workload
+// spec — bulk poisson plus bursty gamma interactive — is expanded to a
+// seeded open-loop schedule and fired at the server; the record
+// carries per-SLO-class p50/p95, attainment, and shed counts, gated on
+// the batch-class p95:
+//
+//	benchjson -suite load -label post-PR -out BENCH_load.json -append
+//
 // With -compare it becomes a regression gate instead of a recorder:
 //
 //	benchjson -compare old.json new.json [-threshold 0.10]
@@ -84,8 +93,8 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	label := flag.String("label", "bench", "label for this run")
 	appendRun := flag.Bool("append", false, "append to an existing -out document instead of overwriting")
-	suite := flag.String("suite", "", "run a built-in suite instead of parsing stdin (serve, serve-stagger, router)")
-	requests := flag.Int("requests", 64, "total requests for -suite serve (probe count for serve-stagger)")
+	suite := flag.String("suite", "", "run a built-in suite instead of parsing stdin (serve, serve-stagger, router, quant, load)")
+	requests := flag.Int("requests", 64, "total requests for -suite serve/load (probe count for serve-stagger)")
 	clients := flag.Int("clients", 8, "concurrent clients for -suite serve")
 	compare := flag.Bool("compare", false, "compare two snapshots: benchjson -compare old.json new.json")
 	threshold := flag.Float64("threshold", 0.10, "per-benchmark ns/op regression threshold for -compare")
@@ -129,8 +138,10 @@ func main() {
 		run, err = runRouterSuite(*label, *requests, *clients)
 	case "quant":
 		run, err = runQuantSuite(*label)
+	case "load":
+		run, err = runLoadSuite(*label, *requests)
 	default:
-		err = fmt.Errorf("unknown suite %q (want serve, serve-stagger, router or quant)", *suite)
+		err = fmt.Errorf("unknown suite %q (want serve, serve-stagger, router, quant or load)", *suite)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -1,0 +1,160 @@
+// Command traceload is the workload-spec load harness for traced and
+// tracerouter: it expands a multi-client YAML spec into a seeded,
+// reproducible open-loop request schedule, fires it at a live
+// endpoint, and reports per-SLO-class latency percentiles, achieved
+// throughput, SLO attainment, and shed/timeout rates.
+//
+//	traceload -spec examples/loadspec/two-tier.yaml -base http://127.0.0.1:8080
+//	traceload -spec spec.yaml -base $URL -json report.json -duration 10
+//
+// The schedule — request offsets, flow counts, per-request seeds, and
+// firing order — is a pure function of the spec (clients draw from
+// per-client stats RNG splits in declaration order), so two runs of
+// the same spec offer bit-identical request streams; the report's
+// schedule_digest proves it. Open-loop means requests leave on
+// schedule no matter how slowly the server answers, so overload shows
+// up as shed/timeout rates and attainment, never as a quietly reduced
+// offered rate. -dry-run prints the schedule digest and summary
+// without needing a server at all.
+//
+// Exit status: 0 on a clean run, 1 on harness errors, 2 when
+// -max-unexplained-5xx is set and exceeded (CI smoke gate).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"trafficdiff/internal/load"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("traceload: ")
+	var (
+		specPath = flag.String("spec", "", "workload spec YAML (required)")
+		baseURL  = flag.String("base", "", "target base URL, e.g. http://127.0.0.1:8080 (required unless -dry-run)")
+		jsonOut  = flag.String("json", "", "also write the machine-readable JSON report to this file (- for stdout)")
+		seed     = flag.Uint64("seed", 0, "override the spec's seed (0 = keep spec value)")
+		duration = flag.Float64("duration", 0, "override the spec's duration_s (0 = keep spec value)")
+		requests = flag.Int("requests", 0, "override the spec's num_requests (0 = keep spec value)")
+		timeout  = flag.Duration("timeout", 60*time.Second, "client-side per-request timeout")
+		dryRun   = flag.Bool("dry-run", false, "build and summarize the schedule without sending anything")
+		quiet    = flag.Bool("quiet", false, "suppress per-second progress lines")
+		max5xx   = flag.Int("max-unexplained-5xx", -1, "exit 2 if 500/other-5xx outcomes exceed this (negative = no gate)")
+	)
+	flag.Parse()
+	code, err := run(*specPath, *baseURL, *jsonOut, *seed, *duration, *requests, *timeout, *dryRun, *quiet, *max5xx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Exit(code)
+}
+
+func run(specPath, baseURL, jsonOut string, seed uint64, duration float64, requests int,
+	timeout time.Duration, dryRun, quiet bool, max5xx int) (int, error) {
+	if specPath == "" {
+		return 1, fmt.Errorf("-spec is required")
+	}
+	data, err := os.ReadFile(specPath)
+	if err != nil {
+		return 1, err
+	}
+	spec, err := load.ParseSpec(data)
+	if err != nil {
+		return 1, err
+	}
+	// CLI overrides let CI reuse one spec at several scales.
+	if seed != 0 {
+		spec.Seed = seed
+	}
+	if duration > 0 {
+		spec.DurationS = duration
+	}
+	if requests > 0 {
+		spec.NumRequests = requests
+	}
+	if err := spec.Validate(); err != nil {
+		return 1, err
+	}
+	sched, err := load.BuildSchedule(spec)
+	if err != nil {
+		return 1, err
+	}
+	log.Printf("schedule: %d requests over %.1fs, digest %s",
+		len(sched.Requests), sched.Duration.Seconds(), sched.Digest()[:16])
+	if dryRun {
+		perClient := map[string]int{}
+		for i := range sched.Requests {
+			perClient[sched.Requests[i].Client]++
+		}
+		for _, c := range spec.Clients {
+			log.Printf("  client %-16s %5d requests", c.ID, perClient[c.ID])
+		}
+		return 0, nil
+	}
+	if baseURL == "" {
+		return 1, fmt.Errorf("-base is required (or use -dry-run)")
+	}
+
+	// SIGINT/SIGTERM cancels the remaining schedule; what already
+	// completed is still reported.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	cfg := load.RunConfig{BaseURL: baseURL, Timeout: timeout}
+	if !quiet {
+		cfg.OnProgress = func(sent, done int) {
+			log.Printf("progress: %d/%d sent, %d done", sent, len(sched.Requests), done)
+		}
+	}
+	start := time.Now()
+	outcomes, err := load.Run(ctx, sched, cfg)
+	if err != nil {
+		return 1, err
+	}
+	rep := load.BuildReport(sched, outcomes, baseURL, time.Since(start))
+
+	if err := rep.WriteTable(os.Stdout); err != nil {
+		return 1, err
+	}
+	if jsonOut != "" {
+		if jsonOut == "-" {
+			if err := rep.WriteJSON(os.Stdout); err != nil {
+				return 1, err
+			}
+		} else {
+			f, err := os.Create(jsonOut)
+			if err != nil {
+				return 1, err
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				if cerr := f.Close(); cerr != nil {
+					log.Printf("close %s: %v", jsonOut, cerr)
+				}
+				return 1, err
+			}
+			if err := f.Close(); err != nil {
+				return 1, err
+			}
+			log.Printf("wrote %s", jsonOut)
+		}
+	}
+	// The smoke gate: 429/503/504/502 are the server doing its job
+	// under overload; 500s and transport failures are not.
+	if max5xx >= 0 {
+		unexplained := rep.Totals.OtherHTTP + rep.Totals.Transport
+		if unexplained > max5xx {
+			log.Printf("FAIL: %d unexplained failures (other_http=%d transport=%d) > budget %d",
+				unexplained, rep.Totals.OtherHTTP, rep.Totals.Transport, max5xx)
+			return 2, nil
+		}
+	}
+	return 0, nil
+}

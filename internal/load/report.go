@@ -1,0 +1,208 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"trafficdiff/internal/stats"
+)
+
+// StatusCounts buckets request outcomes by terminal status.
+type StatusCounts struct {
+	OK        int `json:"ok"`         // 2xx
+	Rejected  int `json:"rejected"`   // 429 backpressure
+	Draining  int `json:"draining"`   // 503 drain / gate closed
+	Deadline  int `json:"deadline"`   // 504 server-side expiry
+	Upstream  int `json:"upstream"`   // 502 router with no live replica
+	OtherHTTP int `json:"other_http"` // any other non-2xx status
+	Transport int `json:"transport"`  // status 0: connection/timeout errors
+	Unsent    int `json:"unsent"`     // cancelled before leaving the harness
+}
+
+// Total is the number of scheduled requests the counts cover.
+func (s StatusCounts) Total() int {
+	return s.OK + s.Rejected + s.Draining + s.Deadline + s.Upstream + s.OtherHTTP + s.Transport + s.Unsent
+}
+
+// ClassReport aggregates one SLO class's outcomes.
+type ClassReport struct {
+	SLOClass    string  `json:"slo_class"`
+	TargetMs    float64 `json:"target_ms"`
+	Requests    int     `json:"requests"`
+	FlowsServed int64   `json:"flows_served"`
+
+	Counts StatusCounts `json:"counts"`
+
+	// Latency percentiles over successful (2xx) requests, ms.
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	MaxMs  float64 `json:"max_ms"`
+
+	// ThroughputRPS is completed-2xx requests per second of wall time.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// Attainment is the fraction of ALL scheduled requests in the class
+	// that completed 2xx within the target — sheds, timeouts and
+	// transport failures all count against it, so an overloaded server
+	// can't look good by only answering the requests it kept.
+	Attainment float64 `json:"attainment"`
+}
+
+// Report is a complete load-run result.
+type Report struct {
+	// ScheduleDigest identifies the exact offered request stream, so two
+	// reports are comparable iff their digests match.
+	ScheduleDigest string  `json:"schedule_digest"`
+	Seed           uint64  `json:"seed"`
+	BaseURL        string  `json:"base_url"`
+	Requests       int     `json:"requests"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	OfferedRPS     float64 `json:"offered_rps"`
+
+	Totals StatusCounts `json:"totals"`
+	// MaxSendDelayMs is the worst observed lag behind the schedule; a
+	// large value means the harness could not keep up and the offered
+	// load was lower than the spec claims.
+	MaxSendDelayMs float64 `json:"max_send_delay_ms"`
+
+	Classes []ClassReport `json:"classes"`
+}
+
+// bucket classifies one outcome into its StatusCounts field.
+func (s *StatusCounts) bucket(o *Outcome) {
+	switch {
+	case o.Status >= 200 && o.Status < 300:
+		s.OK++
+	case o.Status == 429:
+		s.Rejected++
+	case o.Status == 503:
+		s.Draining++
+	case o.Status == 504:
+		s.Deadline++
+	case o.Status == 502:
+		s.Upstream++
+	case o.Status != 0:
+		s.OtherHTTP++
+	case len(o.Err) >= 7 && o.Err[:7] == "unsent:":
+		s.Unsent++
+	default:
+		s.Transport++
+	}
+}
+
+// BuildReport aggregates run outcomes into per-SLO-class numbers.
+// wall is the run's total wall-clock time (schedule duration plus
+// drain of the last in-flight requests).
+func BuildReport(sched *Schedule, outcomes []Outcome, baseURL string, wall time.Duration) *Report {
+	rep := &Report{
+		ScheduleDigest: sched.Digest(),
+		Seed:           sched.Seed,
+		BaseURL:        baseURL,
+		Requests:       len(outcomes),
+		WallSeconds:    wall.Seconds(),
+	}
+	if sched.Duration > 0 {
+		rep.OfferedRPS = float64(len(sched.Requests)) / sched.Duration.Seconds()
+	}
+	byClass := map[string]*ClassReport{}
+	latencies := map[string][]float64{}
+	for i := range outcomes {
+		o := &outcomes[i]
+		rep.Totals.bucket(o)
+		if ms := o.SendDelay.Seconds() * 1000; ms > rep.MaxSendDelayMs {
+			rep.MaxSendDelayMs = ms
+		}
+		cr := byClass[o.Request.SLOClass]
+		if cr == nil {
+			cr = &ClassReport{SLOClass: o.Request.SLOClass, TargetMs: o.Request.SLOTargetMs}
+			byClass[o.Request.SLOClass] = cr
+		}
+		cr.Requests++
+		cr.Counts.bucket(o)
+		if o.Status >= 200 && o.Status < 300 {
+			ms := o.Latency.Seconds() * 1000
+			latencies[cr.SLOClass] = append(latencies[cr.SLOClass], ms)
+			cr.FlowsServed += int64(o.Request.Flows)
+			if ms <= cr.TargetMs {
+				// Attainment numerator; divided by Requests below.
+				cr.Attainment++
+			}
+		}
+	}
+	for _, name := range sortedClassNames(byClass) {
+		cr := byClass[name]
+		lats := latencies[name]
+		sort.Float64s(lats)
+		if len(lats) > 0 {
+			cr.P50Ms = stats.Quantile(lats, 0.50)
+			cr.P95Ms = stats.Quantile(lats, 0.95)
+			cr.P99Ms = stats.Quantile(lats, 0.99)
+			cr.MaxMs = lats[len(lats)-1]
+			sum := 0.0
+			for _, v := range lats {
+				sum += v
+			}
+			cr.MeanMs = sum / float64(len(lats))
+		}
+		if wall > 0 {
+			cr.ThroughputRPS = float64(cr.Counts.OK) / wall.Seconds()
+		}
+		if cr.Requests > 0 {
+			cr.Attainment /= float64(cr.Requests)
+		}
+		rep.Classes = append(rep.Classes, *cr)
+	}
+	return rep
+}
+
+func sortedClassNames(m map[string]*ClassReport) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteTable writes the human-readable summary table. Formatting goes
+// through a buffer so there is exactly one fallible write at the end.
+func (r *Report) WriteTable(w io.Writer) error {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "load run: %d requests offered at %.1f req/s over %.1fs wall (seed %d)\n",
+		r.Requests, r.OfferedRPS, r.WallSeconds, r.Seed)
+	fmt.Fprintf(&buf, "schedule %s\n", r.ScheduleDigest[:16])
+	fmt.Fprintf(&buf, "totals: ok=%d 429=%d 503=%d 504=%d 502=%d other=%d transport=%d unsent=%d  max send delay %.1fms\n\n",
+		r.Totals.OK, r.Totals.Rejected, r.Totals.Draining, r.Totals.Deadline,
+		r.Totals.Upstream, r.Totals.OtherHTTP, r.Totals.Transport, r.Totals.Unsent,
+		r.MaxSendDelayMs)
+	// Size the first column to the longest class name.
+	classW := len("slo class")
+	for i := range r.Classes {
+		if n := len(r.Classes[i].SLOClass); n > classW {
+			classW = n
+		}
+	}
+	fmt.Fprintf(&buf, "%-*s  %8s %6s %6s %6s %9s %9s %9s %10s %10s\n",
+		classW, "slo class", "target", "reqs", "ok", "shed", "p50", "p95", "p99", "thruput", "attain")
+	for i := range r.Classes {
+		c := &r.Classes[i]
+		shed := c.Counts.Rejected + c.Counts.Draining + c.Counts.Upstream
+		fmt.Fprintf(&buf, "%-*s  %6.0fms %6d %6d %6d %7.1fms %7.1fms %7.1fms %8.1f/s %9.1f%%\n",
+			classW, c.SLOClass, c.TargetMs, c.Requests, c.Counts.OK, shed,
+			c.P50Ms, c.P95Ms, c.P99Ms, c.ThroughputRPS, 100*c.Attainment)
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}

@@ -1,0 +1,164 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Outcome is one request's observed result.
+type Outcome struct {
+	Request Request
+	// Status is the HTTP status, or 0 for a transport-level failure
+	// (connection refused, client-side timeout), in which case Err
+	// holds the reason.
+	Status int
+	Err    string
+	// Latency is send-to-last-byte. SendDelay is how far behind its
+	// scheduled offset the request actually left — sustained growth
+	// means the harness itself, not the server, is the bottleneck.
+	Latency   time.Duration
+	SendDelay time.Duration
+	// Bytes is the response body length.
+	Bytes int64
+}
+
+// RunConfig configures a load run against a live server.
+type RunConfig struct {
+	// BaseURL is the traced/tracerouter root, e.g. http://127.0.0.1:9000.
+	BaseURL string
+	// Timeout caps each in-flight request client-side (default 60s);
+	// per-request TimeoutMs from the spec still applies server-side.
+	Timeout time.Duration
+	// OnProgress, when set, is called roughly once a second with the
+	// number of requests sent and completed so far.
+	OnProgress func(sent, done int)
+}
+
+// Run fires the schedule open-loop: every request leaves at its
+// scheduled offset (or as soon after as the clock allows) regardless
+// of how many earlier requests are still outstanding — the offered
+// load never adapts to server slowness, which is the property that
+// makes the SLO numbers honest. Outcomes are returned in schedule
+// order. Run blocks until every request has completed or ctx is
+// cancelled; cancelled-before-send requests report as unsent
+// transport errors.
+func Run(ctx context.Context, sched *Schedule, cfg RunConfig) ([]Outcome, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("load: BaseURL is required")
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 60 * time.Second
+	}
+	client := &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			// The whole point is many concurrent requests to one host;
+			// don't let idle-conn caps serialize them.
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 256,
+		},
+	}
+	defer client.CloseIdleConnections()
+
+	outcomes := make([]Outcome, len(sched.Requests))
+	var wg sync.WaitGroup
+	var doneCount atomic.Int64
+	start := time.Now()
+	var sentCount int
+	lastProgress := start
+	for i := range sched.Requests {
+		req := &sched.Requests[i]
+		// Sleep until the request's offset; a context cancel aborts the
+		// remaining schedule.
+		wait := req.Offset - time.Since(start)
+		if wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+			case <-t.C:
+			}
+		}
+		if ctx.Err() != nil {
+			for j := i; j < len(sched.Requests); j++ {
+				outcomes[j] = Outcome{Request: sched.Requests[j], Err: "unsent: " + ctx.Err().Error()}
+			}
+			break
+		}
+		sendDelay := time.Since(start) - req.Offset
+		if sendDelay < 0 {
+			sendDelay = 0
+		}
+		wg.Add(1)
+		sentCount++
+		go func(idx int, delay time.Duration) {
+			defer wg.Done()
+			outcomes[idx] = fire(ctx, client, cfg.BaseURL, &sched.Requests[idx], delay)
+			doneCount.Add(1)
+		}(i, sendDelay)
+		if cfg.OnProgress != nil && time.Since(lastProgress) >= time.Second {
+			lastProgress = time.Now()
+			cfg.OnProgress(sentCount, int(doneCount.Load()))
+		}
+	}
+	wg.Wait()
+	return outcomes, nil
+}
+
+// generateRequest mirrors the server's POST /v1/generate body.
+type generateRequest struct {
+	Class     string `json:"class"`
+	Count     int    `json:"count"`
+	Seed      uint64 `json:"seed"`
+	Format    string `json:"format"`
+	TimeoutMs int    `json:"timeout_ms,omitempty"`
+}
+
+// fire sends one request and records its outcome. Each goroutine owns
+// exactly one outcomes slot, so no locking is needed.
+func fire(ctx context.Context, client *http.Client, baseURL string, req *Request, delay time.Duration) Outcome {
+	out := Outcome{Request: *req, SendDelay: delay}
+	body, err := json.Marshal(generateRequest{
+		Class:     req.Class,
+		Count:     req.Flows,
+		Seed:      req.Seed,
+		Format:    req.Format,
+		TimeoutMs: req.TimeoutMs,
+	})
+	if err != nil {
+		out.Err = "marshal: " + err.Error()
+		return out
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/generate", bytes.NewReader(body))
+	if err != nil {
+		out.Err = "build request: " + err.Error()
+		return out
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	begin := time.Now()
+	resp, err := client.Do(httpReq)
+	if err != nil {
+		out.Latency = time.Since(begin)
+		out.Err = err.Error()
+		return out
+	}
+	n, err := io.Copy(io.Discard, resp.Body)
+	out.Latency = time.Since(begin)
+	out.Bytes = n
+	out.Status = resp.StatusCode
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		out.Err = "read body: " + err.Error()
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fastSpec builds a spec whose schedule completes quickly in tests.
+func fastSpec(t *testing.T, numRequests int) *Spec {
+	t.Helper()
+	spec, err := ParseSpec([]byte(`
+version: "1"
+seed: 3
+aggregate_rate: 2000
+num_requests: ` + itoa(numRequests) + `
+clients:
+  - id: fast
+    rate_fraction: 0.5
+    class: amazon
+    format: pcap
+    slo_class: batch
+    slo_target_ms: 1000
+  - id: slow
+    rate_fraction: 0.5
+    class: teams
+    format: csv
+    slo_class: realtime
+    slo_target_ms: 50
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func itoa(n int) string {
+	b, err := json.Marshal(n)
+	if err != nil {
+		panic("unreachable") //tracelint:allow paniccheck json.Marshal of an int cannot fail
+	}
+	return string(b)
+}
+
+func TestRunCollectsOutcomes(t *testing.T) {
+	var mu sync.Mutex
+	got := map[string]int{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req generateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("bad body: %v", err)
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		got[req.Class]++
+		mu.Unlock()
+		if req.Class == "teams" {
+			// Shed the realtime class to exercise the 429 bucket.
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		if _, err := w.Write([]byte("payload")); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	}))
+	defer srv.Close()
+
+	spec := fastSpec(t, 40)
+	sched, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	outcomes, err := Run(context.Background(), sched, RunConfig{BaseURL: srv.URL, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != len(sched.Requests) {
+		t.Fatalf("outcomes = %d, want %d", len(outcomes), len(sched.Requests))
+	}
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.Request.Index != i {
+			t.Fatalf("outcome %d out of schedule order", i)
+		}
+		switch o.Request.Class {
+		case "amazon":
+			if o.Status != http.StatusOK || o.Bytes != int64(len("payload")) {
+				t.Fatalf("amazon outcome = %+v", o)
+			}
+		case "teams":
+			if o.Status != http.StatusTooManyRequests {
+				t.Fatalf("teams outcome = %+v", o)
+			}
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got["amazon"] != 20 || got["teams"] != 20 {
+		t.Fatalf("server saw %v", got)
+	}
+
+	rep := BuildReport(sched, outcomes, srv.URL, time.Since(start))
+	if rep.Totals.OK != 20 || rep.Totals.Rejected != 20 {
+		t.Fatalf("totals = %+v", rep.Totals)
+	}
+	if rep.Totals.Total() != 40 {
+		t.Fatalf("total = %d", rep.Totals.Total())
+	}
+	if len(rep.Classes) != 2 {
+		t.Fatalf("classes = %+v", rep.Classes)
+	}
+	batch, realtime := rep.Classes[0], rep.Classes[1]
+	if batch.SLOClass != "batch" || realtime.SLOClass != "realtime" {
+		t.Fatalf("class order = %q, %q", batch.SLOClass, realtime.SLOClass)
+	}
+	if batch.Counts.OK != 20 || !(batch.Attainment > 0.99) {
+		t.Fatalf("batch = %+v", batch)
+	}
+	// Every realtime request was shed, so attainment is zero.
+	if realtime.Counts.Rejected != 20 || realtime.Attainment > 0 {
+		t.Fatalf("realtime = %+v", realtime)
+	}
+	if !(batch.P50Ms > 0) || batch.P99Ms < batch.P50Ms {
+		t.Fatalf("latency percentiles = %v/%v", batch.P50Ms, batch.P99Ms)
+	}
+}
+
+func TestRunContextCancelMarksUnsent(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer srv.Close()
+	defer close(block)
+
+	spec, err := ParseSpec([]byte(`
+version: "1"
+aggregate_rate: 5
+duration_s: 60
+clients:
+  - id: a
+    rate_fraction: 1.0
+    class: amazon
+    slo_class: x
+    slo_target_ms: 100
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Requests) == 0 {
+		t.Skip("empty schedule for this seed")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	outcomes, err := Run(ctx, sched, RunConfig{BaseURL: srv.URL, Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unsent := 0
+	for i := range outcomes {
+		if strings.HasPrefix(outcomes[i].Err, "unsent:") {
+			unsent++
+		}
+	}
+	if unsent == 0 {
+		t.Fatal("expected unsent outcomes after cancel")
+	}
+	rep := BuildReport(sched, outcomes, srv.URL, 300*time.Millisecond)
+	if rep.Totals.Unsent != unsent {
+		t.Fatalf("report unsent = %d, want %d", rep.Totals.Unsent, unsent)
+	}
+}
+
+func TestReportWriters(t *testing.T) {
+	spec := fastSpec(t, 10)
+	sched, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes := make([]Outcome, len(sched.Requests))
+	for i := range outcomes {
+		outcomes[i] = Outcome{Request: sched.Requests[i], Status: 200, Latency: 10 * time.Millisecond}
+	}
+	rep := BuildReport(sched, outcomes, "http://test", time.Second)
+
+	var jsonBuf strings.Builder
+	if err := rep.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal([]byte(jsonBuf.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ScheduleDigest != sched.Digest() || back.Totals.OK != len(outcomes) {
+		t.Fatalf("round-trip = %+v", back)
+	}
+
+	var tableBuf strings.Builder
+	if err := rep.WriteTable(&tableBuf); err != nil {
+		t.Fatal(err)
+	}
+	table := tableBuf.String()
+	for _, want := range []string{"slo class", "batch", "realtime", "attain"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}

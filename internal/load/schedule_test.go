@@ -1,0 +1,195 @@
+package load
+
+import (
+	"runtime"
+	"sort"
+	"testing"
+)
+
+func testSpec(t *testing.T) *Spec {
+	t.Helper()
+	spec, err := ParseSpec([]byte(specDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestBuildScheduleBudgetAndOrder(t *testing.T) {
+	spec := testSpec(t)
+	sched, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Requests) != spec.NumRequests {
+		t.Fatalf("requests = %d, want %d", len(sched.Requests), spec.NumRequests)
+	}
+	perClient := map[string]int{}
+	for i := range sched.Requests {
+		q := &sched.Requests[i]
+		if q.Index != i {
+			t.Fatalf("request %d has Index %d", i, q.Index)
+		}
+		if i > 0 && q.Offset < sched.Requests[i-1].Offset {
+			t.Fatalf("offsets not sorted at %d", i)
+		}
+		if q.Flows < 1 {
+			t.Fatalf("request %d: flows = %d", i, q.Flows)
+		}
+		perClient[q.Client]++
+	}
+	// Largest-remainder apportionment: 0.8/0.2 of 50 is exactly 40/10.
+	if perClient["bulk"] != 40 || perClient["interactive"] != 10 {
+		t.Fatalf("per-client counts = %v", perClient)
+	}
+	// Client fields copy through.
+	for i := range sched.Requests {
+		q := &sched.Requests[i]
+		if q.Client == "interactive" && (q.Class != "teams" || q.Format != "csv" || q.TimeoutMs != 500 || q.Flows != 2) {
+			t.Fatalf("interactive request = %+v", q)
+		}
+	}
+}
+
+func TestBuildScheduleDeterministic(t *testing.T) {
+	spec := testSpec(t)
+	a, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatal("same spec produced different schedules")
+	}
+	// A different seed must move the schedule.
+	spec.Seed = 8
+	c, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Digest() == a.Digest() {
+		t.Fatal("different seed produced identical schedule")
+	}
+}
+
+// TestBuildScheduleGOMAXPROCSIndependent is the determinism guarantee
+// the harness advertises: the schedule is a pure function of the spec,
+// identical at any parallelism level.
+func TestBuildScheduleGOMAXPROCSIndependent(t *testing.T) {
+	spec := testSpec(t)
+	digests := map[string]bool{}
+	for _, procs := range []int{1, 2, 8} {
+		prev := runtime.GOMAXPROCS(procs)
+		sched, err := BuildSchedule(spec)
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests[sched.Digest()] = true
+	}
+	if len(digests) != 1 {
+		t.Fatalf("schedule digest varies with GOMAXPROCS: %d distinct", len(digests))
+	}
+}
+
+// TestBuildScheduleClientStreamsIndependent: adding a client must not
+// perturb the streams of clients declared before it.
+func TestBuildScheduleClientStreamsIndependent(t *testing.T) {
+	spec := testSpec(t)
+	spec.NumRequests = 0
+	spec.DurationS = 1
+	base, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rescale fractions and add a third client; bulk keeps fraction 0.8
+	// of the same aggregate rate by scaling the rate too.
+	spec2 := testSpec(t)
+	spec2.NumRequests = 0
+	spec2.DurationS = 1
+	spec2.AggregateRate = 200
+	for i := range spec2.Clients {
+		spec2.Clients[i].RateFraction /= 2
+	}
+	spec2.Clients = append(spec2.Clients, ClientSpec{
+		ID: "extra", RateFraction: 0.5, Class: "amazon", Format: "pcap",
+		SLOClass: "batch", SLOTargetMs: 2000,
+		Arrival: ArrivalSpec{Process: "poisson"},
+		Size:    SizeSpec{Type: "constant", Params: map[string]float64{"value": 1}},
+	})
+	if err := spec2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	two, err := BuildSchedule(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bulk's per-client rate is unchanged (100*0.8 == 200*0.4), so its
+	// request stream must be byte-identical.
+	extract := func(s *Schedule, client string) []Request {
+		var out []Request
+		for i := range s.Requests {
+			if s.Requests[i].Client == client {
+				q := s.Requests[i]
+				q.Index = 0 // merge order differs; compare content only
+				out = append(out, q)
+			}
+		}
+		sort.Slice(out, func(a, b int) bool { return out[a].Offset < out[b].Offset })
+		return out
+	}
+	a, b := extract(base, "bulk"), extract(two, "bulk")
+	if len(a) != len(b) {
+		t.Fatalf("bulk stream length changed: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("bulk request %d changed: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestClientBudgetApportionment(t *testing.T) {
+	spec := &Spec{
+		Version: "1", AggregateRate: 10, NumRequests: 10,
+		Clients: []ClientSpec{
+			{ID: "a", RateFraction: 0.34},
+			{ID: "b", RateFraction: 0.33},
+			{ID: "c", RateFraction: 0.33},
+		},
+	}
+	total := 0
+	for i := range spec.Clients {
+		b := clientBudget(spec, i)
+		if b < 0 {
+			t.Fatalf("client %d budget = %d", i, b)
+		}
+		total += b
+	}
+	if total != spec.NumRequests {
+		t.Fatalf("budgets sum to %d, want %d", total, spec.NumRequests)
+	}
+	// A tiny fraction may get zero — but must be honored as zero, not
+	// treated as unbounded.
+	spec2 := &Spec{
+		Version: "1", AggregateRate: 10, NumRequests: 2,
+		Clients: []ClientSpec{
+			{ID: "big", RateFraction: 0.99},
+			{ID: "tiny", RateFraction: 0.01},
+		},
+	}
+	if b := clientBudget(spec2, 1); b != 0 {
+		t.Fatalf("tiny budget = %d, want 0", b)
+	}
+	if b := clientBudget(spec2, 0); b != 2 {
+		t.Fatalf("big budget = %d, want 2", b)
+	}
+	// No budget set: unbounded sentinel.
+	spec3 := &Spec{Clients: []ClientSpec{{ID: "a", RateFraction: 1}}}
+	if b := clientBudget(spec3, 0); b != -1 {
+		t.Fatalf("unbounded budget = %d, want -1", b)
+	}
+}

@@ -1,0 +1,221 @@
+package load
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"trafficdiff/internal/stats"
+)
+
+const specDoc = `
+version: "1"
+seed: 7
+aggregate_rate: 100
+num_requests: 50
+clients:
+  - id: bulk
+    rate_fraction: 0.8
+    class: amazon
+    format: pcap
+    slo_class: batch
+    slo_target_ms: 2000
+    arrival:
+      process: poisson
+    size_distribution:
+      type: lognormal
+      params:
+        mu: 1.0
+        sigma: 0.5
+      min: 1
+      max: 32
+  - id: interactive
+    rate_fraction: 0.2
+    class: teams
+    format: csv
+    slo_class: realtime
+    slo_target_ms: 250
+    timeout_ms: 500
+    arrival:
+      process: gamma
+      cv: 2.0
+    size_distribution:
+      type: constant
+      params:
+        value: 2
+`
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec([]byte(specDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Seed != 7 || spec.NumRequests != 50 {
+		t.Fatalf("seed/num_requests = %d/%d", spec.Seed, spec.NumRequests)
+	}
+	if !stats.ApproxEqual(spec.AggregateRate, 100, 1e-12) {
+		t.Fatalf("aggregate_rate = %v", spec.AggregateRate)
+	}
+	if len(spec.Clients) != 2 {
+		t.Fatalf("clients = %d", len(spec.Clients))
+	}
+	c := &spec.Clients[1]
+	if c.ID != "interactive" || c.Class != "teams" || c.Format != "csv" ||
+		c.SLOClass != "realtime" || c.TimeoutMs != 500 {
+		t.Fatalf("client[1] = %+v", c)
+	}
+	if c.Arrival.Process != "gamma" || !stats.ApproxEqual(c.Arrival.CV, 2, 1e-12) {
+		t.Fatalf("arrival = %+v", c.Arrival)
+	}
+	if got := spec.SLOClasses(); len(got) != 2 || got[0] != "batch" || got[1] != "realtime" {
+		t.Fatalf("slo classes = %v", got)
+	}
+}
+
+func TestParseSpecDefaults(t *testing.T) {
+	doc := `
+aggregate_rate: 10
+duration_s: 1
+clients:
+  - id: only
+    rate_fraction: 1.0
+    class: amazon
+    slo_class: default
+    slo_target_ms: 1000
+`
+	spec, err := ParseSpec([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &spec.Clients[0]
+	if spec.Version != "1" || spec.Seed != 1 {
+		t.Fatalf("version/seed = %q/%d", spec.Version, spec.Seed)
+	}
+	if c.Format != "pcap" || c.Arrival.Process != "poisson" {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if c.Size.Type != "constant" {
+		t.Fatalf("size default = %+v", c.Size)
+	}
+}
+
+func TestParseSpecValidationErrors(t *testing.T) {
+	base := func(extra string) string {
+		return `
+version: "1"
+aggregate_rate: 10
+duration_s: 1
+clients:
+  - id: a
+    rate_fraction: 1.0
+    class: amazon
+    slo_class: x
+    slo_target_ms: 100
+` + extra
+	}
+	cases := []struct {
+		name, doc, wantSub string
+	}{
+		{"fractions", strings.Replace(base(""), "rate_fraction: 1.0", "rate_fraction: 0.5", 1), "sum to"},
+		{"no bound", strings.Replace(base(""), "duration_s: 1", "duration_s: 0", 1), "bound the run"},
+		{"bad rate", strings.Replace(base(""), "aggregate_rate: 10", "aggregate_rate: 0", 1), "aggregate_rate"},
+		{"bad format", base("    format: xml\n"), "format"},
+		{"bad process", base("    arrival:\n      process: bursty\n"), "unknown arrival process"},
+		{"bad size type", base("    size_distribution:\n      type: cauchy\n"), "unknown size distribution"},
+		{"missing param", base("    size_distribution:\n      type: pareto\n"), "missing param"},
+		{"no clients", "version: \"1\"\naggregate_rate: 10\nduration_s: 1\nclients:\n", "clients"},
+		{"no slo target", strings.Replace(base(""), "slo_target_ms: 100", "slo_target_ms: 0", 1), "slo_target_ms"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec([]byte(tc.doc))
+			if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseSpecConflictingSLOTargets(t *testing.T) {
+	doc := `
+version: "1"
+aggregate_rate: 10
+duration_s: 1
+clients:
+  - id: a
+    rate_fraction: 0.5
+    class: amazon
+    slo_class: shared
+    slo_target_ms: 100
+  - id: b
+    rate_fraction: 0.5
+    class: teams
+    slo_class: shared
+    slo_target_ms: 200
+`
+	_, err := ParseSpec([]byte(doc))
+	if err == nil || !strings.Contains(err.Error(), "conflicting targets") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestInterArrivalMeansMatchRate checks every arrival process yields a
+// mean gap of 1/rate, so rate fractions are honored regardless of
+// burst shape.
+func TestInterArrivalMeansMatchRate(t *testing.T) {
+	cases := []ArrivalSpec{
+		{Process: "poisson"},
+		{Process: "gamma", CV: 0.5},
+		{Process: "gamma", CV: 3},
+		{Process: "weibull", Shape: 0.7},
+		{Process: "weibull", Shape: 2},
+	}
+	for _, ar := range cases {
+		c := ClientSpec{ID: "t", Arrival: ar}
+		d, err := c.interArrival(25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := d.Mean(), 1.0/25; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("%+v: mean gap = %v, want %v", ar, got, want)
+		}
+	}
+}
+
+func TestSizeSpecMixture(t *testing.T) {
+	doc := `
+version: "1"
+aggregate_rate: 10
+duration_s: 1
+clients:
+  - id: mixed
+    rate_fraction: 1.0
+    class: amazon
+    slo_class: x
+    slo_target_ms: 100
+    size_distribution:
+      type: mixture
+      components:
+        - type: constant
+          params:
+            value: 2
+          weight: 0.7
+        - type: pareto
+          params:
+            xm: 4
+            alpha: 1.5
+          weight: 0.3
+`
+	spec, err := ParseSpec([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := spec.Clients[0].Size.Dist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mixture mean = 0.7*2 + 0.3*(1.5*4/0.5) = 1.4 + 3.6 = 5.0
+	if got := d.Mean(); math.Abs(got-5.0) > 1e-9 {
+		t.Fatalf("mixture mean = %v", got)
+	}
+}

@@ -13,12 +13,19 @@ import (
 type metrics struct {
 	vars *expvar.Map
 
-	// Admission and completion counters.
-	accepted  *expvar.Int // accepted_total
-	rejected  *expvar.Int // rejected_total (429 backpressure)
-	expired   *expvar.Int // deadline_expired_total (504)
-	completed *expvar.Int // completed_total
-	failed    *expvar.Int // failed_total (500)
+	// Admission and completion counters. Every terminal outcome of
+	// POST /v1/generate bumps exactly one of these (plus accepted_total
+	// on the paths that made it through the gate), so a load harness
+	// can reconcile its client-side status accounting against the
+	// server: accepted = completed + expired + failed, and
+	// badRequest + rejected + drainRejected + accepted = requests seen.
+	accepted      *expvar.Int // accepted_total
+	rejected      *expvar.Int // rejected_total (429 backpressure)
+	drainRejected *expvar.Int // drain_rejected_total (503 while draining)
+	badRequest    *expvar.Int // bad_request_total (4xx validation)
+	expired       *expvar.Int // deadline_expired_total (504)
+	completed     *expvar.Int // completed_total
+	failed        *expvar.Int // failed_total (500)
 
 	flowsGenerated *expvar.Int // flows_generated_total
 
@@ -50,6 +57,8 @@ func newMetrics(classes []string, gateDepth func() int, engineStats func() core.
 	}
 	m.accepted = newInt("accepted_total")
 	m.rejected = newInt("rejected_total")
+	m.drainRejected = newInt("drain_rejected_total")
+	m.badRequest = newInt("bad_request_total")
 	m.expired = newInt("deadline_expired_total")
 	m.completed = newInt("completed_total")
 	m.failed = newInt("failed_total")

@@ -272,16 +272,24 @@ type generateRequest struct {
 
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
+		s.met.badRequest.Add(1)
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
 	if s.draining.Load() {
+		// Same terminal outcome as the gateClosed branch below: the
+		// request arrived inside the drain window. Without a counter
+		// these rejections were invisible in /metrics, so a load
+		// harness could never reconcile its observed 503s against the
+		// server's accounting.
+		s.met.drainRejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "shutting down", http.StatusServiceUnavailable)
 		return
 	}
 	var gr generateRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&gr); err != nil {
+		s.met.badRequest.Add(1)
 		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -289,10 +297,12 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		gr.Count = 1
 	}
 	if gr.Count < 0 || gr.Count > s.cfg.MaxFlowsPerRequest {
+		s.met.badRequest.Add(1)
 		http.Error(w, fmt.Sprintf("count must be in [1,%d]", s.cfg.MaxFlowsPerRequest), http.StatusBadRequest)
 		return
 	}
 	if !s.classes[gr.Class] {
+		s.met.badRequest.Add(1)
 		http.Error(w, fmt.Sprintf("unknown class %q", gr.Class), http.StatusBadRequest)
 		return
 	}
@@ -301,6 +311,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		format = "pcap"
 	}
 	if format != "pcap" && format != "csv" {
+		s.met.badRequest.Add(1)
 		http.Error(w, `format must be "pcap" or "csv"`, http.StatusBadRequest)
 		return
 	}
@@ -324,6 +335,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "service at capacity", http.StatusTooManyRequests)
 		return
 	case gateClosed:
+		s.met.drainRejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "shutting down", http.StatusServiceUnavailable)
 		return

@@ -27,9 +27,12 @@ import (
 // it (or the request's context expires), and every completed call's
 // seed batch is recorded so tests can assert what reached the engine.
 type fakeEngine struct {
-	classes  []string
-	gate     chan struct{}
-	delay    time.Duration
+	classes []string
+	gate    chan struct{}
+	delay   time.Duration
+	// failErr, when set, makes every generation fail with it after
+	// admission — the handler's 500 path.
+	failErr  error
 	inFlight atomic.Int64
 	admitted atomic.Int64
 
@@ -61,6 +64,9 @@ func (g *fakeEngine) Generate(ctx context.Context, class string, seeds []uint64,
 	}
 	if g.delay > 0 {
 		time.Sleep(g.delay)
+	}
+	if g.failErr != nil {
+		return nil, g.failErr
 	}
 	g.mu.Lock()
 	g.calls = append(g.calls, append([]uint64(nil), seeds...))
@@ -612,4 +618,175 @@ func TestServeConcurrentMixedClasses(t *testing.T) {
 			t.Fatalf(`admission_wait_ms_count[%q] = %v, want %d`, class, got, n/2)
 		}
 	}
+}
+
+// terminalCounters are the mutually-exclusive outcome counters of
+// POST /v1/generate: every request that reaches a terminal state must
+// bump exactly one of them, or a load harness's client-side status
+// accounting can never reconcile against the server's /metrics.
+var terminalCounters = []string{
+	"completed_total",
+	"rejected_total",
+	"drain_rejected_total",
+	"bad_request_total",
+	"deadline_expired_total",
+	"failed_total",
+}
+
+func terminalSnapshot(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	all := metricsSnapshot(t, url)
+	out := map[string]float64{}
+	for _, k := range terminalCounters {
+		v, ok := all[k]
+		if !ok {
+			t.Fatalf("terminal counter %s missing from /metrics", k)
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// assertOneBump checks that exactly `want` moved by +1 between two
+// terminal-counter snapshots and everything else is unchanged.
+func assertOneBump(t *testing.T, before, after map[string]float64, want, scenario string) {
+	t.Helper()
+	for _, k := range terminalCounters {
+		delta := after[k] - before[k]
+		expect := 0.0
+		if k == want {
+			expect = 1
+		}
+		if delta != expect {
+			t.Errorf("%s: counter %s moved %v, want %v (before=%v after=%v)",
+				scenario, k, delta, expect, before, after)
+		}
+	}
+}
+
+// TestTerminalPathCounters drives every terminal path of the generate
+// handler — 200, the whole 4xx validation surface, 429 backpressure,
+// 504 expiry, 500 engine failure and both 503 drain-window paths — and
+// asserts each bumps exactly one outcome counter. The drain paths are
+// the PR's regression: they previously incremented nothing.
+func TestTerminalPathCounters(t *testing.T) {
+	t.Run("validation-and-success", func(t *testing.T) {
+		eng := &fakeEngine{classes: []string{"amazon"}}
+		s := NewWithEngine(eng, Config{MaxFlowsPerRequest: 4})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		defer shutdownServer(t, s)
+
+		cases := []struct {
+			scenario string
+			body     string
+			counter  string
+		}{
+			{"success", `{"class":"amazon"}`, "completed_total"},
+			{"bad json", `not json`, "bad_request_total"},
+			{"unknown class", `{"class":"nope"}`, "bad_request_total"},
+			{"count too large", `{"class":"amazon","count":9}`, "bad_request_total"},
+			{"bad format", `{"class":"amazon","format":"exe"}`, "bad_request_total"},
+		}
+		for _, c := range cases {
+			before := terminalSnapshot(t, ts.URL)
+			post(t, ts.URL, c.body)
+			assertOneBump(t, before, terminalSnapshot(t, ts.URL), c.counter, c.scenario)
+		}
+
+		// Method not allowed is terminal too.
+		before := terminalSnapshot(t, ts.URL)
+		if code, _, _ := get(t, ts.URL+"/v1/generate"); code != http.StatusMethodNotAllowed {
+			t.Fatalf("GET /v1/generate = %d, want 405", code)
+		}
+		assertOneBump(t, before, terminalSnapshot(t, ts.URL), "bad_request_total", "method not allowed")
+	})
+
+	t.Run("backpressure-429", func(t *testing.T) {
+		gate := make(chan struct{})
+		eng := &fakeEngine{classes: []string{"amazon"}, gate: gate}
+		s := NewWithEngine(eng, Config{QueueDepth: 1})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		defer shutdownServer(t, s)
+		defer close(gate)
+
+		done := make(chan int, 1)
+		go func() {
+			code, _, _ := post(t, ts.URL, `{"class":"amazon"}`)
+			done <- code
+		}()
+		waitFor(t, "request inside the engine", func() bool { return eng.inFlight.Load() == 1 })
+
+		before := terminalSnapshot(t, ts.URL)
+		if code, _, _ := post(t, ts.URL, `{"class":"amazon"}`); code != http.StatusTooManyRequests {
+			t.Fatalf("overflow request = %d, want 429", code)
+		}
+		assertOneBump(t, before, terminalSnapshot(t, ts.URL), "rejected_total", "gate full")
+
+		gate <- struct{}{}
+		if code := <-done; code != http.StatusOK {
+			t.Fatalf("admitted request finished with %d", code)
+		}
+	})
+
+	t.Run("deadline-504", func(t *testing.T) {
+		gate := make(chan struct{})
+		eng := &fakeEngine{classes: []string{"amazon"}, gate: gate}
+		s := NewWithEngine(eng, Config{QueueDepth: 4})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		defer shutdownServer(t, s)
+		defer close(gate)
+
+		before := terminalSnapshot(t, ts.URL)
+		if code, _, _ := post(t, ts.URL, `{"class":"amazon","timeout_ms":40}`); code != http.StatusGatewayTimeout {
+			t.Fatalf("expired request = %d, want 504", code)
+		}
+		assertOneBump(t, before, terminalSnapshot(t, ts.URL), "deadline_expired_total", "deadline expiry")
+	})
+
+	t.Run("engine-failure-500", func(t *testing.T) {
+		eng := &fakeEngine{classes: []string{"amazon"}, failErr: fmt.Errorf("synthetic engine failure")}
+		s := NewWithEngine(eng, Config{QueueDepth: 4})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		defer shutdownServer(t, s)
+
+		before := terminalSnapshot(t, ts.URL)
+		if code, _, _ := post(t, ts.URL, `{"class":"amazon"}`); code != http.StatusInternalServerError {
+			t.Fatalf("failing request = %d, want 500", code)
+		}
+		assertOneBump(t, before, terminalSnapshot(t, ts.URL), "failed_total", "engine failure")
+	})
+
+	t.Run("drain-503", func(t *testing.T) {
+		eng := &fakeEngine{classes: []string{"amazon"}}
+		s := NewWithEngine(eng, Config{QueueDepth: 4})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		shutdownServer(t, s)
+
+		// Every request inside the drain window is a drain rejection —
+		// previously invisible in /metrics.
+		before := terminalSnapshot(t, ts.URL)
+		for i := 0; i < 3; i++ {
+			code, _, hdr := post(t, ts.URL, `{"class":"amazon"}`)
+			if code != http.StatusServiceUnavailable {
+				t.Fatalf("drain-window request = %d, want 503", code)
+			}
+			if hdr.Get("Retry-After") == "" {
+				t.Fatal("503 without Retry-After header")
+			}
+		}
+		after := terminalSnapshot(t, ts.URL)
+		if got := after["drain_rejected_total"] - before["drain_rejected_total"]; got != 3 {
+			t.Fatalf("drain_rejected_total moved %v, want 3", got)
+		}
+		for _, k := range terminalCounters {
+			if k != "drain_rejected_total" && after[k] != before[k] {
+				t.Fatalf("counter %s moved during drain rejections", k)
+			}
+		}
+	})
 }

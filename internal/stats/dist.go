@@ -66,14 +66,76 @@ func (p Pareto) Sample(r *RNG) float64 {
 	return p.Xm / math.Pow(1-r.Float64(), 1/p.Alpha)
 }
 
-// Mean returns Alpha*Xm/(Alpha-1) for Alpha > 1, otherwise a large
-// finite proxy.
+// paretoMeanProxyFactor scales Xm into the finite stand-in Mean
+// returns when the true mean diverges (Alpha <= 1). Any consumer that
+// normalizes rates by a mean — Mixture.Mean, the load harness's
+// request-size accounting — must stay finite, so the proxy is "very
+// heavy" rather than infinite.
+const paretoMeanProxyFactor = 1e6
+
+// Mean returns Alpha*Xm/(Alpha-1) for Alpha > 1, otherwise the large
+// finite proxy Xm*1e6 (the true mean diverges, but an infinity here
+// would poison every downstream rate normalization).
 func (p Pareto) Mean() float64 {
 	if p.Alpha <= 1 {
-		return math.Inf(1)
+		return p.Xm * paretoMeanProxyFactor
 	}
 	return p.Alpha * p.Xm / (p.Alpha - 1)
 }
+
+// Gamma is the gamma distribution with shape k = Shape and scale
+// θ = Scale. Inter-arrival gaps in bursty traffic are modelled as
+// gamma with a coefficient of variation above 1 (shape < 1 clusters
+// arrivals, shape > 1 regularizes them); the load harness derives
+// Shape from a spec's `cv` as 1/cv².
+type Gamma struct{ Shape, Scale float64 }
+
+// Sample draws a gamma variate via the Marsaglia-Tsang squeeze
+// (shape >= 1) with the standard power boost for shape < 1. Every
+// accept/reject decision consumes draws from r only, so the stream is
+// deterministic per seed.
+func (g Gamma) Sample(r *RNG) float64 {
+	k := g.Shape
+	if k < 1 {
+		// Gamma(k) = Gamma(k+1) * U^(1/k) for k in (0, 1).
+		u := r.Float64()
+		return Gamma{Shape: k + 1, Scale: g.Scale}.Sample(r) * math.Pow(u, 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * g.Scale
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * g.Scale
+		}
+	}
+}
+
+// Mean returns Shape*Scale.
+func (g Gamma) Mean() float64 { return g.Shape * g.Scale }
+
+// Weibull is the Weibull distribution with shape k = Shape and scale
+// λ = Scale. Its shape parameter sweeps between heavy-tailed burstiness
+// (k < 1) and near-deterministic spacing (k > 1), which makes it the
+// third arrival-process option in workload specs.
+type Weibull struct{ Shape, Scale float64 }
+
+// Sample draws a Weibull variate by inverse transform.
+func (w Weibull) Sample(r *RNG) float64 {
+	return w.Scale * math.Pow(-math.Log(1-r.Float64()), 1/w.Shape)
+}
+
+// Mean returns Scale*Γ(1+1/Shape).
+func (w Weibull) Mean() float64 { return w.Scale * math.Gamma(1+1/w.Shape) }
 
 // Categorical samples indices proportionally to Weights.
 type Categorical struct {
@@ -107,10 +169,25 @@ func NewCategorical(weights []float64) *Categorical {
 	return c
 }
 
-// SampleIndex draws an index in [0, len(Weights)).
+// SampleIndex draws an index in [0, len(Weights)). Index i owns the
+// half-open interval [cum[i-1], cum[i)), so the search is strict
+// (first cum[i] > u): a draw landing exactly on a cumulative boundary
+// belongs to the next component, and an index whose weight is zero —
+// a zero-weight prefix makes cum[i] == u reachable at u == 0 — can
+// never be selected.
 func (c *Categorical) SampleIndex(r *RNG) int {
-	u := r.Float64() * c.cum[len(c.cum)-1]
-	return sort.SearchFloat64s(c.cum, u)
+	total := c.cum[len(c.cum)-1]
+	u := r.Float64() * total
+	i := sort.Search(len(c.cum), func(j int) bool { return c.cum[j] > u })
+	if i == len(c.cum) {
+		// Float64()*total can round up to total itself; that draw
+		// belongs to the last positive-weight component.
+		i--
+		for i > 0 && !(c.Weights[i] > 0) {
+			i--
+		}
+	}
+	return i
 }
 
 // Probability returns the normalized probability of index i.

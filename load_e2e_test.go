@@ -1,0 +1,180 @@
+package trafficdiff
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"regexp"
+	"testing"
+	"time"
+)
+
+// loadReport mirrors the fields of internal/load.Report the smoke test
+// asserts on; decoding through a local struct keeps the root test
+// coupled to the JSON contract (what CI consumers parse), not the Go
+// type.
+type loadReport struct {
+	ScheduleDigest string  `json:"schedule_digest"`
+	Requests       int     `json:"requests"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	Totals         struct {
+		OK        int `json:"ok"`
+		Rejected  int `json:"rejected"`
+		Draining  int `json:"draining"`
+		Deadline  int `json:"deadline"`
+		Upstream  int `json:"upstream"`
+		OtherHTTP int `json:"other_http"`
+		Transport int `json:"transport"`
+		Unsent    int `json:"unsent"`
+	} `json:"totals"`
+	Classes []struct {
+		SLOClass   string  `json:"slo_class"`
+		Requests   int     `json:"requests"`
+		P50Ms      float64 `json:"p50_ms"`
+		P95Ms      float64 `json:"p95_ms"`
+		Attainment float64 `json:"attainment"`
+	} `json:"classes"`
+}
+
+// TestLoadEndToEnd is the load-harness smoke test over the real
+// binaries: tracegen writes a checkpoint, traced serves it, and
+// traceload drives the committed two-client example spec against it
+// open-loop. The run must produce zero unexplained failures (5xx other
+// than drain/deadline, transport errors), the JSON report must
+// reconcile against the server's /metrics counters, and the schedule
+// digest must be identical across runs. `make load-smoke` runs exactly
+// this test.
+func TestLoadEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load e2e in -short mode")
+	}
+	dir := t.TempDir()
+	tracegen := dir + "/tracegen"
+	traced := dir + "/traced"
+	traceload := dir + "/traceload"
+	for bin, pkg := range map[string]string{
+		tracegen: "./cmd/tracegen", traced: "./cmd/traced", traceload: "./cmd/traceload",
+	} {
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	ckpt := dir + "/model.ckpt"
+	cmd := exec.Command(tracegen,
+		"-classes", "amazon,teams", "-train", "4", "-per-class", "1",
+		"-steps", "60", "-rows", "16", "-write-real=false",
+		"-out", dir+"/synthetic", "-save", ckpt)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("tracegen: %v\n%s", err, out)
+	}
+
+	const spec = "examples/loadspec/two-tier.yaml"
+	digestRe := regexp.MustCompile(`digest ([0-9a-f]{16})`)
+
+	// The schedule digest must be a pure function of the spec: two
+	// dry runs of the binary agree.
+	var digests []string
+	for i := 0; i < 2; i++ {
+		out, err := exec.Command(traceload, "-spec", spec, "-requests", "60", "-dry-run").CombinedOutput()
+		if err != nil {
+			t.Fatalf("traceload -dry-run: %v\n%s", err, out)
+		}
+		m := digestRe.FindSubmatch(out)
+		if m == nil {
+			t.Fatalf("no schedule digest in dry-run output:\n%s", out)
+		}
+		digests = append(digests, string(m[1]))
+	}
+	if digests[0] != digests[1] {
+		t.Fatalf("dry-run digests differ: %s vs %s", digests[0], digests[1])
+	}
+
+	srv := startTraced(t, traced, ckpt, "-queue", "64", "-max-inflight", "16")
+	defer srv.kill(t)
+
+	// Fire the spec open-loop at the live server: 60 requests at the
+	// spec's 40 req/s is a ~1.5s schedule. The -max-unexplained-5xx 0
+	// gate makes traceload itself exit 2 on any 500/transport failure.
+	jsonOut := dir + "/report.json"
+	loadCmd := exec.Command(traceload,
+		"-spec", spec, "-requests", "60", "-base", srv.url,
+		"-json", jsonOut, "-quiet", "-max-unexplained-5xx", "0",
+		"-timeout", "30s")
+	if out, err := loadCmd.CombinedOutput(); err != nil {
+		t.Fatalf("traceload: %v\n%s", err, out)
+	}
+
+	data, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report JSON: %v\n%s", err, data)
+	}
+
+	// Report sanity: every scheduled request is accounted for exactly
+	// once, and the digest matches the dry run's.
+	if rep.Requests != 60 {
+		t.Fatalf("report requests = %d, want 60", rep.Requests)
+	}
+	total := rep.Totals.OK + rep.Totals.Rejected + rep.Totals.Draining +
+		rep.Totals.Deadline + rep.Totals.Upstream + rep.Totals.OtherHTTP +
+		rep.Totals.Transport + rep.Totals.Unsent
+	if total != rep.Requests {
+		t.Fatalf("status buckets sum to %d, want %d: %+v", total, rep.Requests, rep.Totals)
+	}
+	if rep.ScheduleDigest[:16] != digests[0] {
+		t.Fatalf("live digest %s != dry-run digest %s", rep.ScheduleDigest[:16], digests[0])
+	}
+	if rep.Totals.OtherHTTP != 0 || rep.Totals.Transport != 0 || rep.Totals.Unsent != 0 {
+		t.Fatalf("unexplained failures: %+v", rep.Totals)
+	}
+	if rep.Totals.OK == 0 {
+		t.Fatalf("no successful requests: %+v", rep.Totals)
+	}
+	if len(rep.Classes) != 2 {
+		t.Fatalf("classes = %+v", rep.Classes)
+	}
+	for _, c := range rep.Classes {
+		if c.Requests == 0 {
+			t.Errorf("slo class %q saw no requests", c.SLOClass)
+		}
+		if c.Attainment < 0 || c.Attainment > 1 {
+			t.Errorf("slo class %q attainment = %v", c.SLOClass, c.Attainment)
+		}
+		if c.P95Ms < c.P50Ms {
+			t.Errorf("slo class %q p95 %v < p50 %v", c.SLOClass, c.P95Ms, c.P50Ms)
+		}
+	}
+
+	// Reconcile client-side accounting against the server's /metrics:
+	// the harness and the service must agree on every terminal path.
+	m := fetchMetrics(t, srv.url)
+	if got := int(m["completed_total"]); got != rep.Totals.OK {
+		t.Errorf("server completed_total = %d, harness ok = %d", got, rep.Totals.OK)
+	}
+	if got := int(m["rejected_total"]); got != rep.Totals.Rejected {
+		t.Errorf("server rejected_total = %d, harness 429s = %d", got, rep.Totals.Rejected)
+	}
+	if got := int(m["deadline_expired_total"]); got != rep.Totals.Deadline {
+		t.Errorf("server deadline_expired_total = %d, harness 504s = %d", got, rep.Totals.Deadline)
+	}
+	if got := int(m["failed_total"]); got != 0 {
+		t.Errorf("server failed_total = %d, want 0", got)
+	}
+	seen := int(m["bad_request_total"] + m["rejected_total"] + m["drain_rejected_total"] + m["accepted_total"])
+	if seen != rep.Requests {
+		t.Errorf("server saw %d requests, harness sent %d", seen, rep.Requests)
+	}
+
+	// The server must still be healthy and drain cleanly after the run.
+	if err := srv.cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.wait(30 * time.Second); err != nil {
+		t.Fatalf("traced did not exit cleanly after load: %v\nstderr:\n%s", err, srv.stderr())
+	}
+}
